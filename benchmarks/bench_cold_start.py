@@ -1,0 +1,70 @@
+"""E1 — Cold starts add significant overhead versus warm executions.
+
+Paper claim (§5.2, citing Ishakian et al. [112]): "warm serverless
+executions are within an acceptable latency range, while cold starts
+add significant overhead".  The bench sweeps request inter-arrival time
+against the keep-alive window and reports P50/P99 latency plus the cold
+fraction: arrivals inside the window run warm and fast; arrivals past
+it pay the cold-start penalty.
+"""
+
+import random
+
+from taureau.core import (
+    FaasPlatform,
+    FunctionSpec,
+    PlatformConfig,
+    collect,
+    poisson_arrivals,
+    replay,
+)
+from taureau.sim import Simulation
+
+from tables import print_table
+
+
+def run_cell(mean_interarrival_s: float, keep_alive_s: float, seed: int = 0):
+    sim = Simulation(seed=seed)
+    platform = FaasPlatform(sim, config=PlatformConfig(keep_alive_s=keep_alive_s))
+
+    def handler(event, ctx):
+        ctx.charge(0.005)
+        return event
+
+    platform.register(FunctionSpec(name="api", handler=handler, memory_mb=256))
+    horizon = max(2000.0, 100.0 * mean_interarrival_s)
+    arrivals = poisson_arrivals(
+        random.Random(seed), rate=1.0 / mean_interarrival_s, horizon=horizon
+    )
+    records = collect(sim, replay(platform, "api", arrivals))
+    latencies = sorted(record.end_to_end_latency_s for record in records)
+    cold_fraction = sum(record.cold_start for record in records) / len(records)
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[int(0.99 * (len(latencies) - 1))]
+    return p50, p99, cold_fraction
+
+
+def run_experiment():
+    keep_alive = 600.0
+    rows = []
+    for interarrival in (10.0, 60.0, 300.0, 900.0, 1800.0):
+        p50, p99, cold_fraction = run_cell(interarrival, keep_alive)
+        rows.append((interarrival, keep_alive, p50 * 1000, p99 * 1000, cold_fraction))
+    return rows
+
+
+def test_e1_cold_start_overhead(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E1: cold vs warm latency (keep-alive = 600 s)",
+        ["interarrival_s", "keep_alive_s", "p50_ms", "p99_ms", "cold_fraction"],
+        rows,
+        note="arrivals slower than the keep-alive window go cold and pay ~100x",
+    )
+    dense, sparse = rows[0], rows[-1]
+    # Dense traffic stays warm; sparse traffic (3x the keep-alive window,
+    # warm with probability e^{-1800/600} ~ 0.28 per gap) is mostly cold.
+    assert dense[4] < 0.05
+    assert sparse[4] > 0.7
+    # And the mostly-cold P50 sits an order of magnitude above the warm P50.
+    assert sparse[2] > 10 * dense[2]

@@ -1,0 +1,114 @@
+"""E31 — Serverless at the edge: the locality/capacity crossover (§1).
+
+Paper claim: "the serverless paradigm is being extended to networking
+and the edge" — fog functions for data-intensive IoT [83], execution
+models for functions at the edge [105].  The edge's pitch is locality
+(no WAN round-trip, no uplink transfer); its limit is capacity (a small
+box serves each site).
+
+The bench pushes growing IoT event rates through one edge site under
+three placement policies and reports P50/P99 latency: edge-only wins
+while the box keeps up, collapses when it saturates; edge-first tracks
+the best of both.
+"""
+
+import random
+
+from taureau.cluster import Cluster
+from taureau.core import FaasPlatform, FunctionSpec, PlatformConfig, poisson_arrivals
+from taureau.edge import (
+    CloudOnlyPolicy,
+    EdgeFabric,
+    EdgeFirstPolicy,
+    EdgeOnlyPolicy,
+    EdgeSite,
+)
+from taureau.sim import Distribution, Simulation
+
+from tables import print_table
+
+HORIZON_S = 120.0
+SERVICE_S = 0.08
+PAYLOAD_MB = 0.5
+EDGE_CORES = 4
+
+
+def run_cell(policy_name: str, rate: float):
+    sim = Simulation(seed=0)
+    core = FaasPlatform(sim)
+    edge_platform = FaasPlatform(
+        sim,
+        cluster=Cluster.homogeneous(1, cpu_cores=EDGE_CORES, memory_mb=4096),
+        config=PlatformConfig(keep_alive_s=600.0,
+                              concurrency_limit=EDGE_CORES),
+    )
+    site = EdgeSite(edge_platform, uplink_rtt_s=0.08, uplink_mb_s=20.0,
+                    local_rtt_s=0.002)
+    fabric = EdgeFabric(sim, core, [site])
+    fabric.deploy(
+        FunctionSpec(
+            name="analyze",
+            handler=lambda event, ctx: ctx.charge(SERVICE_S),
+            memory_mb=256,
+        )
+    )
+    policy = {
+        "edge_only": EdgeOnlyPolicy(),
+        "cloud_only": CloudOnlyPolicy(),
+        "edge_first": EdgeFirstPolicy(max_edge_inflight=EDGE_CORES),
+    }[policy_name]
+    events = []
+    for when in poisson_arrivals(random.Random(2), rate, HORIZON_S):
+        sim.schedule_at(
+            when,
+            lambda: events.append(
+                fabric.submit(site.name, "analyze", {}, PAYLOAD_MB, policy)
+            ),
+        )
+    sim.run()
+    latencies = Distribution()
+    latencies.extend(event.value.latency_s * 1000 for event in events)
+    return latencies.p50, latencies.p99
+
+
+def run_experiment():
+    rows = []
+    for rate in (5.0, 40.0, 120.0):
+        cells = {
+            name: run_cell(name, rate)
+            for name in ("edge_only", "cloud_only", "edge_first")
+        }
+        rows.append(
+            (
+                rate,
+                *cells["edge_only"],
+                *cells["cloud_only"],
+                *cells["edge_first"],
+            )
+        )
+    return rows
+
+
+def test_e31_edge_crossover(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E31: IoT analytics latency (ms) by placement policy vs event rate",
+        [
+            "rate_eps",
+            "edge_p50", "edge_p99",
+            "cloud_p50", "cloud_p99",
+            "hybrid_p50", "hybrid_p99",
+        ],
+        rows,
+        note="locality wins until the edge box saturates; edge-first "
+        "offloads the overflow and tracks the better side throughout",
+    )
+    low, __, high = rows
+    # At low rate: the edge beats the cloud (no WAN, no uplink transfer).
+    assert low[1] < low[3]
+    # At saturating rate: edge-only queues collapse; the cloud is better.
+    assert high[2] > high[4]
+    # The hybrid never collapses like the saturated edge...
+    assert high[6] < high[2]
+    # ...and keeps the low-load locality win.
+    assert low[5] <= low[3]

@@ -1,0 +1,101 @@
+"""E3 — Demand-driven execution: fine-grained elasticity tracks load.
+
+Paper claim (§2): "the platform should be able to allocate (and
+de-allocate) resources for an application based on its workload
+requirements over time", with the minimum scaling to zero (§3.2).
+
+A flash-crowd spike is served by (a) the FaaS platform, (b) a reactive
+autoscaled VM fleet (pays boot delays), and (c) a fixed fleet sized for
+the mean.  Reported per system: P99 latency during the spike and the
+average allocated-capacity utilization — the FaaS platform tracks the
+spike within cold-start granularity while the autoscaler lags by its
+boot time and the fixed fleet melts down.
+"""
+
+import random
+
+from taureau.core import (
+    AutoscalerPolicy,
+    FaasPlatform,
+    FunctionSpec,
+    PlatformConfig,
+    VmFleet,
+    collect,
+    replay,
+    spike_arrivals,
+)
+from taureau.sim import Distribution, Simulation
+
+from tables import print_table
+
+SERVICE_TIME_S = 0.5
+HORIZON_S = 1800.0
+BASE_RATE = 1.0
+SPIKE_RATE = 60.0
+SPIKE_START, SPIKE_LEN = 600.0, 120.0
+SLOTS_PER_VM = 4
+
+
+def spike_stream(seed=3):
+    return spike_arrivals(
+        random.Random(seed), BASE_RATE, SPIKE_RATE, SPIKE_START, SPIKE_LEN, HORIZON_S
+    )
+
+
+def run_faas():
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim, config=PlatformConfig(keep_alive_s=120.0))
+
+    def handler(event, ctx):
+        ctx.charge(SERVICE_TIME_S)
+        return None
+
+    platform.register(FunctionSpec(name="api", handler=handler, memory_mb=512))
+    records = collect(sim, replay(platform, "api", spike_stream()))
+    spike = [
+        record.end_to_end_latency_s
+        for record in records
+        if SPIKE_START <= record.arrival_time < SPIKE_START + SPIKE_LEN
+    ]
+    dist = Distribution()
+    dist.extend(spike)
+    return dist.p99
+
+
+def run_fleet(policy):
+    sim = Simulation(seed=0)
+    initial = 1 if policy else max(1, int(BASE_RATE * SERVICE_TIME_S / SLOTS_PER_VM) + 1)
+    fleet = VmFleet(sim, initial_vms=initial, slots_per_vm=SLOTS_PER_VM, policy=policy)
+    for when in spike_stream():
+        sim.schedule_at(when, fleet.submit, SERVICE_TIME_S)
+    # Bounded run: the autoscaler control loop never terminates on its own.
+    sim.run(until=HORIZON_S + 3600.0)
+    latencies = fleet.metrics.distribution("e2e_latency_s")
+    return latencies.p99, fleet.metrics.series("vm_count").maximum()
+
+
+def run_experiment():
+    faas_p99 = run_faas()
+    autoscaled_p99, autoscaled_peak = run_fleet(
+        AutoscalerPolicy(target_utilization=0.6, interval_s=15.0, min_vms=1)
+    )
+    fixed_p99, fixed_peak = run_fleet(None)
+    return [
+        ("faas", faas_p99, "scale-to-demand"),
+        ("autoscaled_vms", autoscaled_p99, f"peak {autoscaled_peak:.0f} VMs"),
+        ("fixed_mean_vms", fixed_p99, f"fixed {fixed_peak:.0f} VM"),
+    ]
+
+
+def test_e3_elasticity(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E3: P99 latency through a 60x flash crowd",
+        ["system", "p99_latency_s", "capacity"],
+        rows,
+        note="FaaS absorbs the spike at cold-start cost; VMs lag by boot time",
+    )
+    faas, autoscaled, fixed = (row[1] for row in rows)
+    assert faas < autoscaled < fixed
+    # The fixed fleet sized for the mean collapses under the spike.
+    assert fixed > 20 * faas

@@ -1,0 +1,77 @@
+"""E34 — Federated learning over serverless devices (§5.2, [76, 127, 145]).
+
+Paper claim: federated learning — "wherein a ML model is run on an
+user's device" — is among the workloads driving serverless ML, with
+communication the central constraint.
+
+The bench trains the same non-IID problem with FedAvg at varying local
+epochs and reports rounds (and device weight-uploads) to a target
+training loss: more local computation per round buys fewer
+communication rounds — the FedAvg trade-off.
+"""
+
+import numpy as np
+
+from taureau.core import FaasPlatform
+from taureau.ml import (
+    FederatedAveraging,
+    classification_dataset,
+    non_iid_shards,
+)
+from taureau.sim import Simulation
+
+from tables import print_table
+
+DEVICES = 12
+PARTICIPATION = 0.5
+TARGET_LOSS = 0.35
+MAX_ROUNDS = 60
+
+
+def run_cell(local_epochs: int):
+    sim = Simulation(seed=0)
+    data, labels, __ = classification_dataset(1800, 15, seed=6, noise=0.5)
+    shards = non_iid_shards(data, labels, DEVICES, skew=0.8, seed=7)
+    platform = FaasPlatform(sim)
+    job = FederatedAveraging(
+        platform, shards, learning_rate=0.1, local_epochs=local_epochs,
+        participation=PARTICIPATION,
+    )
+    job.run_sync(rounds=MAX_ROUNDS)
+    losses = [point["loss"] for point in job.history]
+    rounds_to_target = next(
+        (point["round"] + 1 for point in job.history
+         if point["loss"] <= TARGET_LOSS),
+        None,
+    )
+    weight_kib = np.zeros(15).nbytes / 1024.0
+    cohort = max(1, int(round(PARTICIPATION * DEVICES)))
+    uploads_kib = (
+        (rounds_to_target or MAX_ROUNDS) * cohort * weight_kib
+    )
+    return (local_epochs, losses[-1], rounds_to_target, uploads_kib)
+
+
+def run_experiment():
+    return [run_cell(local_epochs) for local_epochs in (1, 5, 20)]
+
+
+def test_e34_federated_averaging(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"E34: FedAvg to training loss {TARGET_LOSS} on non-IID devices "
+        f"({DEVICES} devices, {PARTICIPATION:.0%} participation)",
+        ["local_epochs", "final_loss", "rounds_to_target",
+         "device_uploads_kib"],
+        rows,
+        note="more local epochs per round -> fewer communication rounds and "
+        "less upload traffic (the FedAvg trade-off), despite label-skewed "
+        "device data",
+    )
+    by_epochs = {row[0]: row for row in rows}
+    # Loss improves monotonically with local computation per round.
+    assert by_epochs[20][1] < by_epochs[5][1] < by_epochs[1][1]
+    # Heavy local work converges in far fewer communication rounds.
+    assert by_epochs[20][2] is not None
+    assert by_epochs[20][2] < (by_epochs[1][2] or MAX_ROUNDS)
+    assert by_epochs[20][3] < by_epochs[1][3]

@@ -1,0 +1,83 @@
+"""E6 — Hierarchical namespaces isolate scaling; a global space cannot.
+
+Paper claim (§4.4): "adding/removing memory resources for an
+application requires re-partitioning data for the entire address-space.
+Such settings necessitate a design that breaks the single global
+address-space abstraction", and with namespaces "adding/removing blocks
+to a task's sub-namespace requires re-partitioning the data *only* for
+that sub-namespace".
+
+Ten tenants store equal data; tenant 0 scales up repeatedly.  Reported:
+MB of *other tenants'* data moved per design — zero for Jiffy, large
+for the global space.
+"""
+
+from taureau.jiffy import BlockPool, GlobalAddressSpace, JiffyController
+from taureau.sim import Simulation
+
+from tables import print_table
+
+TENANTS = 10
+KEYS_PER_TENANT = 200
+ITEM_MB = 0.05
+SCALE_STEPS = 4
+
+
+def run_global():
+    space = GlobalAddressSpace(partitions=TENANTS)
+    for tenant in range(TENANTS):
+        for key in range(KEYS_PER_TENANT):
+            space.put(f"t{tenant}", f"k{key}", ITEM_MB)
+    victim_moved = 0.0
+    bystander_moved = 0.0
+    for step in range(SCALE_STEPS):
+        moved = space.rescale(TENANTS + 2 * (step + 1))
+        victim_moved += moved.get("t0", 0.0)
+        bystander_moved += sum(mb for tenant, mb in moved.items() if tenant != "t0")
+    return victim_moved, bystander_moved
+
+
+def run_jiffy():
+    sim = Simulation(seed=0)
+    pool = BlockPool(sim, node_count=8, blocks_per_node=128, block_size_mb=4.0)
+    controller = JiffyController(sim, pool=pool, default_ttl_s=36000.0)
+    tables = {}
+    for tenant in range(TENANTS):
+        table = controller.create(f"/t{tenant}/data", "hash_table", initial_blocks=4)
+        for key in range(KEYS_PER_TENANT):
+            table.put(f"k{key}", b"", size_mb=ITEM_MB)
+        tables[tenant] = table
+    before_others = sum(
+        tables[tenant].bytes_repartitioned_mb for tenant in range(1, TENANTS)
+    )
+    for step in range(SCALE_STEPS):
+        tables[0].resize(tables[0].block_count + 2)
+    victim_moved = tables[0].bytes_repartitioned_mb
+    bystander_moved = (
+        sum(tables[tenant].bytes_repartitioned_mb for tenant in range(1, TENANTS))
+        - before_others
+    )
+    return victim_moved, bystander_moved
+
+
+def run_experiment():
+    global_victim, global_bystander = run_global()
+    jiffy_victim, jiffy_bystander = run_jiffy()
+    return [
+        ("global_address_space", global_victim, global_bystander),
+        ("jiffy_namespaces", jiffy_victim, jiffy_bystander),
+    ]
+
+
+def test_e6_isolation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E6: data moved when tenant 0 scales up 4 times",
+        ["design", "tenant0_moved_mb", "other_tenants_moved_mb"],
+        rows,
+        note="namespace isolation: bystanders move exactly zero bytes (§4.4)",
+    )
+    global_row, jiffy_row = rows
+    assert global_row[2] > 0  # the global space disrupts bystanders
+    assert jiffy_row[2] == 0.0  # namespaces never do
+    assert jiffy_row[1] > 0  # the scaling tenant still pays its own move

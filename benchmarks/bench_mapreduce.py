@@ -1,0 +1,82 @@
+"""E14 — Serverless MapReduce and the shuffle-medium bottleneck.
+
+Paper claims (§5.1): PyWren-style "distributed computing for the 99%"
+works on FaaS [114], but shuffle through storage is the bottleneck —
+the reason Pocket [125] and Jiffy-class stores exist.
+
+The bench runs word-count at varying worker counts and shuffle media
+and reports job completion time: scaling workers helps until the
+blob-store shuffle dominates; the Jiffy shuffle keeps scaling.
+"""
+
+import random
+
+from taureau.analytics import (
+    BlobShuffle,
+    JiffyShuffle,
+    KvShuffle,
+    MapReduceJob,
+    word_count_map,
+    word_count_reduce,
+)
+from taureau.baas import BlobStore, KvStore
+from taureau.core import FaasPlatform
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.sim import Simulation
+
+from tables import print_table
+
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+
+
+def corpus(chunks: int, words_per_chunk: int = 4000, seed: int = 0):
+    rng = random.Random(seed)
+    return [
+        " ".join(rng.choices(WORDS, k=words_per_chunk)) for __ in range(chunks)
+    ]
+
+
+def run_cell(medium_name: str, workers: int):
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    if medium_name == "blob":
+        medium = BlobShuffle(BlobStore(sim))
+    elif medium_name == "kv":
+        medium = KvShuffle(KvStore(sim))
+    else:
+        pool = BlockPool(sim, node_count=8, blocks_per_node=128, block_size_mb=8.0)
+        medium = JiffyShuffle(
+            JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+        )
+    job = MapReduceJob(
+        platform, medium, word_count_map, word_count_reduce,
+        partitions=workers, map_compute_s=2.0 / workers, reduce_compute_s=0.5,
+    )
+    result = job.run_sync(corpus(workers))
+    assert sum(result.values()) == workers * 4000
+    return sim.now
+
+
+def run_experiment():
+    rows = []
+    for workers in (2, 4, 8, 16):
+        blob = run_cell("blob", workers)
+        kv = run_cell("kv", workers)
+        jiffy = run_cell("jiffy", workers)
+        rows.append((workers, blob, kv, jiffy, blob / jiffy))
+    return rows
+
+
+def test_e14_shuffle_media(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E14: word-count completion time by shuffle medium",
+        ["workers", "blob_s", "kv_s", "jiffy_s", "blob/jiffy"],
+        rows,
+        note="ephemeral memory-class shuffle removes the storage bottleneck",
+    )
+    # Jiffy shuffle is fastest at every scale.
+    assert all(row[3] <= row[1] and row[3] <= row[2] for row in rows)
+    # And jiffy-shuffled jobs keep getting faster with more workers.
+    jiffy_times = [row[3] for row in rows]
+    assert jiffy_times[-1] < jiffy_times[0]

@@ -1,0 +1,69 @@
+"""E15 — Distributed matrix multiplication over serverless (Werner et al.).
+
+Paper claim (§5.1): "Distributed execution of [MATMUL] requires support
+for ephemeral storage of intermediate results ... Werner et al.
+illustrated distributed execution of Strassen's algorithm in a
+serverless setting."
+
+The bench multiplies growing matrices with the blocked and Strassen
+strategies, checks both against numpy, and reports completion time,
+leaf-task counts and intermediate state volume.
+"""
+
+import numpy as np
+
+from taureau.analytics import blocked_matmul, strassen_matmul
+from taureau.core import FaasPlatform
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.sim import Simulation
+
+from tables import print_table
+
+
+def make_stack():
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    pool = BlockPool(sim, node_count=8, blocks_per_node=256, block_size_mb=16.0)
+    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=360000.0))
+    return sim, platform, jiffy
+
+
+def run_size(n: int):
+    rng = np.random.default_rng(n)
+    a, b = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+    reference = a @ b
+
+    sim_b, platform_b, jiffy_b = make_stack()
+    blocked = blocked_matmul(platform_b, jiffy_b, a, b, tile=n // 4)
+    np.testing.assert_allclose(blocked, reference, rtol=1e-8)
+    blocked_time = sim_b.now
+
+    sim_s, platform_s, jiffy_s = make_stack()
+    strassen, stats = strassen_matmul(platform_s, jiffy_s, a, b, levels=1)
+    np.testing.assert_allclose(strassen, reference, rtol=1e-8)
+    return (
+        n,
+        blocked_time,
+        16,  # 4x4 tile grid -> 16 output-tile tasks
+        sim_s.now,
+        stats["leaf_tasks"],
+    )
+
+
+def run_experiment():
+    return [run_size(n) for n in (64, 128, 256)]
+
+
+def test_e15_serverless_matmul(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E15: serverless MATMUL — blocked vs one-level Strassen",
+        ["n", "blocked_s", "blocked_tasks", "strassen_s", "strassen_tasks"],
+        rows,
+        note="both verified against numpy; Strassen does 7 leaf products "
+        "versus 8 for one 2x2 split",
+    )
+    for row in rows:
+        assert row[4] == 7  # Strassen's multiplication count
+    blocked_times = [row[1] for row in rows]
+    assert blocked_times == sorted(blocked_times)  # work grows with n

@@ -1,0 +1,67 @@
+"""E30 — Monte Carlo simulation on serverless (§5 intro, [82]).
+
+Paper claim: "Massively parallel applications — be it the traditional
+Monte Carlo simulation or the contemporary hyperparameter tuning — lend
+themselves naturally to the serverless paradigm."
+
+The bench estimates pi with growing sample budgets fanned out over
+functions and reports the 1/sqrt(N) error law plus the wall-clock
+speedup over a single machine.
+"""
+
+import math
+
+from taureau.analytics import MonteCarloJob, pi_estimator
+from taureau.core import FaasPlatform
+from taureau.sim import Simulation
+
+from tables import print_table
+
+SAMPLES_PER_TASK = 400_000
+
+
+def run_tasks(tasks: int):
+    sim = Simulation(seed=0)
+    job = MonteCarloJob(
+        FaasPlatform(sim), pi_estimator, samples_per_task=SAMPLES_PER_TASK,
+        seed=7,
+    )
+    estimate = job.run_sync(tasks=tasks)
+    return estimate, job.serial_time_s(tasks)
+
+
+def run_experiment():
+    rows = []
+    for tasks in (1, 4, 16, 64):
+        estimate, serial = run_tasks(tasks)
+        rows.append(
+            (
+                tasks,
+                estimate.samples,
+                estimate.mean,
+                abs(estimate.mean - math.pi),
+                estimate.std_error,
+                serial / estimate.wall_clock_s,
+            )
+        )
+    return rows
+
+
+def test_e30_monte_carlo(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E30: estimating pi with serverless Monte Carlo batches",
+        ["tasks", "samples", "estimate", "abs_error", "std_error",
+         "speedup_vs_serial"],
+        rows,
+        note="std error follows 1/sqrt(N); wall clock stays ~one batch "
+        "regardless of fleet size",
+    )
+    errors = [row[4] for row in rows]
+    # 64x the samples -> ~8x smaller standard error.
+    assert errors[-1] < errors[0] / 5
+    # Every estimate is statistically consistent with pi.
+    for row in rows:
+        assert row[3] < 5 * row[4]
+    # Fan-out pays: the largest run beats serial by a wide margin.
+    assert rows[-1][5] > 10

@@ -1,0 +1,71 @@
+"""E7 — Block-level multiplexing across short-lived applications.
+
+Paper claim (§4.4): "it is possible to exploit the short-lived nature
+of serverless tasks to efficiently multiplex the available memory
+capacity across applications".
+
+A sequence of short-lived applications allocate, use and release
+ephemeral state at staggered times.  Reported: the shared pool's peak
+block usage versus the capacity a static per-app reservation would need
+(the sum of per-app peaks), across block-size ablations.
+"""
+
+from taureau.jiffy import BlockPool, JiffyController
+from taureau.sim import Simulation
+
+from tables import print_table
+
+APPS = 12
+APP_LIFETIME_S = 60.0
+APP_STAGGER_S = 30.0
+APP_STATE_MB = 96.0
+
+
+def run_cell(block_size_mb: float):
+    sim = Simulation(seed=0)
+    blocks_needed_per_app = int(APP_STATE_MB / block_size_mb)
+    pool = BlockPool(
+        sim,
+        node_count=4,
+        blocks_per_node=APPS * blocks_needed_per_app,  # ample; we measure peak
+        block_size_mb=block_size_mb,
+    )
+    controller = JiffyController(sim, pool=pool, default_ttl_s=36000.0)
+
+    def app_lifecycle(index: int):
+        path = f"/app{index}/state"
+        file = controller.create(path, "file")
+        chunk = block_size_mb * 0.9
+        written = 0.0
+        while written < APP_STATE_MB - chunk:
+            file.append(b"", size_mb=chunk)
+            written += chunk
+        sim.schedule_after(APP_LIFETIME_S, controller.remove, f"/app{index}")
+
+    for index in range(APPS):
+        sim.schedule_at(index * APP_STAGGER_S, app_lifecycle, index)
+    sim.run()
+    pooled_peak_mb = pool.peak_allocated_blocks() * block_size_mb
+    static_reservation_mb = APPS * APP_STATE_MB
+    return pooled_peak_mb, static_reservation_mb
+
+
+def run_experiment():
+    rows = []
+    for block_size_mb in (4.0, 8.0, 16.0, 32.0):
+        pooled, static = run_cell(block_size_mb)
+        rows.append((block_size_mb, pooled, static, static / pooled))
+    return rows
+
+
+def test_e7_multiplexing(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E7: shared-pool peak vs static per-app reservations",
+        ["block_mb", "pool_peak_mb", "static_mb", "multiplexing_gain"],
+        rows,
+        note="overlap-limited peak ~ (lifetime/stagger + 1) apps, not all 12",
+    )
+    # With 60 s lifetimes staggered 30 s apart, at most ~3 apps overlap, so
+    # multiplexing saves roughly 4x over static reservation at every block size.
+    assert all(row[3] > 3.0 for row in rows)

@@ -1,0 +1,77 @@
+"""E13 — Orchestration without double billing (the Lopez properties).
+
+Paper claim (§4.2): "when running a composition of functions, a user
+should only be charged for the basic functions, not the composition as
+well, i.e., they should not be double-billed", while composition
+overhead stays control-plane only.
+
+The bench nests compositions 1..4 levels deep and reports billed
+function-seconds vs the sum of leaf costs (must match exactly) and the
+control-plane latency overhead per transition.
+"""
+
+from taureau.core import FaasPlatform, FunctionSpec
+from taureau.orchestration import Orchestrator, Parallel, Sequence, Task
+from taureau.sim import Simulation
+
+from tables import print_table
+
+
+def build_nested(depth: int):
+    node = Task("work")
+    for __ in range(depth):
+        node = Sequence([node, Parallel([Task("work"), Task("work")])])
+    return node
+
+
+def run_depth(depth: int):
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    orchestrator = Orchestrator(platform, transition_overhead_s=0.005)
+
+    @platform.function("work")
+    def work(event, ctx):
+        ctx.charge(0.1)
+        return event
+
+    composition = build_nested(depth)
+    __, execution = orchestrator.run_sync(composition, 1)
+    leaf_cost = sum(record.cost_usd for record in execution.records)
+    leaf_seconds = sum(record.billed_duration_s for record in execution.records)
+    return (
+        depth,
+        len(execution.records),
+        execution.transitions,
+        leaf_seconds,
+        execution.billed_duration_s,
+        execution.billed_cost_usd - leaf_cost,
+        execution.wall_clock_s,
+    )
+
+
+def run_experiment():
+    return [run_depth(depth) for depth in (0, 1, 2, 4)]
+
+
+def test_e13_no_double_billing(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E13: nested compositions — billing audit",
+        [
+            "nesting",
+            "leaf_invocations",
+            "transitions",
+            "leaf_billed_s",
+            "composition_billed_s",
+            "billing_markup_usd",
+            "wall_clock_s",
+        ],
+        rows,
+        note="composition_billed == leaf_billed at every depth: zero markup",
+    )
+    for row in rows:
+        assert row[4] == row[3]  # billed seconds identical
+        assert row[5] == 0.0  # zero extra dollars
+    # Control-plane overhead exists but is latency, not billing.
+    deepest = rows[-1]
+    assert deepest[6] > deepest[4]

@@ -1,0 +1,56 @@
+"""E10 — Ledger replication delivers through bookie failures.
+
+Paper claim (§4.3): bookies "provide durable stream storage for
+messages until they are consumed"; ledger entries "are replicated to
+multiple bookie nodes".
+
+The bench persists a message stream at replication (write-quorum)
+factors 1..3 over 4 bookies, crashes bookies mid-stream, and reports
+what fraction of the stream a late consumer can still read.
+"""
+
+from taureau.pulsar import Bookie, Ledger
+from taureau.sim import Simulation
+
+from tables import print_table
+
+MESSAGES = 300
+BOOKIES = 4
+
+
+def run_cell(write_quorum: int, crashes: int):
+    sim = Simulation(seed=0)
+    bookies = [Bookie(sim) for __ in range(BOOKIES)]
+    ledger = Ledger(
+        sim, bookies, write_quorum=write_quorum, ack_quorum=min(write_quorum, 2)
+    )
+    for index in range(MESSAGES):
+        ledger.append(index)
+    for bookie in bookies[:crashes]:
+        bookie.crash()
+    readable = len(ledger.readable_entries())
+    return readable / MESSAGES
+
+
+def run_experiment():
+    rows = []
+    for write_quorum in (1, 2, 3):
+        survivabilities = [run_cell(write_quorum, crashes) for crashes in (0, 1, 2)]
+        rows.append((write_quorum, *survivabilities))
+    return rows
+
+
+def test_e10_durability(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E10: readable stream fraction after bookie crashes (4 bookies)",
+        ["write_quorum", "0_crashes", "1_crash", "2_crashes"],
+        rows,
+        note="replication factor r tolerates r-1 crashes with zero loss",
+    )
+    by_quorum = {row[0]: row[1:] for row in rows}
+    assert by_quorum[1][0] == 1.0  # no crashes: everything readable
+    assert by_quorum[1][1] < 1.0  # r=1 loses data on the first crash
+    assert by_quorum[2][1] == 1.0  # r=2 survives one crash completely
+    assert by_quorum[2][2] < 1.0  # ...but not two
+    assert by_quorum[3][2] == 1.0  # r=3 survives two crashes completely

@@ -1,0 +1,85 @@
+"""E9 — Pulsar scales throughput with partitioned topics across brokers.
+
+Paper claim (§4.3): "Pulsar is designed to operate at any scale ...
+Pulsar supports partitioned topics in order to scale to large data
+volumes"; each node runs its own broker.
+
+The bench publishes a fixed message batch into a topic with 1..8
+partitions over an 8-broker cluster and reports achieved publish
+throughput, plus the queuing-vs-pub-sub fan-out delivery counts.
+"""
+
+from taureau.pulsar import PulsarCluster, SubscriptionType
+from taureau.sim import Simulation
+
+from tables import print_table
+
+MESSAGES = 2000
+BROKERS = 8
+
+
+def run_partitions(partitions: int):
+    sim = Simulation(seed=0)
+    cluster = PulsarCluster(sim, broker_count=BROKERS, bookie_count=8)
+    cluster.create_topic("firehose", partitions=partitions)
+    done = cluster.publish_all("firehose", range(MESSAGES))
+    sim.run(until=done)
+    return MESSAGES / sim.now
+
+
+def fanout_counts():
+    sim = Simulation(seed=0)
+    cluster = PulsarCluster(sim, broker_count=2, bookie_count=3)
+    cluster.create_topic("events")
+    received = {"pubsub_a": 0, "pubsub_b": 0, "queue_1": 0, "queue_2": 0}
+    cluster.subscribe("events", "sub-a",
+                      listener=lambda m, c: received.__setitem__(
+                          "pubsub_a", received["pubsub_a"] + 1))
+    cluster.subscribe("events", "sub-b",
+                      listener=lambda m, c: received.__setitem__(
+                          "pubsub_b", received["pubsub_b"] + 1))
+    broker = cluster.broker_of("events")
+    broker.subscribe("events", "workers", SubscriptionType.SHARED,
+                     listener=lambda m, c: received.__setitem__(
+                         "queue_1", received["queue_1"] + 1))
+    broker.subscribe("events", "workers", SubscriptionType.SHARED,
+                     listener=lambda m, c: received.__setitem__(
+                         "queue_2", received["queue_2"] + 1))
+    cluster.publish_all("events", range(100))
+    sim.run()
+    return received
+
+
+def run_experiment():
+    rows = []
+    base = None
+    for partitions in (1, 2, 4, 8):
+        throughput = run_partitions(partitions)
+        base = base or throughput
+        rows.append((partitions, throughput, throughput / base))
+    return rows
+
+
+def test_e9_partitioned_throughput(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E9: publish throughput vs topic partitions (8 brokers)",
+        ["partitions", "throughput_msg_s", "speedup_vs_1"],
+        rows,
+        note="partitions spread across brokers; the broker pipeline is the "
+        "bottleneck, so throughput scales near-linearly",
+    )
+    speedups = [row[2] for row in rows]
+    assert speedups[-1] > 4.0  # 8 partitions give >4x over 1
+    assert all(b >= a * 0.9 for a, b in zip(speedups, speedups[1:]))
+
+    fanout = fanout_counts()
+    print_table(
+        "E9b: unified messaging — pub-sub fan-out vs queuing split",
+        ["subscription", "messages_delivered"],
+        sorted(fanout.items()),
+        note="each pub-sub subscription sees all 100; queue consumers split them",
+    )
+    assert fanout["pubsub_a"] == fanout["pubsub_b"] == 100
+    assert fanout["queue_1"] + fanout["queue_2"] == 100
+    assert 0 < fanout["queue_1"] < 100

@@ -1,0 +1,85 @@
+"""E26 — Spilling cold namespaces extends effective memory capacity.
+
+Extension experiment (from the real Jiffy system's persistence tier and
+Pocket's [125] tiered storage): when the memory pool saturates, the
+controller can flush the coldest namespaces to persistent storage
+instead of failing allocations, at the cost of slow re-hydration when
+spilled state is touched again.
+
+The bench runs a fixed sequence of applications whose aggregate working
+set exceeds the pool, with and without the spill tier, and reports how
+many applications complete plus the spill/hydration traffic.
+"""
+
+from taureau.baas import BlobStore
+from taureau.jiffy import BlockPool, JiffyController, PoolExhausted
+from taureau.sim import Simulation
+
+from tables import print_table
+
+APPS = 10
+APP_STATE_MB = 60.0
+POOL_MB = 256.0  # well under APPS * APP_STATE_MB
+
+
+def run_cell(spill: bool, revisit: bool):
+    sim = Simulation(seed=0)
+    pool = BlockPool(
+        sim, node_count=4, blocks_per_node=int(POOL_MB / 4 / 4.0),
+        block_size_mb=4.0,
+    )
+    controller = JiffyController(
+        sim, pool=pool, default_ttl_s=36000.0,
+        spill_store=BlobStore(sim) if spill else None,
+    )
+    completed = 0
+    failed = 0
+    for index in range(APPS):
+        path = f"/app{index}/state"
+        try:
+            file = controller.create(path, "file")
+            written = 0.0
+            while written < APP_STATE_MB:
+                file.append(b"", size_mb=3.5)
+                written += 3.5
+            completed += 1
+        except PoolExhausted:
+            failed += 1
+    hydration_reads = 0
+    if revisit and spill:
+        # Revisit the first app's (long since spilled) state.
+        data = controller.open("/app0/state").read_all()
+        hydration_reads = len(data)
+    return (
+        completed,
+        failed,
+        controller.metrics.counter("spills").value,
+        controller.metrics.counter("hydrations").value,
+        hydration_reads,
+    )
+
+
+def run_experiment():
+    no_spill = run_cell(spill=False, revisit=False)
+    with_spill = run_cell(spill=True, revisit=True)
+    return [
+        ("memory_only", *no_spill),
+        ("with_spill_tier", *with_spill),
+    ]
+
+
+def test_e26_spill_tier(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"E26: {APPS} apps x {APP_STATE_MB:.0f} MB over a {POOL_MB:.0f} MB pool",
+        ["config", "apps_completed", "apps_failed", "spills", "hydrations",
+         "revisit_items"],
+        rows,
+        note="the spill tier absorbs over-subscription; spilled state "
+        "hydrates back intact when revisited",
+    )
+    memory_only, with_spill = rows
+    assert memory_only[2] > 0  # the bare pool turns applications away
+    assert with_spill[1] == APPS and with_spill[2] == 0  # all complete
+    assert with_spill[3] >= 1  # spills actually happened
+    assert with_spill[5] > 0  # and the revisited data was all there

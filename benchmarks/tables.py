@@ -1,0 +1,46 @@
+"""Shared table formatting for the benchmark harness.
+
+Every bench prints its experiment's rows through :func:`print_table`, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the full set of
+paper-claim tables in one pass.  The printed numbers are also returned
+to the caller so benches can assert the claim's *shape* (who wins, by
+roughly what factor) — absolute values depend on the calibration table
+and are not asserted.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["print_table", "fmt"]
+
+
+def fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_table(
+    title: str,
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence],
+    note: str = "",
+) -> None:
+    cells = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+    line = "-+-".join("-" * width for width in widths)
+    print(f"\n=== {title} ===")
+    print(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    print(line)
+    for row in cells:
+        print(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    if note:
+        print(f"note: {note}")

@@ -1,0 +1,90 @@
+"""A serverless chatbot — §3's "chat-bots (e.g., Alexa Skills)" use case.
+
+Run with::
+
+    python examples/chatbot.py
+
+Each user utterance triggers a router function that classifies the
+intent and dispatches to a handler.  Dialogue is inherently *stateful*
+— a pizza order is filled slot by slot across turns — so the handlers
+run on the Cloudburst-style stateful runtime, keeping per-session state
+in the Jiffy-backed KVS with sandbox-local caching.
+"""
+
+from taureau.core import CostReport, FaasPlatform, PlatformConfig
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.sim import Simulation
+from taureau.stateful import StatefulRuntime
+
+
+def main():
+    sim = Simulation(seed=13)
+    platform = FaasPlatform(sim, config=PlatformConfig(keep_alive_s=300.0))
+    pool = BlockPool(sim, node_count=2, blocks_per_node=64, block_size_mb=4.0)
+    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+    runtime = StatefulRuntime(platform, jiffy, cache_ttl_s=30.0)
+
+    sizes = {"small", "medium", "large"}
+    toppings = {"margherita", "pepperoni", "funghi"}
+
+    def handle_turn(event, state, ctx):
+        ctx.charge(0.02)
+        session, text = event["session"], event["text"].lower()
+        order = state.get(f"order/{session}", {"size": None, "topping": None})
+        state.incr("turns")
+
+        if "hello" in text:
+            return "Hi! I can take a pizza order."
+        mentioned_size = next((word for word in text.split() if word in sizes),
+                              None)
+        mentioned_topping = next(
+            (word for word in text.split() if word in toppings), None
+        )
+        if mentioned_size:
+            order["size"] = mentioned_size
+        if mentioned_topping:
+            order["topping"] = mentioned_topping
+        if mentioned_size or mentioned_topping or "pizza" in text:
+            state.put(f"order/{session}", order)
+            if order["size"] is None:
+                return "What size: small, medium or large?"
+            if order["topping"] is None:
+                return "Which topping: margherita, pepperoni or funghi?"
+            state.incr("orders_completed")
+            return (f"Confirmed: one {order['size']} {order['topping']}. "
+                    "It will trigger the bake function shortly!")
+        return "Sorry, I only understand pizza."
+
+    runtime.register("dialogue", handle_turn, memory_mb=128)
+
+    conversations = [
+        ("alice", ["hello", "I want a pizza", "large please", "pepperoni"]),
+        ("bob", ["a medium margherita pizza"]),
+        ("carol", ["hello", "what is the meaning of life?"]),
+    ]
+    print("== serverless pizza bot ==")
+    for session, turns in conversations:
+        print(f"-- session {session} --")
+        for text in turns:
+            record = runtime.invoke_sync(
+                "dialogue", {"session": session, "text": text}
+            )
+            print(f"  {session}: {text}")
+            print(f"  bot  : {record.response}")
+
+    completed = runtime.kvs_get("orders_completed")
+    turns_handled = runtime.kvs_get("turns")
+    print("== session summary ==")
+    print(f"  turns handled    : {turns_handled:.0f}")
+    print(f"  orders completed : {completed:.0f}")
+    print(f"  state cache hits : {runtime.cache_hit_rate():.0%}")
+    print("== the bill ==")
+    print(CostReport.from_platform(platform).format())
+    assert completed == 2  # alice (slot-filled) and bob (one-shot)
+    alice_order = runtime.kvs_get("order/alice")
+    assert alice_order == {"size": "large", "topping": "pepperoni"}
+    print("chatbot OK")
+
+
+if __name__ == "__main__":
+    main()

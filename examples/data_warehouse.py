@@ -1,0 +1,95 @@
+"""An Athena-style serverless data warehouse — §4.1's specialized engines.
+
+Run with::
+
+    python examples/data_warehouse.py
+
+Loads a synthetic web-log fact table into blob-backed columnar chunks,
+then answers analyst SQL with fan-out serverless scans.  The receipt on
+every result shows the engine's defining economics: you pay for bytes
+scanned, not servers or selectivity.
+"""
+
+import random
+
+from taureau.baas import BlobStore
+from taureau.core import FaasPlatform
+from taureau.query import ColumnarTable, ServerlessQueryEngine, TableCatalog
+from taureau.sim import Simulation
+
+
+def build_weblogs(rows=60_000, seed=4):
+    rng = random.Random(seed)
+    pages = [f"/product/{i}" for i in range(40)] + ["/checkout", "/cart"]
+    return ColumnarTable(
+        "weblogs",
+        {
+            "page": [rng.choice(pages) for __ in range(rows)],
+            "status": [rng.choice([200] * 9 + [500]) for __ in range(rows)],
+            "latency_ms": [round(rng.expovariate(1 / 80.0), 1) for __ in range(rows)],
+            "region": [rng.choice(["emea", "apac", "amer"]) for __ in range(rows)],
+        },
+    )
+
+
+def show(engine, sql):
+    result = engine.query_sync(sql)
+    print(f"\nsql> {sql}")
+    print("  " + " | ".join(result.columns))
+    for row in result.rows[:6]:
+        print("  " + " | ".join(str(value) for value in row))
+    if len(result.rows) > 6:
+        print(f"  ... ({len(result.rows)} rows)")
+    print(
+        f"  [receipt: {result.scan_tasks} scan tasks, "
+        f"{result.scanned_mb:.2f} MB scanned, ${result.cost_usd:.8f}, "
+        f"{result.wall_clock_s * 1000:.0f} ms]"
+    )
+    return result
+
+
+def main():
+    sim = Simulation(seed=17)
+    platform = FaasPlatform(sim)
+    catalog = TableCatalog(BlobStore(sim), chunk_rows=8_000)
+    table = build_weblogs()
+    chunks = catalog.register(table)
+    print(f"== loaded {table.row_count} rows into {chunks} columnar chunks ==")
+
+    errors = show(
+        engine := ServerlessQueryEngine(platform, catalog),
+        "SELECT region, COUNT(*), AVG(latency_ms) FROM weblogs "
+        "WHERE status = 500 GROUP BY region",
+    )
+    slow = show(
+        engine,
+        "SELECT COUNT(*), MAX(latency_ms) FROM weblogs WHERE latency_ms > 400",
+    )
+    checkout = show(
+        engine,
+        "SELECT status, COUNT(*) FROM weblogs WHERE page = '/checkout' "
+        "GROUP BY status",
+    )
+    full = show(engine, "SELECT COUNT(*) FROM weblogs")
+    distinct = show(
+        engine,
+        "SELECT region, APPROX_COUNT_DISTINCT(page) FROM weblogs "
+        "GROUP BY region ORDER BY APPROX_COUNT_DISTINCT(page) DESC",
+    )
+    # The sketch aggregate (HyperLogLog under the hood) is within a few
+    # percent of the exact 42-page catalog, per region, in one pass.
+    assert all(38 <= estimate <= 46 for __, estimate in distinct.rows)
+
+    # The Athena economics, verified live:
+    assert slow.cost_usd == full.cost_usd  # selectivity never changes the bill
+    assert sum(count for __, count in checkout.rows) > 0
+    assert len(errors.rows) == 3
+    total_scanned = engine.metrics.counter("scanned_mb").value
+    print(f"\n== session: {engine.metrics.counter('queries').value:.0f} queries, "
+          f"{total_scanned:.1f} MB scanned, "
+          f"${engine.metrics.counter('scan_cost_usd').value:.8f} total ==")
+    print("data warehouse OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""An end-to-end serverless ML pipeline (paper §5.2).
+
+Run with::
+
+    python examples/ml_pipeline.py
+
+Chains the paper's ML story on one simulated timeline: hyperparameter
+search (all configs concurrently, Seneca-style), data-parallel training
+with a Jiffy-backed parameter server, and bursty inference serving with
+a TrIMS-style model cache — every model real numpy, every latency
+simulated.
+"""
+
+import numpy as np
+
+from taureau.core import FaasPlatform, PlatformConfig
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.ml import (
+    HyperparameterSearch,
+    InferenceService,
+    JiffyParameterMedium,
+    LogisticModel,
+    ModelCache,
+    ServerlessTrainingJob,
+    classification_dataset,
+    grid,
+    logistic_accuracy,
+    logistic_gradient,
+    shard,
+)
+from taureau.sim import Simulation
+
+
+def main():
+    sim = Simulation(seed=11)
+    platform = FaasPlatform(sim, config=PlatformConfig(keep_alive_s=120.0))
+    pool = BlockPool(sim, node_count=4, blocks_per_node=256, block_size_mb=8.0)
+    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+
+    features, labels, __ = classification_dataset(3000, 30, seed=5)
+    split = 2000
+    train_x, train_y = features[:split], labels[:split]
+    valid_x, valid_y = features[split:], labels[split:]
+
+    # --- stage 1: concurrent hyperparameter search ------------------------
+    def quick_train(config, budget):
+        weights = np.zeros(train_x.shape[1])
+        for __ in range(5 * budget):
+            weights -= config["lr"] * logistic_gradient(
+                weights, train_x, train_y, config["l2"]
+            )
+        return logistic_accuracy(weights, valid_x, valid_y)
+
+    search = HyperparameterSearch(
+        platform, quick_train, cost_fn=lambda config, budget: 0.05 * budget
+    )
+    best_config, best_score = search.run_all(
+        grid(lr=[0.05, 0.2, 0.8], l2=[0.0, 1e-3, 1e-1]), budget=3
+    )
+    tuned_at = sim.now
+    print("== stage 1: hyperparameter search (9 configs, concurrent) ==")
+    print(f"  winner  : {best_config} (valid acc {best_score:.3f})")
+    print(f"  elapsed : {tuned_at:.2f} simulated s")
+
+    # --- stage 2: data-parallel training with a parameter server ----------
+    job = ServerlessTrainingJob(
+        platform,
+        JiffyParameterMedium(jiffy),
+        shard(train_x, train_y, workers=6),
+        learning_rate=best_config["lr"],
+        l2=best_config["l2"],
+        epochs=25,
+    )
+    weights = job.run_sync()
+    accuracy = logistic_accuracy(weights, valid_x, valid_y)
+    print("== stage 2: parameter-server training (6 workers, Jiffy PS) ==")
+    print(f"  validation accuracy : {accuracy:.3f}")
+    print(f"  epochs              : {len(job.history)}")
+    print(f"  elapsed             : {sim.now - tuned_at:.2f} simulated s")
+    assert accuracy > 0.9
+
+    # --- stage 3: serving with a model cache -------------------------------
+    model = LogisticModel(weights, model_id="taureau-classifier")
+    cache = ModelCache(capacity_mb=256.0)
+    service = InferenceService(platform, model, cache=cache)
+    events = [service.predict(valid_x[i : i + 1]) for i in range(100)]
+    sim.run()
+    predictions = np.array([event.value.response[0] for event in events])
+    serving_accuracy = float(np.mean(predictions == valid_y[:100]))
+    latencies = sorted(
+        event.value.end_to_end_latency_s * 1000 for event in events
+    )
+    print("== stage 3: inference serving (100 requests, cached model) ==")
+    print(f"  serving accuracy : {serving_accuracy:.3f}")
+    print(f"  p50 latency      : {latencies[50]:.1f} ms")
+    print(f"  p99 latency      : {latencies[98]:.1f} ms")
+    print(f"  cache hits       : {cache.metrics.counter('hits').value:.0f}")
+    assert serving_accuracy == accuracy_on_first_100(weights, valid_x, valid_y)
+    print("ML pipeline OK")
+
+
+def accuracy_on_first_100(weights, valid_x, valid_y):
+    return float(
+        np.mean((valid_x[:100] @ weights > 0).astype(float) == valid_y[:100])
+    )
+
+
+if __name__ == "__main__":
+    main()

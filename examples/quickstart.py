@@ -1,0 +1,58 @@
+"""Quickstart: deploy and invoke a function on the simulated FaaS platform.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the §2 definitional basics in ~60 lines: register a handler,
+invoke it, watch the cold-start penalty disappear on the second call,
+and read the fine-grained bill.
+"""
+
+from taureau.core import FaasPlatform, FunctionSpec
+from taureau.sim import Simulation
+
+
+def main():
+    # One shared simulated timeline drives everything.
+    sim = Simulation(seed=42)
+    platform = FaasPlatform(sim)
+
+    # A handler is plain Python; ctx.charge() declares simulated compute.
+    def greet(event, ctx):
+        ctx.charge(0.120)  # 120 ms of "work"
+        return f"Hello, {event['name']}! (invocation {ctx.invocation_id})"
+
+    platform.register(
+        FunctionSpec(name="greet", handler=greet, memory_mb=256, timeout_s=30)
+    )
+
+    print("== first call (cold) ==")
+    first = platform.invoke_sync("greet", {"name": "Picasso"})
+    print(f"  response : {first.response}")
+    print(f"  cold     : {first.cold_start}")
+    print(f"  latency  : {first.end_to_end_latency_s * 1000:.1f} ms")
+
+    print("== second call (warm) ==")
+    second = platform.invoke_sync("greet", {"name": "Le Taureau"})
+    print(f"  response : {second.response}")
+    print(f"  cold     : {second.cold_start}")
+    print(f"  latency  : {second.end_to_end_latency_s * 1000:.1f} ms")
+
+    speedup = first.end_to_end_latency_s / second.end_to_end_latency_s
+    print(f"== warm call is {speedup:.1f}x faster ==")
+
+    print("== the bill (per-100ms GB-seconds, §2 'cost efficiency') ==")
+    for record in (first, second):
+        print(
+            f"  {record.invocation_id}: billed {record.billed_duration_s:.1f}s "
+            f"-> ${record.cost_usd:.9f}"
+        )
+    print(f"  total: ${platform.total_cost_usd():.9f}")
+
+    assert not second.cold_start and speedup > 2
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Streaming analytics with Pulsar Functions — the paper's Figure 3, live.
+
+Run with::
+
+    python examples/streaming_analytics.py
+
+Builds the full Figure 1 stack (brokers over replicated bookie ledgers)
+and deploys the Figure 3 Count-Min function plus a SpaceSaving top-k
+function over a zipfian click stream, then kills a bookie mid-stream to
+show replicated delivery carrying on.
+"""
+
+import collections
+import random
+
+from taureau.pulsar import FunctionsRuntime, PulsarCluster, PulsarFunction
+from taureau.sim import Simulation
+from taureau.sketches import CountMinSketch, SpaceSaving
+
+
+def main():
+    sim = Simulation(seed=7)
+    cluster = PulsarCluster(
+        sim, broker_count=3, bookie_count=3, write_quorum=2, ack_quorum=2
+    )
+    cluster.create_topic("clicks", partitions=3)
+    cluster.create_topic("alerts")
+    runtime = FunctionsRuntime(cluster)
+
+    # --- Figure 3: Count-Min sketch inside a Pulsar function -------------
+    sketch = CountMinSketch(epsilon=0.005, delta=0.01)
+    top_k = SpaceSaving(k=10)
+    alert_threshold = 150
+
+    def count_min_function(page, ctx):
+        sketch.add(page, 1)
+        top_k.add(page)
+        count = sketch.estimate(page)
+        if count == alert_threshold:  # react to the updated count
+            return {"page": page, "count": count}
+        return None
+
+    runtime.deploy(
+        PulsarFunction(
+            name="count-min",
+            process=count_min_function,
+            input_topics=["clicks"],  # partitioned: subscribes each partition
+            output_topic="alerts",
+            parallelism=2,
+        )
+    )
+    alerts = []
+    cluster.subscribe("alerts", "ops",
+                      listener=lambda msg, c: alerts.append(msg.payload))
+
+    # --- a zipfian click stream ------------------------------------------
+    rng = random.Random(0)
+    pages = [f"/page/{i}" for i in range(200)]
+    weights = [1.0 / (rank ** 1.3) for rank in range(1, 201)]
+    stream = rng.choices(pages, weights=weights, k=4000)
+    truth = collections.Counter(stream)
+
+    producer = cluster.producer("clicks")
+    for index, page in enumerate(stream):
+        producer.send(page, key=page)
+        if index == 2000:
+            # Mid-stream bookie failure: replication keeps delivery whole.
+            cluster.fail_bookie(cluster.bookies[0])
+    sim.run()
+
+    print("== stream processed ==")
+    print(f"  events        : {len(stream)}")
+    print(f"  sketch memory : {sketch.memory_bytes / 1024:.1f} KiB "
+          f"(vs {len(truth)} exact counters)")
+    print("== top-5 pages: estimate vs exact ==")
+    for page, estimate in top_k.top(5):
+        print(f"  {page:<12} est={estimate:>5} exact={truth[page]:>5}")
+    hottest = top_k.top(1)[0][0]
+    assert truth[hottest] == max(truth.values())
+    print(f"== alerts fired for pages crossing {alert_threshold} clicks ==")
+    for alert in alerts:
+        print(f"  {alert}")
+    assert sketch.estimate(hottest) >= truth[hottest]  # CM never undercounts
+    print("streaming analytics OK (survived a bookie crash mid-stream)")
+
+
+if __name__ == "__main__":
+    main()

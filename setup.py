@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``python setup.py develop``) work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

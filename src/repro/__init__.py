@@ -1,0 +1,8 @@
+"""Compatibility alias for the harness layout.
+
+The library's real import name is :mod:`taureau`; this module simply
+re-exports it so ``import repro`` keeps working.
+"""
+
+from taureau import *  # noqa: F401,F403
+from taureau import __all__, __version__  # noqa: F401

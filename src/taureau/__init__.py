@@ -1,0 +1,23 @@
+"""taureau — a simulated deconstruction of the serverless landscape.
+
+A reproduction of "Le Taureau: Deconstructing the Serverless Landscape &
+A Look Forward" (SIGMOD 2020).  The library provides:
+
+- :mod:`taureau.sim` — deterministic discrete-event simulation kernel;
+- :mod:`taureau.cluster` — machines and resource accounting;
+- :mod:`taureau.virt` — the bare-metal → VM → container → function ladder;
+- :mod:`taureau.core` — a Function-as-a-Service platform simulator;
+- :mod:`taureau.baas` — Backend-as-a-Service stores (blob, KV, DB, SNS);
+- :mod:`taureau.orchestration` — function-composition framework;
+- :mod:`taureau.pulsar` — a Pulsar-like pub/sub system with functions;
+- :mod:`taureau.jiffy` — an ephemeral-state virtual-memory layer;
+- :mod:`taureau.sketches` — mergeable data sketches;
+- :mod:`taureau.analytics` — serverless analytics workloads;
+- :mod:`taureau.ml` — serverless machine-learning workloads.
+"""
+
+from taureau.sim import Simulation
+
+__version__ = "1.0.0"
+
+__all__ = ["Simulation", "__version__"]

@@ -1,0 +1,69 @@
+"""Serverless analytics workloads (paper §5.1)."""
+
+from taureau.analytics.bioinformatics import (
+    AllPairsComparison,
+    random_protein,
+    smith_waterman_score,
+)
+from taureau.analytics.etl import ExifHeatMapPipeline, PhotoRecord, synthetic_photos
+from taureau.analytics.graph import (
+    PregelJob,
+    connected_components_program,
+    pagerank_program,
+    sssp_program,
+)
+from taureau.analytics.mapreduce import (
+    MapReduceJob,
+    word_count_map,
+    word_count_reduce,
+)
+from taureau.analytics.matmul import blocked_matmul, strassen_local, strassen_matmul
+from taureau.analytics.montecarlo import (
+    MonteCarloEstimate,
+    MonteCarloJob,
+    european_call_estimator,
+    pi_estimator,
+)
+from taureau.analytics.sort import ServerlessSort
+from taureau.analytics.shuffle import (
+    BlobShuffle,
+    JiffyShuffle,
+    KvShuffle,
+    ShuffleMedium,
+)
+from taureau.analytics.video import (
+    SyntheticVideo,
+    VideoPipeline,
+    single_node_encode_time_s,
+)
+
+__all__ = [
+    "AllPairsComparison",
+    "random_protein",
+    "smith_waterman_score",
+    "ExifHeatMapPipeline",
+    "PhotoRecord",
+    "synthetic_photos",
+    "PregelJob",
+    "connected_components_program",
+    "pagerank_program",
+    "sssp_program",
+    "MapReduceJob",
+    "ServerlessSort",
+    "word_count_map",
+    "word_count_reduce",
+    "MonteCarloEstimate",
+    "MonteCarloJob",
+    "european_call_estimator",
+    "pi_estimator",
+    "blocked_matmul",
+    "strassen_local",
+    "strassen_matmul",
+    "BlobShuffle",
+    "JiffyShuffle",
+    "KvShuffle",
+    "ShuffleMedium",
+    "SyntheticVideo",
+    "VideoPipeline",
+    "single_node_encode_time_s",
+]

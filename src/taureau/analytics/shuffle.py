@@ -1,0 +1,134 @@
+"""Shuffle media for serverless analytics.
+
+Serverless tasks cannot talk to each other directly (paper §4.4, "No
+support for direct communication"), so all-to-all shuffles go through a
+store.  Which store is the single biggest performance decision in
+serverless analytics ([125] Pocket, [156] Locus) — experiment E14
+ablates it.  Three media share one interface:
+
+- :class:`BlobShuffle` — S3-class persistent storage (slow, durable);
+- :class:`KvShuffle` — DynamoDB-class item store (fast small items);
+- :class:`JiffyShuffle` — memory-class ephemeral storage (fast, leased).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.baas.blobstore import BlobStore
+from taureau.baas.kvstore import KvStore
+from taureau.baas.sizing import estimate_size_mb
+from taureau.jiffy.client import JiffyClient
+
+__all__ = ["ShuffleMedium", "BlobShuffle", "KvShuffle", "JiffyShuffle"]
+
+
+class ShuffleMedium:
+    """Write map outputs, read them back per reduce partition."""
+
+    def prepare(self, job_id: str, map_count: int, partitions: int) -> None:
+        """Called once before the job; create whatever containers needed."""
+
+    def write(self, job_id: str, map_id: int, partition: int, data, ctx) -> None:
+        raise NotImplementedError
+
+    def read_partition(
+        self, job_id: str, partition: int, map_count: int, ctx
+    ) -> list:
+        """All map outputs for ``partition``, concatenated."""
+        raise NotImplementedError
+
+    def cleanup(self, job_id: str) -> None:
+        """Called after the job; drop intermediate state."""
+
+
+class BlobShuffle(ShuffleMedium):
+    """Shuffle through an S3-like blob store (the PyWren default)."""
+
+    def __init__(self, store: BlobStore):
+        self.store = store
+
+    def write(self, job_id, map_id, partition, data, ctx):
+        self.store.put(self._key(job_id, map_id, partition), data, ctx=ctx)
+
+    def read_partition(self, job_id, partition, map_count, ctx):
+        merged: list = []
+        for map_id in range(map_count):
+            key = self._key(job_id, map_id, partition)
+            if self.store.exists(key, ctx=ctx):
+                merged.extend(self.store.get(key, ctx=ctx))
+        return merged
+
+    def cleanup(self, job_id):
+        for key in self.store.list_keys(f"shuffle/{job_id}/"):
+            self.store.delete(key)
+
+    @staticmethod
+    def _key(job_id, map_id, partition):
+        return f"shuffle/{job_id}/m{map_id}/p{partition}"
+
+
+class KvShuffle(ShuffleMedium):
+    """Shuffle through a DynamoDB-like KV store."""
+
+    def __init__(self, store: KvStore):
+        self.store = store
+
+    def write(self, job_id, map_id, partition, data, ctx):
+        self.store.put(self._key(job_id, map_id, partition), data, ctx=ctx)
+
+    def read_partition(self, job_id, partition, map_count, ctx):
+        merged: list = []
+        for map_id in range(map_count):
+            key = self._key(job_id, map_id, partition)
+            if key in self.store:
+                merged.extend(self.store.get(key, ctx=ctx))
+        return merged
+
+    def cleanup(self, job_id):
+        for key in self.store.keys(f"shuffle/{job_id}/"):
+            self.store.delete(key)
+
+    @staticmethod
+    def _key(job_id, map_id, partition):
+        return f"shuffle/{job_id}/m{map_id}/p{partition}"
+
+
+class JiffyShuffle(ShuffleMedium):
+    """Shuffle through Jiffy: one file per (map, partition) pair, all under
+    the job's namespace so the whole shuffle is reclaimed at once."""
+
+    def __init__(self, client: JiffyClient, ttl_s: float = 600.0):
+        self.client = client
+        self.ttl_s = ttl_s
+
+    def prepare(self, job_id, map_count, partitions):
+        for map_id in range(map_count):
+            for partition in range(partitions):
+                self.client.create(
+                    self._path(job_id, map_id, partition), "file", ttl_s=self.ttl_s
+                )
+
+    def write(self, job_id, map_id, partition, data, ctx):
+        self.client.append(
+            self._path(job_id, map_id, partition),
+            data,
+            ctx=ctx,
+            size_mb=estimate_size_mb(data),
+        )
+
+    def read_partition(self, job_id, partition, map_count, ctx):
+        merged: list = []
+        for map_id in range(map_count):
+            path = self._path(job_id, map_id, partition)
+            for chunk in self.client.read_all(path, ctx=ctx):
+                merged.extend(chunk)
+        return merged
+
+    def cleanup(self, job_id):
+        if self.client.exists(f"/shuffle/{job_id}"):
+            self.client.remove(f"/shuffle/{job_id}")
+
+    @staticmethod
+    def _path(job_id, map_id, partition):
+        return f"/shuffle/{job_id}/m{map_id}/p{partition}"

@@ -1,0 +1,26 @@
+"""Backend-as-a-Service substrates (paper §2.2, §4.1)."""
+
+from taureau.baas.blobstore import BlobNotFound, BlobStore
+from taureau.baas.database import (
+    Row,
+    ServerlessDatabase,
+    Transaction,
+    TransactionConflict,
+)
+from taureau.baas.kvstore import ConditionFailed, KvItem, KvStore
+from taureau.baas.notifications import NotificationService
+from taureau.baas.sizing import estimate_size_mb
+
+__all__ = [
+    "BlobNotFound",
+    "BlobStore",
+    "ConditionFailed",
+    "KvItem",
+    "KvStore",
+    "Row",
+    "ServerlessDatabase",
+    "Transaction",
+    "TransactionConflict",
+    "NotificationService",
+    "estimate_size_mb",
+]

@@ -1,0 +1,120 @@
+"""A DynamoDB-like key-value store (paper §4.1).
+
+Faster per-item than the blob store but still a remote, persistent
+service.  Supports conditional writes (the primitive serverless
+applications use to stay correct under the transparent re-execution the
+paper highlights) and per-item versioning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from taureau.baas.sizing import estimate_size_mb
+from taureau.core.calibration import DEFAULT_CALIBRATION, Calibration
+from taureau.sim import MetricRegistry, Simulation
+
+__all__ = ["ConditionFailed", "KvItem", "KvStore"]
+
+
+class ConditionFailed(Exception):
+    """A conditional write's precondition did not hold."""
+
+
+@dataclasses.dataclass
+class KvItem:
+    """A stored item plus its monotonically increasing version."""
+
+    value: object
+    version: int
+    size_mb: float
+
+
+class KvStore:
+    """A low-latency, item-oriented remote store."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str = "kv",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ):
+        self.sim = sim
+        self.name = name
+        self.calibration = calibration
+        self.metrics = MetricRegistry()
+        self._items: typing.Dict[str, KvItem] = {}
+
+    def put(self, key: str, value: object, ctx=None, size_mb=None) -> int:
+        """Unconditional write; returns the new version."""
+        size = estimate_size_mb(value) if size_mb is None else size_mb
+        current = self._items.get(key)
+        version = (current.version + 1) if current else 1
+        self._items[key] = KvItem(value, version, size)
+        self._charge(ctx, size)
+        self.metrics.counter("puts").add()
+        return version
+
+    def put_if_version(
+        self, key: str, value: object, expected_version: int, ctx=None, size_mb=None
+    ) -> int:
+        """Compare-and-swap on the item version.
+
+        ``expected_version=0`` means "create only if absent".  Raises
+        :class:`ConditionFailed` on mismatch — the caller's cue that a
+        concurrent (or re-executed) writer got there first.
+        """
+        current = self._items.get(key)
+        current_version = current.version if current else 0
+        self._charge(ctx, 0.0)
+        if current_version != expected_version:
+            self.metrics.counter("condition_failures").add()
+            raise ConditionFailed(
+                f"{key}: expected v{expected_version}, found v{current_version}"
+            )
+        return self.put(key, value, ctx=None, size_mb=size_mb)
+
+    def get(self, key: str, ctx=None) -> object:
+        item = self._items.get(key)
+        if item is None:
+            raise KeyError(key)
+        self._charge(ctx, item.size_mb)
+        self.metrics.counter("gets").add()
+        return item.value
+
+    def get_item(self, key: str, ctx=None) -> KvItem:
+        """The value *and* its version, for read-modify-write loops."""
+        item = self._items.get(key)
+        if item is None:
+            raise KeyError(key)
+        self._charge(ctx, item.size_mb)
+        self.metrics.counter("gets").add()
+        return item
+
+    def delete(self, key: str, ctx=None) -> None:
+        if key not in self._items:
+            raise KeyError(key)
+        del self._items[key]
+        self._charge(ctx, 0.0)
+        self.metrics.counter("deletes").add()
+
+    def counter_add(self, key: str, delta: float = 1.0, ctx=None) -> float:
+        """Atomic numeric increment (creates the counter at 0)."""
+        item = self._items.get(key)
+        value = (item.value if item else 0.0) + delta
+        self.put(key, value, ctx=ctx, size_mb=0.0)
+        return value
+
+    def keys(self, prefix: str = "") -> list:
+        return sorted(key for key in self._items if key.startswith(prefix))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _charge(self, ctx, size_mb: float) -> None:
+        if ctx is not None:
+            ctx.add_io(self.calibration.kv_transfer_latency(size_mb))

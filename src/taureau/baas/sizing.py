@@ -1,0 +1,45 @@
+"""Payload size estimation shared by the BaaS stores.
+
+Simulated stores need a byte size for every value to model transfer
+latency and storage billing.  Callers can always pass ``size_mb``
+explicitly; when they do not, :func:`estimate_size_mb` makes a sensible
+guess for the common payload shapes (bytes, strings, numpy arrays,
+containers).
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["estimate_size_mb"]
+
+_MB = 1024.0 * 1024.0
+
+
+def estimate_size_mb(value: object) -> float:
+    """A best-effort size estimate for ``value``, in megabytes."""
+    return _estimate_bytes(value) / _MB
+
+
+def _estimate_bytes(value: object, depth: int = 0) -> float:
+    if value is None:
+        return 0.0
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return float(len(value))
+    if isinstance(value, str):
+        return float(len(value.encode("utf-8")))
+    nbytes = getattr(value, "nbytes", None)  # numpy arrays and friends
+    if nbytes is not None:
+        return float(nbytes)
+    if depth >= 3:  # deep nests: fall back to the shallow footprint
+        return float(sys.getsizeof(value))
+    if isinstance(value, dict):
+        return sum(
+            _estimate_bytes(k, depth + 1) + _estimate_bytes(v, depth + 1)
+            for k, v in value.items()
+        ) + float(sys.getsizeof(value))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(_estimate_bytes(item, depth + 1) for item in value) + float(
+            sys.getsizeof(value)
+        )
+    return float(sys.getsizeof(value))

@@ -1,0 +1,12 @@
+"""Cluster substrate: machines, resource vectors, allocation accounting."""
+
+from taureau.cluster.machine import Allocation, Cluster, Machine
+from taureau.cluster.resources import InsufficientResources, ResourceVector
+
+__all__ = [
+    "Allocation",
+    "Cluster",
+    "Machine",
+    "InsufficientResources",
+    "ResourceVector",
+]

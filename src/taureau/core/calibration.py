@@ -1,0 +1,105 @@
+"""Calibration constants for the simulated serverless stack.
+
+Every latency and price in taureau lives here, in one documented table,
+so experiments can cite exactly what they assume.  Values follow the
+measurement studies the paper cites:
+
+- cold/warm start latencies: Wang et al., "Peeking Behind the Curtains of
+  Serverless Platforms" (USENIX ATC'18) [180] and Ishakian et al. [112] —
+  cold starts of hundreds of milliseconds to seconds, warm dispatch in
+  single-digit milliseconds;
+- blob-store latencies: Jonas et al. "Occupy the Cloud" [114] and
+  Klimovic et al. "Understanding Ephemeral Storage for Serverless
+  Analytics" (ATC'18) [124] — S3-style GET ≈ 10-30 ms plus bandwidth;
+- in-memory-store latencies: Pocket/Jiffy-class systems [125] —
+  ~100-300 µs per op over the network;
+- prices: AWS public list prices circa the paper (Lambda $0.0000166667
+  per GB-s billed per 100 ms; m5.large-class VMs ≈ $0.096/h).
+
+The absolute numbers matter less than their ratios; EXPERIMENTS.md
+compares *shapes* (who wins, crossover points), not testbed-exact values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Calibration:
+    """One coherent set of platform constants (seconds, MB, USD)."""
+
+    # --- FaaS control plane ------------------------------------------------
+    #: Mean sandbox cold-start latency for a small runtime (seconds).
+    cold_start_mean_s: float = 0.25
+    #: Additional cold-start latency per provisioned GB of function memory;
+    #: larger sandboxes take longer to provision.
+    cold_start_per_gb_s: float = 0.15
+    #: Half-width of the uniform jitter applied to each cold start.
+    cold_start_jitter_s: float = 0.10
+    #: Warm dispatch latency (request routed to an idle sandbox).
+    warm_start_s: float = 0.003
+    #: Default idle sandbox keep-alive window before reclamation.
+    keep_alive_s: float = 600.0
+    #: Scheduling/queueing overhead added to every invocation.
+    scheduler_overhead_s: float = 0.001
+
+    # --- FaaS billing --------------------------------------------------------
+    #: Billing rounds execution duration up to this granularity.
+    billing_granularity_s: float = 0.1
+    #: Price per GB-second of billed duration.
+    price_per_gb_s: float = 0.0000166667
+    #: Flat per-request price.
+    price_per_request: float = 0.0000002
+    #: Price per GB-second of *provisioned* (always-warm) concurrency,
+    #: charged whether or not requests arrive — roughly a quarter of the
+    #: on-demand duration rate, as on Lambda.
+    price_per_provisioned_gb_s: float = 0.0000041667
+
+    # --- Server-centric comparison -------------------------------------------
+    #: Price per VM-hour for the reserved-fleet baseline (2 vCPU / 8 GB).
+    vm_price_per_hour: float = 0.096
+    #: VM boot latency for the autoscaled-VM baseline.
+    vm_boot_s: float = 30.0
+
+    # --- Remote persistent storage (blob store, S3-like) ---------------------
+    blob_base_latency_s: float = 0.015
+    blob_bandwidth_mb_s: float = 80.0
+    blob_price_per_gb_month: float = 0.023
+    blob_price_per_put: float = 0.000005
+    blob_price_per_get: float = 0.0000004
+
+    # --- Remote KV store (DynamoDB-like) --------------------------------------
+    kv_base_latency_s: float = 0.004
+    kv_bandwidth_mb_s: float = 40.0
+
+    # --- In-memory ephemeral store (Jiffy-class) -------------------------------
+    memory_base_latency_s: float = 0.0002
+    memory_bandwidth_mb_s: float = 1000.0
+
+    # --- Messaging (Pulsar-class) ----------------------------------------------
+    broker_dispatch_s: float = 0.001
+    bookie_append_s: float = 0.002
+    zookeeper_op_s: float = 0.002
+
+    def cold_start_latency(self, memory_mb: float, rng) -> float:
+        """A cold-start draw for a sandbox of ``memory_mb``."""
+        base = self.cold_start_mean_s + self.cold_start_per_gb_s * (memory_mb / 1024.0)
+        jitter = rng.uniform(-self.cold_start_jitter_s, self.cold_start_jitter_s)
+        return max(0.001, base + jitter)
+
+    def blob_transfer_latency(self, size_mb: float) -> float:
+        """Latency of one blob GET/PUT of ``size_mb``."""
+        return self.blob_base_latency_s + size_mb / self.blob_bandwidth_mb_s
+
+    def kv_transfer_latency(self, size_mb: float) -> float:
+        return self.kv_base_latency_s + size_mb / self.kv_bandwidth_mb_s
+
+    def memory_transfer_latency(self, size_mb: float) -> float:
+        return self.memory_base_latency_s + size_mb / self.memory_bandwidth_mb_s
+
+
+#: The library-wide default constants.
+DEFAULT_CALIBRATION = Calibration()

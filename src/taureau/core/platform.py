@@ -1,0 +1,710 @@
+"""The FaaS platform simulator.
+
+:class:`FaasPlatform` is taureau's model of an AWS-Lambda-class service
+(paper §2.2, §4.1).  It implements the definitional requirements of §2:
+
+- *ease of use* — users register plain Python handlers and call
+  :meth:`FaasPlatform.invoke`; sandboxes, placement, retries and billing
+  are the provider's problem;
+- *demand-driven execution* — sandboxes are created on demand, kept warm
+  for a keep-alive window, evicted under memory pressure, and scale to
+  zero when idle;
+- *cost efficiency* — every invocation is billed per rounded 100 ms of
+  GB-seconds, never for idle capacity.
+
+Execution model: handlers are real Python callables executed at the
+invocation's simulated start time; they accrue simulated duration through
+their :class:`~taureau.core.function.InvocationContext` (see that module).
+Side effects on shared simulated stores therefore land at start time while
+completion fires after the accrued duration — a deliberate, documented
+approximation that keeps handlers plain functions instead of coroutines.
+
+Contention model: executing invocations add their CPU demand to their
+host; an invocation starting on a host whose demanded cores exceed
+capacity runs slower by ``demand / capacity`` (computed once at start).
+This is the mechanism experiment E23 (complementary bin-packing) measures.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import itertools
+import math
+import typing
+
+from taureau.cluster import Cluster, Machine, ResourceVector
+from taureau.core.calibration import DEFAULT_CALIBRATION, Calibration
+from taureau.core.function import (
+    FunctionSpec,
+    InvocationContext,
+    InvocationRecord,
+    InvocationStatus,
+)
+from taureau.core.scheduler import FirstFitScheduler, Scheduler
+from taureau.sim import Event, MetricRegistry, Simulation
+
+__all__ = ["PlatformConfig", "Sandbox", "FaasPlatform", "PeriodicTrigger", "ThrottledError"]
+
+
+class ThrottledError(Exception):
+    """The platform refused an invocation (concurrency limit, no queue)."""
+
+
+@dataclasses.dataclass
+class PlatformConfig:
+    """Tunable provider policy for a :class:`FaasPlatform`.
+
+    ``keep_alive_s`` of ``None`` uses the calibration default; ``0``
+    disables warm reuse entirely (every start is cold) — the knob
+    experiment E1 sweeps.
+
+    ``app_sandboxing`` enables SAND-style application-level sandboxing
+    (Akkus et al., ATC'18 — one of the paper's §1 platforms): warm
+    sandboxes are shared across all functions of the same *tenant*
+    rather than per function, so a multi-function application pays far
+    fewer cold starts.  A sandbox is only reused by a function whose
+    memory requirement it satisfies.
+    """
+
+    keep_alive_s: typing.Optional[float] = None
+    concurrency_limit: typing.Optional[int] = None
+    queue_on_throttle: bool = True
+    app_sandboxing: bool = False
+    calibration: Calibration = dataclasses.field(default_factory=lambda: DEFAULT_CALIBRATION)
+    scheduler: Scheduler = dataclasses.field(default_factory=FirstFitScheduler)
+
+    def effective_keep_alive(self) -> float:
+        if self.keep_alive_s is None:
+            return self.calibration.keep_alive_s
+        return self.keep_alive_s
+
+
+class Sandbox:
+    """A provisioned execution environment for one function."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        spec: FunctionSpec,
+        machine: typing.Optional[Machine],
+        allocation,
+        created_at: float,
+    ):
+        self.sandbox_id = f"sb{next(Sandbox._ids)}"
+        self.spec = spec
+        self.machine = machine
+        self.allocation = allocation
+        self.created_at = created_at
+        self.expiry_token: typing.Optional[object] = None
+        self.executions = 0
+        #: Provisioned sandboxes never expire and are never evicted.
+        self.provisioned = False
+        #: Set when the hosting machine fails; a dead sandbox never runs.
+        self.dead = False
+
+    @property
+    def machine_id(self) -> str:
+        return self.machine.machine_id if self.machine else "elastic"
+
+    def destroy(self) -> None:
+        if self.allocation is not None:
+            self.allocation.release()
+            self.allocation = None
+
+
+class PeriodicTrigger:
+    """A recurring (cron-style) invocation schedule; see schedule_periodic."""
+
+    def __init__(self, platform: "FaasPlatform", name: str, interval_s: float,
+                 payload_fn):
+        self._platform = platform
+        self.function_name = name
+        self.interval_s = interval_s
+        self._payload_fn = payload_fn
+        self.events: list = []
+        self.cancelled = False
+
+    @property
+    def fired_count(self) -> int:
+        return len(self.events)
+
+    def cancel(self) -> None:
+        """Stop future firings (in-flight invocations complete normally)."""
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        tick = len(self.events)
+        payload = self._payload_fn(tick) if self._payload_fn else None
+        self.events.append(self._platform.invoke(self.function_name, payload))
+        self._platform.sim.schedule_after(self.interval_s, self._fire)
+
+
+class _Attempt:
+    """Book-keeping for one logical invocation across its retries."""
+
+    def __init__(self, spec: FunctionSpec, record: InvocationRecord, done: Event):
+        self.spec = spec
+        self.record = record
+        self.done = done
+        self.attempts_left = spec.max_retries
+        self.dispatched_once = False
+        self.last_dispatch_cold = False
+        #: Bumped per execution start; lets a forced (machine-failure)
+        #: completion supersede the normally scheduled one.
+        self.execution_epoch = 0
+
+
+class FaasPlatform:
+    """A simulated Function-as-a-Service provider.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulation.
+    cluster:
+        Provider machines.  ``None`` means an idealized elastic backend
+        with unlimited memory and no contention — convenient for
+        application-level workloads that do not study the provider.
+    config:
+        Provider policy knobs.
+    services:
+        Name → client objects wired into every handler context (e.g.
+        ``{"blob": BlobStore(...), "jiffy": JiffyClient(...)}``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: typing.Optional[Cluster] = None,
+        config: typing.Optional[PlatformConfig] = None,
+        services: typing.Optional[dict] = None,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config or PlatformConfig()
+        self.services = dict(services or {})
+        self.metrics = MetricRegistry()
+        self._functions: dict = {}
+        self._idle: dict = collections.defaultdict(list)
+        self._pending: collections.deque = collections.deque()
+        self._cpu_load: dict = collections.defaultdict(float)
+        self._tenants_on: dict = collections.defaultdict(collections.Counter)
+        self._sandboxes_on: dict = collections.defaultdict(set)
+        self._executing: dict = {}  # attempt -> sandbox
+        self._running = 0
+        self._running_per_function: dict = collections.defaultdict(int)
+        self._sandbox_memory_mb = 0.0
+        self._provisioned_memory_mb = 0.0
+        self._cold_rng = sim.rng.stream("platform.cold_start")
+
+    # ------------------------------------------------------------------
+    # Deployment API
+    # ------------------------------------------------------------------
+
+    def register(self, spec: FunctionSpec) -> FunctionSpec:
+        """Deploy a function; replaces any previous version of the name."""
+        self._functions[spec.name] = spec
+        return spec
+
+    def function(self, name: str, **spec_kwargs):
+        """Decorator form of :meth:`register`.
+
+        >>> @platform.function("hello", memory_mb=128)
+        ... def hello(event, ctx):
+        ...     return f"hi {event}"
+        """
+
+        def decorate(handler):
+            self.register(FunctionSpec(name=name, handler=handler, **spec_kwargs))
+            return handler
+
+        return decorate
+
+    def spec(self, name: str) -> FunctionSpec:
+        if name not in self._functions:
+            raise KeyError(f"function {name!r} is not registered")
+        return self._functions[name]
+
+    def wire_service(self, name: str, client) -> None:
+        """Expose ``client`` to handlers as ``ctx.service(name)``."""
+        self.services[name] = client
+
+    # ------------------------------------------------------------------
+    # Invocation API
+    # ------------------------------------------------------------------
+
+    def invoke(self, name: str, payload: object = None) -> Event:
+        """Asynchronously invoke ``name``.
+
+        Returns an event that *always succeeds* with the final
+        :class:`InvocationRecord`; inspect ``record.status`` for the
+        outcome.  (Failures are data, not kernel crashes: the platform
+        retries transparently and reports what happened.)
+        """
+        spec = self.spec(name)
+        record = InvocationRecord(
+            invocation_id=InvocationRecord.fresh_id(),
+            function_name=name,
+            payload=payload,
+            arrival_time=self.sim.now,
+        )
+        self.metrics.counter("invocations").add()
+        done = self.sim.event()
+        attempt = _Attempt(spec, record, done)
+        self._dispatch(attempt)
+        return done
+
+    def invoke_sync(self, name: str, payload: object = None) -> InvocationRecord:
+        """Invoke and run the simulation until the record is final."""
+        return self.sim.run(until=self.invoke(name, payload))
+
+    def schedule_periodic(
+        self,
+        name: str,
+        interval_s: float,
+        payload_fn: typing.Optional[typing.Callable[[int], object]] = None,
+        start_after_s: typing.Optional[float] = None,
+    ) -> "PeriodicTrigger":
+        """Invoke ``name`` every ``interval_s`` (cron-style triggering).
+
+        This is design pattern (1), *periodic invocation*, from the Hong
+        et al. taxonomy the paper cites in §3.2.  ``payload_fn(tick)``
+        builds each firing's payload.  Returns a handle whose ``cancel()``
+        stops future firings and whose ``events`` collects the invocation
+        events fired so far.
+        """
+        self.spec(name)  # fail fast on unknown functions
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        trigger = PeriodicTrigger(self, name, interval_s, payload_fn)
+        first = interval_s if start_after_s is None else start_after_s
+        self.sim.schedule_after(first, trigger._fire)
+        return trigger
+
+    def warm_pool_size(self, name: str) -> int:
+        """Idle sandboxes reusable by ``name`` (its pool-key bucket)."""
+        return len(self._idle[self._pool_key(self.spec(name))])
+
+    def set_provisioned_concurrency(self, name: str, count: int) -> None:
+        """Keep ``count`` always-warm sandboxes for ``name`` (Lambda-style).
+
+        Provisioned sandboxes are created immediately (off the request
+        path), never expire, and are never evicted; they are billed per
+        GB-second at the provisioned rate whether or not traffic arrives
+        (see :meth:`provisioned_cost_usd`).  Currently only increases are
+        supported.
+        """
+        spec = self.spec(name)
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        pool_key = self._pool_key(spec)
+        existing = sum(
+            1 for sandbox in self._idle[pool_key] if sandbox.provisioned
+        )
+        if count < existing:
+            raise ValueError(
+                f"{name}: lowering provisioned concurrency ({existing} -> "
+                f"{count}) is not supported"
+            )
+        for __ in range(count - existing):
+            # Always create fresh sandboxes: reusing warm ones would just
+            # shuffle the pool instead of adding standing capacity.
+            sandbox = self._create_sandbox(spec)
+            if sandbox is None:
+                raise RuntimeError(
+                    f"no capacity to provision {count} sandboxes for {name!r}"
+                )
+            sandbox.provisioned = True
+            self._idle[pool_key].append(sandbox)
+        self._provisioned_memory_mb += (count - existing) * spec.memory_mb
+        self.metrics.series("provisioned_memory_mb").record(
+            self.sim.now, self._provisioned_memory_mb
+        )
+
+    def provisioned_cost_usd(
+        self, start: float = 0.0, end: typing.Optional[float] = None
+    ) -> float:
+        """The standing charge for provisioned concurrency over a window."""
+        series = self.metrics.series("provisioned_memory_mb")
+        if not len(series):
+            return 0.0
+        end = self.sim.now if end is None else end
+        gb_s = series.integral(start, end) / 1024.0
+        return gb_s * self.config.calibration.price_per_provisioned_gb_s
+
+    @property
+    def running_count(self) -> int:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Failure injection (paper §4.1: transparent re-execution)
+    # ------------------------------------------------------------------
+
+    def fail_machine(self, machine: Machine) -> int:
+        """Crash a provider machine; returns the interrupted-execution count.
+
+        Every sandbox on the machine dies (warm pools included); in-flight
+        invocations are transparently re-dispatched onto surviving
+        machines — the behaviour the paper highlights when noting that
+        "most FaaS platforms re-execute functions transparently on
+        failure".  Infrastructure retries do not consume the function's
+        ``max_retries`` budget and nothing interrupted is billed.
+        """
+        if self.cluster is None or machine not in self.cluster.machines:
+            raise ValueError("machine is not part of this platform's cluster")
+        orphaned: list = []
+        for sandbox in list(self._sandboxes_on.get(machine.machine_id, set())):
+            attempt = next(
+                (a for a, s in self._executing.items() if s is sandbox), None
+            )
+            self._retire_sandbox(sandbox)
+            if attempt is not None:
+                del self._executing[attempt]
+                attempt.execution_epoch += 1  # invalidate the queued finish
+                self._exit_cpu(sandbox, attempt.spec)
+                self._running -= 1
+                self._running_per_function[attempt.spec.name] -= 1
+                self.metrics.series("running").record(self.sim.now, self._running)
+                self.metrics.counter("machine_failure_reexecutions").add()
+                attempt.record.attempts += 1
+                orphaned.append(attempt)
+        self._cpu_load.pop(machine.machine_id, None)
+        self._sandboxes_on.pop(machine.machine_id, None)
+        # Detach the machine BEFORE re-dispatching so retries cannot land
+        # back on the corpse.
+        self.cluster.remove_machine(machine)
+        self.metrics.counter("machine_failures").add()
+        for attempt in orphaned:
+            self._dispatch(attempt)
+        self._drain_pending()
+        return len(orphaned)
+
+    # ------------------------------------------------------------------
+    # Dispatch pipeline
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, attempt: _Attempt) -> None:
+        config = self.config
+        if (
+            config.concurrency_limit is not None
+            and self._running >= config.concurrency_limit
+        ):
+            self._park_or_throttle(attempt)
+            return
+        reserved = attempt.spec.reserved_concurrency
+        if (
+            reserved is not None
+            and self._running_per_function[attempt.spec.name] >= reserved
+        ):
+            self._park_or_throttle(attempt)
+            return
+        sandbox, cold = self._acquire_sandbox(attempt.spec)
+        if sandbox is None:
+            self._park_or_throttle(attempt)
+            return
+        if not attempt.dispatched_once:
+            attempt.dispatched_once = True
+            attempt.record.queue_delay_s = self.sim.now - attempt.record.arrival_time
+            self.metrics.distribution("queue_delay_s").observe(
+                attempt.record.queue_delay_s
+            )
+        self._running += 1
+        self._running_per_function[attempt.spec.name] += 1
+        self.metrics.series("running").record(self.sim.now, self._running)
+        attempt.last_dispatch_cold = cold
+        start_delay = config.calibration.scheduler_overhead_s
+        if cold:
+            cold_latency = config.calibration.cold_start_latency(
+                attempt.spec.memory_mb, self._cold_rng
+            )
+            attempt.record.cold_start = True
+            attempt.record.cold_start_latency_s = cold_latency
+            self.metrics.counter("cold_starts").add()
+            self.metrics.distribution("cold_start_latency_s").observe(cold_latency)
+            start_delay += cold_latency
+        else:
+            start_delay += config.calibration.warm_start_s
+        self.sim.schedule_after(start_delay, self._start, attempt, sandbox)
+
+    def _park_or_throttle(self, attempt: _Attempt) -> None:
+        if self.config.queue_on_throttle:
+            self._pending.append(attempt)
+            self.metrics.series("pending").record(self.sim.now, len(self._pending))
+        else:
+            record = attempt.record
+            record.status = InvocationStatus.THROTTLED
+            record.error = ThrottledError(record.function_name)
+            record.start_time = record.end_time = self.sim.now
+            self.metrics.counter("throttles").add()
+            attempt.done.succeed(record)
+
+    def _drain_pending(self) -> None:
+        # Re-dispatch as many parked attempts as now fit.  _dispatch
+        # re-parks (appends) anything that still does not, so sweep a
+        # snapshot of the current queue length only.
+        for _index in range(len(self._pending)):
+            if (
+                self.config.concurrency_limit is not None
+                and self._running >= self.config.concurrency_limit
+            ):
+                break
+            self._dispatch(self._pending.popleft())
+
+    # ------------------------------------------------------------------
+    # Sandbox lifecycle
+    # ------------------------------------------------------------------
+
+    def _acquire_sandbox(self, spec: FunctionSpec):
+        """Returns ``(sandbox, is_cold)``; ``(None, False)`` if no capacity."""
+        idle = self._idle[self._pool_key(spec)]
+        for position in range(len(idle) - 1, -1, -1):
+            sandbox = idle[position]  # LIFO keeps the hottest sandbox in use
+            if sandbox.spec.memory_mb >= spec.memory_mb:
+                del idle[position]
+                sandbox.expiry_token = None
+                return sandbox, False
+        return self._create_sandbox(spec), True
+
+    def _pool_key(self, spec: FunctionSpec) -> str:
+        if self.config.app_sandboxing:
+            return f"tenant:{spec.tenant}"
+        return spec.name
+
+    def _create_sandbox(self, spec: FunctionSpec) -> typing.Optional[Sandbox]:
+        if self.cluster is None:
+            return Sandbox(spec, None, None, self.sim.now)
+        machine = self._place_with_eviction(spec)
+        if machine is None:
+            return None
+        allocation = machine.allocate(
+            ResourceVector(cpu_cores=0, memory_mb=spec.memory_mb),
+            label=f"sandbox:{spec.name}",
+        )
+        self._account_sandbox_memory(spec.memory_mb)
+        self._tenants_on[machine.machine_id][spec.tenant] += 1
+        sandbox = Sandbox(spec, machine, allocation, self.sim.now)
+        self._sandboxes_on[machine.machine_id].add(sandbox)
+        return sandbox
+
+    def _place_with_eviction(self, spec: FunctionSpec):
+        """Place a sandbox, evicting idle sandboxes (oldest first) if needed."""
+        while True:
+            machine = self.config.scheduler.place(
+                self.cluster.machines, spec, self._cpu_load, self._tenants_on
+            )
+            if machine is not None:
+                return machine
+            victim = self._oldest_idle_sandbox()
+            if victim is None:
+                return None
+            self._reclaim(victim)
+
+    def _oldest_idle_sandbox(self):
+        oldest = None
+        for sandboxes in self._idle.values():
+            for sandbox in sandboxes:
+                if sandbox.provisioned:
+                    continue  # provisioned capacity is never evicted
+                if oldest is None or sandbox.created_at < oldest.created_at:
+                    oldest = sandbox
+        return oldest
+
+    def _reclaim(self, sandbox: Sandbox) -> None:
+        self._retire_sandbox(sandbox)
+        self.metrics.counter("sandbox_evictions").add()
+
+    def _retire_sandbox(self, sandbox: Sandbox) -> None:
+        """Full cleanup for one sandbox, wherever it currently lives."""
+        bucket = self._idle[self._pool_key(sandbox.spec)]
+        if sandbox in bucket:
+            bucket.remove(sandbox)
+        if sandbox.machine is not None and sandbox.allocation is not None:
+            self._account_sandbox_memory(-sandbox.spec.memory_mb)
+            self._tenants_on[sandbox.machine.machine_id][sandbox.spec.tenant] -= 1
+            self._sandboxes_on[sandbox.machine.machine_id].discard(sandbox)
+        if sandbox.provisioned:
+            self._provisioned_memory_mb -= sandbox.spec.memory_mb
+            self.metrics.series("provisioned_memory_mb").record(
+                self.sim.now, self._provisioned_memory_mb
+            )
+        sandbox.dead = True
+        sandbox.destroy()
+
+    def _return_to_pool(self, sandbox: Sandbox) -> None:
+        if sandbox.provisioned:
+            self._idle[self._pool_key(sandbox.spec)].append(sandbox)
+            return
+        keep_alive = self.config.effective_keep_alive()
+        if keep_alive <= 0:
+            self._retire_sandbox(sandbox)
+            return
+        token = object()
+        sandbox.expiry_token = token
+        self._idle[self._pool_key(sandbox.spec)].append(sandbox)
+        self.sim.schedule_after(keep_alive, self._expire, sandbox, token)
+
+    def _expire(self, sandbox: Sandbox, token: object) -> None:
+        if sandbox.expiry_token is not token:
+            return  # reused (or already reclaimed) in the meantime
+        self._reclaim(sandbox)
+        self.metrics.counter("sandbox_expirations").add()
+        self._drain_pending()
+
+    def _account_sandbox_memory(self, delta_mb: float) -> None:
+        self._sandbox_memory_mb += delta_mb
+        self.metrics.series("sandbox_memory_mb").record(
+            self.sim.now, self._sandbox_memory_mb
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _start(self, attempt: _Attempt, sandbox: Sandbox) -> None:
+        spec = attempt.spec
+        record = attempt.record
+        if sandbox.dead:
+            # The hosting machine failed during the cold start: release
+            # the dispatch slot and transparently re-dispatch (§4.1).
+            self._running -= 1
+            self._running_per_function[spec.name] -= 1
+            self.metrics.series("running").record(self.sim.now, self._running)
+            self.metrics.counter("machine_failure_reexecutions").add()
+            record.attempts += 1
+            self._dispatch(attempt)
+            return
+        record.start_time = self.sim.now
+        record.machine_id = sandbox.machine_id
+        sandbox.executions += 1
+        attempt.execution_epoch += 1
+        self._executing[attempt] = sandbox
+
+        slowdown = self._enter_cpu(sandbox, spec)
+        base_duration = 0.0
+        if spec.duration_model is not None:
+            base_duration = spec.duration_model(
+                record.payload, self.sim.rng.stream(f"fn.{spec.name}.duration")
+            )
+        ctx = InvocationContext(
+            invocation_id=record.invocation_id,
+            function_name=spec.name,
+            timeout_s=spec.timeout_s,
+            start_time=self.sim.now,
+            services=self.services,
+            base_duration=base_duration,
+            cold_start=attempt.last_dispatch_cold,
+            sandbox_id=sandbox.sandbox_id,
+        )
+        response: object = None
+        error: typing.Optional[BaseException] = None
+        try:
+            response = spec.handler(record.payload, ctx)
+        except Exception as exc:  # handler bugs are data, not sim crashes
+            error = exc
+        effective = ctx.accrued_s * slowdown
+        if effective > spec.timeout_s:
+            status = InvocationStatus.TIMEOUT
+            exec_duration = spec.timeout_s
+        elif error is not None:
+            status = InvocationStatus.ERROR
+            exec_duration = effective
+        else:
+            status = InvocationStatus.OK
+            exec_duration = effective
+        self.sim.schedule_after(
+            exec_duration,
+            self._finish,
+            attempt,
+            sandbox,
+            status,
+            response,
+            error,
+            exec_duration,
+            attempt.execution_epoch,
+        )
+
+    def _enter_cpu(self, sandbox: Sandbox, spec: FunctionSpec) -> float:
+        if sandbox.machine is None:
+            return 1.0
+        machine_id = sandbox.machine.machine_id
+        self._cpu_load[machine_id] += spec.cpu_demand
+        cores = sandbox.machine.capacity.cpu_cores
+        if cores <= 0:
+            return 1.0
+        return max(1.0, self._cpu_load[machine_id] / cores)
+
+    def _exit_cpu(self, sandbox: Sandbox, spec: FunctionSpec) -> None:
+        if sandbox.machine is None:
+            return
+        self._cpu_load[sandbox.machine.machine_id] -= spec.cpu_demand
+
+    def _finish(
+        self,
+        attempt: _Attempt,
+        sandbox: Sandbox,
+        status: InvocationStatus,
+        response: object,
+        error: typing.Optional[BaseException],
+        exec_duration: float,
+        epoch: int,
+    ) -> None:
+        if attempt.execution_epoch != epoch:
+            return  # superseded by a machine-failure re-execution
+        spec = attempt.spec
+        record = attempt.record
+        self._executing.pop(attempt, None)
+        self._exit_cpu(sandbox, spec)
+        self._running -= 1
+        self._running_per_function[spec.name] -= 1
+        self.metrics.series("running").record(self.sim.now, self._running)
+        self._bill(record, spec, exec_duration)
+        self._return_to_pool(sandbox)
+
+        if status is not InvocationStatus.OK and attempt.attempts_left > 0:
+            attempt.attempts_left -= 1
+            record.attempts += 1
+            self.metrics.counter("retries").add()
+            self._dispatch(attempt)
+            self._drain_pending()
+            return
+
+        record.status = status
+        record.response = response
+        record.error = error
+        record.end_time = self.sim.now
+        self.metrics.distribution("e2e_latency_s").observe(record.end_to_end_latency_s)
+        self.metrics.distribution("exec_duration_s").observe(exec_duration)
+        if status is InvocationStatus.TIMEOUT:
+            self.metrics.counter("timeouts").add()
+        elif status is InvocationStatus.ERROR:
+            self.metrics.counter("errors").add()
+        attempt.done.succeed(record)
+        self._drain_pending()
+
+    # ------------------------------------------------------------------
+    # Billing (paper §2: cost efficiency via fine-grained billing)
+    # ------------------------------------------------------------------
+
+    def _bill(self, record: InvocationRecord, spec: FunctionSpec, duration: float):
+        calibration = self.config.calibration
+        granularity = calibration.billing_granularity_s
+        billed = math.ceil(max(duration, 1e-12) / granularity) * granularity
+        gb_s = billed * spec.memory_gb
+        cost = gb_s * calibration.price_per_gb_s + calibration.price_per_request
+        record.billed_duration_s += billed
+        record.cost_usd += cost
+        self.metrics.counter("billing.gb_s").add(gb_s)
+        self.metrics.counter("billing.cost_usd").add(cost)
+        # Per-function line items feed CostReport.
+        self.metrics.counter(f"billing.requests.{spec.name}").add()
+        self.metrics.counter(f"billing.seconds.{spec.name}").add(billed)
+        self.metrics.counter(f"billing.gb_s.{spec.name}").add(gb_s)
+        self.metrics.counter(f"billing.cost_usd.{spec.name}").add(cost)
+
+    def total_cost_usd(self) -> float:
+        """Cumulative user-facing bill across all invocations so far."""
+        return self.metrics.counter("billing.cost_usd").value

@@ -1,0 +1,178 @@
+"""The server-centric baseline: reserved and autoscaled VM fleets.
+
+The paper's economic argument (§2) is that serverless beats the
+"server-centric model, where the users have to reserve server resources
+regardless of whether or not they use it".  To measure that, experiments
+E2/E3 need the thing being beaten: a VM fleet that serves the same
+request stream, either statically sized for peak or reactively
+autoscaled with boot delays.  Billing is per VM-hour on wall-clock fleet
+size, idle or not.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import math
+import typing
+
+from taureau.core.calibration import DEFAULT_CALIBRATION, Calibration
+from taureau.sim import Event, MetricRegistry, Simulation
+
+__all__ = ["AutoscalerPolicy", "VmFleet"]
+
+
+@dataclasses.dataclass
+class AutoscalerPolicy:
+    """A reactive target-tracking autoscaler (CPU-utilization style).
+
+    Every ``interval_s`` the fleet recomputes the VM count that would put
+    slot utilization at ``target_utilization``, clamped to
+    ``[min_vms, max_vms]``.  Scale-ups pay the VM boot latency; scale-downs
+    only retire idle VMs (running requests are never killed).
+    """
+
+    target_utilization: float = 0.6
+    interval_s: float = 60.0
+    min_vms: int = 1
+    max_vms: int = 10_000
+
+    def desired_vms(self, busy_slots: float, queued: int, slots_per_vm: int) -> int:
+        demand = busy_slots + queued
+        desired = math.ceil(demand / (self.target_utilization * slots_per_vm))
+        return max(self.min_vms, min(self.max_vms, desired))
+
+
+class VmFleet:
+    """A pool of VMs each serving ``slots_per_vm`` concurrent requests.
+
+    ``submit(service_time)`` returns an event firing at request
+    completion; requests queue FIFO when every slot is busy.  With
+    ``policy=None`` the fleet is statically sized (the reserved
+    baseline); with a policy it reactively scales (the autoscaled-VM
+    baseline of E3).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        initial_vms: int,
+        slots_per_vm: int = 8,
+        policy: typing.Optional[AutoscalerPolicy] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ):
+        if initial_vms < 0 or slots_per_vm <= 0:
+            raise ValueError("fleet needs initial_vms >= 0 and slots_per_vm > 0")
+        self.sim = sim
+        self.slots_per_vm = slots_per_vm
+        self.policy = policy
+        self.calibration = calibration
+        self.metrics = MetricRegistry()
+        self._vms = initial_vms
+        self._booting = 0
+        self._busy_slots = 0
+        self._queue: collections.deque = collections.deque()
+        self._record_size()
+        if policy is not None:
+            self.sim.process(self._autoscale_loop())
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    @property
+    def vm_count(self) -> int:
+        return self._vms
+
+    @property
+    def total_slots(self) -> int:
+        return self._vms * self.slots_per_vm
+
+    @property
+    def busy_slots(self) -> int:
+        return self._busy_slots
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def submit(self, service_time_s: float) -> Event:
+        """Serve one request of ``service_time_s``; returns completion."""
+        if service_time_s < 0:
+            raise ValueError("negative service time")
+        done = self.sim.event()
+        arrival = self.sim.now
+        self._queue.append((service_time_s, done, arrival))
+        self._drain()
+        return done
+
+    def _drain(self) -> None:
+        while self._queue and self._busy_slots < self.total_slots:
+            service_time, done, arrival = self._queue.popleft()
+            self._busy_slots += 1
+            wait = self.sim.now - arrival
+            self.metrics.distribution("queue_delay_s").observe(wait)
+            self.metrics.distribution("e2e_latency_s").observe(wait + service_time)
+            self.sim.schedule_after(service_time, self._complete, done)
+
+    def _complete(self, done: Event) -> None:
+        self._busy_slots -= 1
+        done.succeed(None)
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Scaling
+    # ------------------------------------------------------------------
+
+    def set_vm_count(self, count: int) -> None:
+        """Immediately resize (used by the static baseline's operator)."""
+        if count < 0:
+            raise ValueError("negative VM count")
+        self._vms = count
+        self._record_size()
+        self._drain()
+
+    def _autoscale_loop(self):
+        policy = self.policy
+        while True:
+            yield self.sim.timeout(policy.interval_s)
+            desired = policy.desired_vms(
+                self._busy_slots, len(self._queue), self.slots_per_vm
+            )
+            planned = self._vms + self._booting
+            if desired > planned:
+                to_boot = desired - planned
+                self._booting += to_boot
+                self.metrics.counter("scale_ups").add(to_boot)
+                self.sim.schedule_after(
+                    self.calibration.vm_boot_s, self._vm_ready, to_boot
+                )
+            elif desired < self._vms:
+                # Only idle capacity can be retired.
+                removable = min(
+                    self._vms - desired,
+                    max(0, (self.total_slots - self._busy_slots) // self.slots_per_vm),
+                )
+                if removable > 0:
+                    self._vms -= removable
+                    self.metrics.counter("scale_downs").add(removable)
+                    self._record_size()
+
+    def _vm_ready(self, count: int) -> None:
+        self._booting -= count
+        self._vms += count
+        self._record_size()
+        self._drain()
+
+    def _record_size(self) -> None:
+        self.metrics.series("vm_count").record(self.sim.now, self._vms)
+
+    # ------------------------------------------------------------------
+    # Billing (per VM-hour, idle or not — the server-centric model)
+    # ------------------------------------------------------------------
+
+    def cost_usd(self, start: float = 0.0, end: typing.Optional[float] = None) -> float:
+        """The bill for keeping the fleet up over ``[start, end]``."""
+        end = self.sim.now if end is None else end
+        vm_seconds = self.metrics.series("vm_count").integral(start, end)
+        return (vm_seconds / 3600.0) * self.calibration.vm_price_per_hour

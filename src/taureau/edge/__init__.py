@@ -1,0 +1,21 @@
+"""Serverless at the edge (paper §1's networking/edge extensions)."""
+
+from taureau.edge.fabric import (
+    CloudOnlyPolicy,
+    EdgeFabric,
+    EdgeFirstPolicy,
+    EdgeOnlyPolicy,
+    EdgeRequest,
+    EdgeSite,
+    PlacementPolicy,
+)
+
+__all__ = [
+    "CloudOnlyPolicy",
+    "EdgeFabric",
+    "EdgeFirstPolicy",
+    "EdgeOnlyPolicy",
+    "EdgeRequest",
+    "EdgeSite",
+    "PlacementPolicy",
+]

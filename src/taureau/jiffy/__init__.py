@@ -1,0 +1,36 @@
+"""Jiffy: a virtual-memory layer for ephemeral serverless state (§4.4)."""
+
+from taureau.jiffy.blocks import Block, BlockPool, DataLost, MemoryNode, PoolExhausted
+from taureau.jiffy.client import JiffyClient
+from taureau.jiffy.controller import JiffyController
+from taureau.jiffy.globalspace import GlobalAddressSpace
+from taureau.jiffy.lease import LeaseManager
+from taureau.jiffy.namespace import NamespaceNode, NamespaceTree, normalize_path
+from taureau.jiffy.notifications import JiffyEvent, NotificationBus
+from taureau.jiffy.structures import (
+    BlockAllocator,
+    JiffyFile,
+    JiffyHashTable,
+    JiffyQueue,
+)
+
+__all__ = [
+    "Block",
+    "BlockPool",
+    "DataLost",
+    "MemoryNode",
+    "PoolExhausted",
+    "JiffyClient",
+    "JiffyController",
+    "GlobalAddressSpace",
+    "LeaseManager",
+    "NamespaceNode",
+    "NamespaceTree",
+    "normalize_path",
+    "JiffyEvent",
+    "NotificationBus",
+    "BlockAllocator",
+    "JiffyFile",
+    "JiffyHashTable",
+    "JiffyQueue",
+]

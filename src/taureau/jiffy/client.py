@@ -1,0 +1,132 @@
+"""The Jiffy client functions use from inside their sandboxes.
+
+Wraps the controller's structures with (a) memory-class latency charged
+to the calling invocation's context and (b) write notifications on the
+namespace, so consumers learn when state is ready.  Wire an instance
+into a platform (``platform.wire_service("jiffy", client)``) and
+handlers reach it as ``ctx.service("jiffy")``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.baas.sizing import estimate_size_mb
+from taureau.jiffy.controller import JiffyController
+
+__all__ = ["JiffyClient"]
+
+
+class JiffyClient:
+    """Latency-accounted facade over a :class:`JiffyController`."""
+
+    def __init__(self, controller: JiffyController):
+        self.controller = controller
+        self._calibration = controller.calibration
+
+    # ------------------------------------------------------------------
+    # Namespace management
+    # ------------------------------------------------------------------
+
+    def create(self, path: str, structure: str = "file", ctx=None, **kwargs):
+        self._charge(ctx, 0.0, control_plane=True)
+        return self.controller.create(path, structure, **kwargs)
+
+    def remove(self, path: str, ctx=None) -> None:
+        self._charge(ctx, 0.0, control_plane=True)
+        self.controller.remove(path)
+
+    def renew_lease(self, path: str, ttl_s=None, ctx=None) -> None:
+        self._charge(ctx, 0.0, control_plane=True)
+        self.controller.renew_lease(path, ttl_s)
+
+    def exists(self, path: str, ctx=None) -> bool:
+        self._charge(ctx, 0.0, control_plane=True)
+        return self.controller.exists(path)
+
+    def subscribe(self, path: str, callback) -> typing.Callable:
+        return self.controller.subscribe(path, callback)
+
+    def wait_for_write(self, path: str):
+        """An event firing at the next write to ``path``.
+
+        The per-namespace notification mechanism (§4.4) as a consumer
+        primitive: yield this from a simulated process to block until a
+        producer lands data.  One-shot — re-arm for subsequent writes.
+        """
+        from taureau.jiffy.namespace import normalize_path
+
+        sim = self.controller.sim
+        done = sim.event()
+        normalized = normalize_path(path)
+
+        def on_event(event):
+            if event.kind == "write" and not done.triggered:
+                self.controller.notifications.unsubscribe(normalized, on_event)
+                done.succeed(event)
+
+        self.controller.subscribe(normalized, on_event)
+        return done
+
+    # ------------------------------------------------------------------
+    # File operations
+    # ------------------------------------------------------------------
+
+    def append(self, path: str, value: object, ctx=None, size_mb=None) -> None:
+        size = estimate_size_mb(value) if size_mb is None else size_mb
+        self.controller.open(path).append(value, size_mb=size)
+        self._charge(ctx, size)
+        self.controller.notify(path, "write", size)
+
+    def read_all(self, path: str, ctx=None) -> list:
+        structure = self.controller.open(path)
+        self._charge(ctx, structure.used_mb)
+        return structure.read_all()
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+
+    def enqueue(self, path: str, value: object, ctx=None, size_mb=None) -> None:
+        size = estimate_size_mb(value) if size_mb is None else size_mb
+        self.controller.open(path).enqueue(value, size_mb=size)
+        self._charge(ctx, size)
+        self.controller.notify(path, "write", size)
+
+    def dequeue(self, path: str, ctx=None) -> object:
+        value = self.controller.open(path).dequeue()
+        self._charge(ctx, estimate_size_mb(value))
+        return value
+
+    def queue_length(self, path: str, ctx=None) -> int:
+        self._charge(ctx, 0.0)
+        return len(self.controller.open(path))
+
+    # ------------------------------------------------------------------
+    # Hash-table operations
+    # ------------------------------------------------------------------
+
+    def put(self, path: str, key: str, value: object, ctx=None, size_mb=None):
+        size = estimate_size_mb(value) if size_mb is None else size_mb
+        self.controller.open(path).put(key, value, size_mb=size)
+        self._charge(ctx, size)
+        self.controller.notify(path, "write", key)
+
+    def get(self, path: str, key: str, ctx=None) -> object:
+        value = self.controller.open(path).get(key)
+        self._charge(ctx, estimate_size_mb(value))
+        return value
+
+    def keys(self, path: str, ctx=None) -> list:
+        self._charge(ctx, 0.0)
+        return self.controller.open(path).keys()
+
+    # ------------------------------------------------------------------
+
+    def _charge(self, ctx, size_mb: float, control_plane: bool = False) -> None:
+        if ctx is None:
+            return
+        if control_plane:
+            ctx.add_io(self._calibration.zookeeper_op_s)
+        else:
+            ctx.add_io(self._calibration.memory_transfer_latency(size_mb))

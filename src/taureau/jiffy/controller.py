@@ -1,0 +1,243 @@
+"""The Jiffy controller — control plane tying the pieces together.
+
+Figure 2 of the paper: applications talk to a controller that manages a
+hierarchical namespace over a pool of memory nodes.  The controller
+
+- creates/opens/removes data structures mounted at namespace paths;
+- allocates their blocks from the shared :class:`BlockPool`;
+- grants leases and reclaims whole sub-namespaces on expiry;
+- publishes per-namespace notifications.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from taureau.core.calibration import DEFAULT_CALIBRATION, Calibration
+from taureau.jiffy.blocks import BlockPool
+from taureau.jiffy.lease import LeaseManager
+from taureau.jiffy.namespace import NamespaceNode, NamespaceTree, normalize_path
+from taureau.jiffy.notifications import NotificationBus
+from taureau.jiffy.structures import (
+    BlockAllocator,
+    JiffyFile,
+    JiffyHashTable,
+    JiffyQueue,
+)
+from taureau.sim import MetricRegistry, Simulation
+
+__all__ = ["JiffyController"]
+
+_STRUCTURE_TYPES = {
+    "file": JiffyFile,
+    "queue": JiffyQueue,
+    "hash_table": JiffyHashTable,
+}
+
+
+class JiffyController:
+    """Create, find and reclaim ephemeral state namespaces."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        pool: typing.Optional[BlockPool] = None,
+        default_ttl_s: float = 30.0,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        spill_store=None,
+    ):
+        self.sim = sim
+        self.calibration = calibration
+        self.pool = pool or BlockPool(sim)
+        self.tree = NamespaceTree()
+        self.notifications = NotificationBus(sim, calibration)
+        self.leases = LeaseManager(
+            sim, default_ttl_s=default_ttl_s, on_expire=self._reclaim
+        )
+        self.metrics = MetricRegistry()
+        #: Optional persistent tier (e.g. a BlobStore).  When set, pool
+        #: exhaustion spills the oldest unpinned namespaces instead of
+        #: failing, and spilled namespaces hydrate transparently on open().
+        self.spill_store = spill_store
+        self._spilled_states: dict = {}  # path -> (kind, state dict)
+        self._create_seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Namespace lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        structure: str = "file",
+        initial_blocks: int = 1,
+        ttl_s: typing.Optional[float] = None,
+        pinned: bool = False,
+    ):
+        """Mount a new data structure at ``path`` and lease it.
+
+        ``structure`` is one of ``file``, ``queue`` or ``hash_table``.
+        """
+        if structure not in _STRUCTURE_TYPES:
+            raise ValueError(
+                f"unknown structure {structure!r}; choose from "
+                f"{sorted(_STRUCTURE_TYPES)}"
+            )
+        path = normalize_path(path)
+        node = self.tree.create(path)
+        allocator = self._allocator_for(path)
+        try:
+            node.structure = _STRUCTURE_TYPES[structure](allocator, initial_blocks)
+        except Exception:
+            self.tree.remove(path)
+            raise
+        node.pinned = pinned
+        node.created_seq = next(self._create_seq)
+        self.leases.grant(node, ttl_s)
+        self.metrics.counter("creates").add()
+        self.notifications.publish(path, "created", structure)
+        return node.structure
+
+    def open(self, path: str):
+        """The structure mounted at ``path`` (hydrating it if spilled)."""
+        path = normalize_path(path)
+        node = self.tree.lookup(path)
+        if node.structure is None and path in self._spilled_states:
+            self._hydrate(path, node)
+        if node.structure is None:
+            raise FileNotFoundError(f"{path!r} is a directory, not a structure")
+        return node.structure
+
+    def exists(self, path: str) -> bool:
+        return self.tree.exists(path)
+
+    def remove(self, path: str) -> None:
+        """Explicitly reclaim ``path`` and everything under it."""
+        path = normalize_path(path)
+        node = self.tree.remove(path)
+        self._destroy_subtree(node, path, kind="removed")
+
+    def renew_lease(self, path: str, ttl_s: typing.Optional[float] = None) -> None:
+        self.leases.renew(self.tree.lookup(normalize_path(path)), ttl_s)
+
+    def lease_remaining_s(self, path: str) -> float:
+        return self.leases.remaining_s(self.tree.lookup(normalize_path(path)))
+
+    def pin(self, path: str) -> None:
+        """Exempt ``path`` from lease expiry (long-lived shared state)."""
+        self.tree.lookup(normalize_path(path)).pinned = True
+
+    def subscribe(self, path: str, callback) -> typing.Callable:
+        return self.notifications.subscribe(normalize_path(path), callback)
+
+    def notify(self, path: str, kind: str, detail: object = None) -> int:
+        return self.notifications.publish(normalize_path(path), kind, detail)
+
+    # ------------------------------------------------------------------
+    # Capacity introspection
+    # ------------------------------------------------------------------
+
+    def used_mb(self, path: typing.Optional[str] = None) -> float:
+        """Bytes held by ``path``'s subtree (or the whole tree)."""
+        if path is None:
+            nodes = self.tree.walk()
+        else:
+            nodes = self.tree.lookup(normalize_path(path)).walk()
+        return sum(
+            node.structure.used_mb for node in nodes if node.structure is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Spill tier (flush cold namespaces to persistent storage)
+    # ------------------------------------------------------------------
+
+    def spill(self, path: str) -> float:
+        """Flush ``path``'s structure to the spill store; returns MB moved.
+
+        The namespace stays in the tree (its lease keeps running); the
+        blocks return to the pool.  The next :meth:`open` hydrates it
+        back into fresh blocks.
+        """
+        if self.spill_store is None:
+            raise RuntimeError("no spill store configured")
+        path = normalize_path(path)
+        node = self.tree.lookup(path)
+        if node.structure is None:
+            raise FileNotFoundError(f"{path!r} has no structure to spill")
+        structure = node.structure
+        moved_mb = structure.used_mb
+        self._spilled_states[path] = (structure.kind, structure.dump_state())
+        self.spill_store.put(f"jiffy-spill{path}", self._spilled_states[path],
+                             size_mb=moved_mb)
+        structure.destroy()
+        node.structure = None
+        self.metrics.counter("spills").add()
+        self.metrics.counter("spilled_mb").add(moved_mb)
+        self.notifications.publish(path, "spilled", moved_mb)
+        return moved_mb
+
+    def is_spilled(self, path: str) -> bool:
+        return normalize_path(path) in self._spilled_states
+
+    def _hydrate(self, path: str, node: NamespaceNode) -> None:
+        kind, state = self._spilled_states.pop(path)
+        allocator = self._allocator_for(path)
+        node.structure = _STRUCTURE_TYPES[kind].from_state(allocator, state)
+        self.spill_store.delete(f"jiffy-spill{path}")
+        self.metrics.counter("hydrations").add()
+        self.notifications.publish(path, "hydrated")
+
+    def _relieve_pressure(self, needed_blocks: int, exclude: str) -> None:
+        """Spill oldest unpinned namespaces until ``needed_blocks`` free."""
+        while self.pool.free_blocks < needed_blocks:
+            victim = self._spill_victim(exclude)
+            if victim is None:
+                return  # nothing left to spill; the retry will raise
+            self.spill(victim.path)
+
+    def _spill_victim(self, exclude: str):
+        candidates = [
+            node
+            for node in self.tree.walk()
+            if node.structure is not None
+            and not node.pinned
+            and node.path != exclude
+            and node.structure.block_count > 0
+        ]
+        if not candidates:
+            return None
+        # Oldest-created first: short-lived serverless state makes
+        # creation order a decent coldness proxy.
+        return min(candidates, key=lambda node: getattr(node, "created_seq", 0))
+
+    def _allocator_for(self, path: str) -> BlockAllocator:
+        handler = self._relieve_pressure if self.spill_store is not None else None
+        return BlockAllocator(self.pool, path, pressure_handler=handler)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _reclaim(self, node: NamespaceNode) -> None:
+        """Lease expiry: drop the subtree and return its blocks."""
+        if node.parent is None:
+            return
+        path = node.path
+        self.tree.remove(path)
+        self._destroy_subtree(node, path, kind="reclaimed")
+        self.metrics.counter("lease_reclaims").add()
+
+    def _destroy_subtree(self, node: NamespaceNode, path: str, kind: str) -> None:
+        for child in node.walk():
+            if child.structure is not None:
+                child.structure.destroy()
+                self.metrics.counter("structures_destroyed").add()
+        # Drop any spilled snapshots under the removed subtree too.
+        for spilled_path in [
+            p for p in self._spilled_states
+            if p == path or p.startswith(path + "/")
+        ]:
+            del self._spilled_states[spilled_path]
+            self.spill_store.delete(f"jiffy-spill{spilled_path}")
+        self.notifications.publish(path, kind)

@@ -1,0 +1,83 @@
+"""Lease-based lifetime management for ephemeral state.
+
+The paper's third challenge (§4.4): serverless platforms couple the
+lifetime of state to its *producer* task, but shared state should live
+until it is *consumed*.  Jiffy decouples the two with namespace-
+granularity leases (after Gray & Cheriton [103]): a namespace stays
+alive while its lease is renewed and is reclaimed — blocks returned to
+the pool — once the lease lapses.  Consumers (or the orchestrator)
+renew; nobody has to outlive the producer.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.jiffy.namespace import NamespaceNode
+from taureau.sim import MetricRegistry, Simulation
+
+__all__ = ["LeaseManager"]
+
+
+class LeaseManager:
+    """Grants, renews and expires namespace leases on the sim clock."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        default_ttl_s: float = 30.0,
+        on_expire: typing.Optional[typing.Callable[[NamespaceNode], None]] = None,
+    ):
+        if default_ttl_s <= 0:
+            raise ValueError("default_ttl_s must be positive")
+        self.sim = sim
+        self.default_ttl_s = default_ttl_s
+        self.on_expire = on_expire
+        self.metrics = MetricRegistry()
+
+    def grant(self, node: NamespaceNode, ttl_s: typing.Optional[float] = None):
+        """Start a lease on ``node``; schedules the expiry check."""
+        ttl = self.default_ttl_s if ttl_s is None else ttl_s
+        if ttl <= 0:
+            raise ValueError("ttl_s must be positive")
+        node.lease_expiry = self.sim.now + ttl
+        self.metrics.counter("grants").add()
+        self.sim.schedule_at(node.lease_expiry, self._check, node)
+
+    def renew(self, node: NamespaceNode, ttl_s: typing.Optional[float] = None):
+        """Extend the lease from *now* (not from the old expiry)."""
+        if node.lease_expiry is None:
+            raise ValueError(f"namespace {node.path!r} holds no lease")
+        ttl = self.default_ttl_s if ttl_s is None else ttl_s
+        node.lease_expiry = self.sim.now + ttl
+        self.metrics.counter("renewals").add()
+        self.sim.schedule_at(node.lease_expiry, self._check, node)
+
+    def remaining_s(self, node: NamespaceNode) -> float:
+        if node.lease_expiry is None:
+            return float("inf")
+        return max(0.0, node.lease_expiry - self.sim.now)
+
+    @staticmethod
+    def _is_attached(node: NamespaceNode) -> bool:
+        """True while the node's ancestor chain reaches the tree root.
+
+        A removed subtree keeps internal parent pointers, so walking up
+        must end at the root sentinel (empty name, no parent) for the
+        node to still be live.
+        """
+        current = node
+        while current.parent is not None:
+            current = current.parent
+        return current.name == "" and node.parent is not None
+
+    def _check(self, node: NamespaceNode) -> None:
+        if not self._is_attached(node):
+            return  # already detached from the tree
+        if node.pinned or node.lease_expiry is None:
+            return
+        if node.lease_expiry > self.sim.now:
+            return  # renewed since this check was scheduled
+        self.metrics.counter("expirations").add()
+        if self.on_expire is not None:
+            self.on_expire(node)

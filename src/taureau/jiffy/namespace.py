@@ -1,0 +1,106 @@
+"""Hierarchical namespaces — Jiffy's virtual-address-space analogue.
+
+The paper's second insight (§4.4): a single global address space
+precludes isolation, because adding or removing memory for one
+application repartitions data for *everyone*.  Jiffy instead organizes
+ephemeral state as a filesystem-like tree of namespaces — one subtree
+per application, sub-namespaces per task — so capacity changes
+repartition only the affected sub-namespace.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["normalize_path", "split_path", "NamespaceNode", "NamespaceTree"]
+
+
+def normalize_path(path: str) -> str:
+    """Canonical form: leading slash, no trailing slash, no empties."""
+    parts = split_path(path)
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> list:
+    if not isinstance(path, str) or not path.strip():
+        raise ValueError(f"invalid namespace path: {path!r}")
+    parts = [part for part in path.split("/") if part]
+    if not parts:
+        raise ValueError("the root namespace cannot be addressed directly")
+    return parts
+
+
+class NamespaceNode:
+    """One directory in the namespace tree."""
+
+    def __init__(self, name: str, parent: typing.Optional["NamespaceNode"]):
+        self.name = name
+        self.parent = parent
+        self.children: typing.Dict[str, NamespaceNode] = {}
+        #: The data structure mounted at this path (None for pure dirs).
+        self.structure = None
+        #: Lease bookkeeping (managed by the LeaseManager).
+        self.lease_expiry: typing.Optional[float] = None
+        self.pinned = False
+
+    @property
+    def path(self) -> str:
+        if self.parent is None:
+            return ""
+        return f"{self.parent.path}/{self.name}"
+
+    def walk(self):
+        """Yield this node and every descendant, depth-first."""
+        yield self
+        for child in list(self.children.values()):
+            yield from child.walk()
+
+
+class NamespaceTree:
+    """The tree of namespaces with create/lookup/remove."""
+
+    def __init__(self):
+        self._root = NamespaceNode("", None)
+
+    def create(self, path: str) -> NamespaceNode:
+        """Create ``path`` (and intermediate directories); errors if it exists."""
+        parts = split_path(path)
+        node = self._root
+        for part in parts[:-1]:
+            node = node.children.setdefault(part, NamespaceNode(part, node))
+        leaf = parts[-1]
+        if leaf in node.children:
+            raise FileExistsError(f"namespace {normalize_path(path)!r} exists")
+        child = NamespaceNode(leaf, node)
+        node.children[leaf] = child
+        return child
+
+    def lookup(self, path: str) -> NamespaceNode:
+        node = self._root
+        for part in split_path(path):
+            if part not in node.children:
+                raise FileNotFoundError(f"namespace {normalize_path(path)!r}")
+            node = node.children[part]
+        return node
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.lookup(path)
+        except FileNotFoundError:
+            return False
+        return True
+
+    def remove(self, path: str) -> NamespaceNode:
+        """Detach the subtree at ``path`` and return it."""
+        node = self.lookup(path)
+        del node.parent.children[node.name]
+        node.parent = None
+        return node
+
+    def list_children(self, path: typing.Optional[str] = None) -> list:
+        node = self._root if path is None else self.lookup(path)
+        return sorted(node.children)
+
+    def walk(self):
+        for child in list(self._root.children.values()):
+            yield from child.walk()

@@ -1,0 +1,63 @@
+"""Per-namespace notifications.
+
+Jiffy signals applications "when relevant state is ready for processing
+using a per-namespace notification mechanism" (paper §4.4) — the same
+role Redis keyspace notifications or SNS play for persistent stores.
+Subscribers register on a namespace path and receive every event
+published there, asynchronously, with memory-class latency.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from taureau.core.calibration import DEFAULT_CALIBRATION, Calibration
+from taureau.sim import MetricRegistry, Simulation
+
+__all__ = ["JiffyEvent", "NotificationBus"]
+
+
+@dataclasses.dataclass(frozen=True)
+class JiffyEvent:
+    """One state-change event on a namespace."""
+
+    path: str
+    kind: str  # created / write / removed / reclaimed
+    detail: object = None
+    time: float = 0.0
+
+
+class NotificationBus:
+    """Routes namespace events to subscribers."""
+
+    def __init__(
+        self, sim: Simulation, calibration: Calibration = DEFAULT_CALIBRATION
+    ):
+        self.sim = sim
+        self.calibration = calibration
+        self.metrics = MetricRegistry()
+        self._subscribers: dict = collections.defaultdict(list)
+
+    def subscribe(
+        self, path: str, callback: typing.Callable[[JiffyEvent], None]
+    ) -> typing.Callable:
+        """Deliver every future event on ``path`` to ``callback``."""
+        self._subscribers[path].append(callback)
+        return callback
+
+    def unsubscribe(self, path: str, callback) -> None:
+        self._subscribers[path].remove(callback)
+
+    def publish(self, path: str, kind: str, detail: object = None) -> int:
+        """Emit an event; returns the number of subscribers notified."""
+        event = JiffyEvent(path=path, kind=kind, detail=detail, time=self.sim.now)
+        subscribers = self._subscribers.get(path, [])
+        for callback in subscribers:
+            self.sim.schedule_after(
+                self.calibration.memory_base_latency_s, callback, event
+            )
+        self.metrics.counter("events").add()
+        self.metrics.counter("deliveries").add(len(subscribers))
+        return len(subscribers)

@@ -1,0 +1,66 @@
+"""Small real models trained by the serverless ML harness (§5.2)."""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+__all__ = [
+    "sigmoid",
+    "logistic_loss",
+    "logistic_gradient",
+    "logistic_accuracy",
+    "LogisticModel",
+]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clipping keeps exp() from overflowing on confident logits.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+def logistic_loss(
+    weights: np.ndarray, features: np.ndarray, labels: np.ndarray, l2: float = 0.0
+) -> float:
+    """Mean negative log-likelihood plus L2 penalty."""
+    probabilities = sigmoid(features @ weights)
+    eps = 1e-12
+    nll = -np.mean(
+        labels * np.log(probabilities + eps)
+        + (1.0 - labels) * np.log(1.0 - probabilities + eps)
+    )
+    return float(nll + 0.5 * l2 * np.dot(weights, weights))
+
+
+def logistic_gradient(
+    weights: np.ndarray, features: np.ndarray, labels: np.ndarray, l2: float = 0.0
+) -> np.ndarray:
+    """The exact gradient of :func:`logistic_loss`."""
+    errors = sigmoid(features @ weights) - labels
+    return features.T @ errors / len(labels) + l2 * weights
+
+
+def logistic_accuracy(
+    weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+) -> float:
+    predictions = (features @ weights > 0).astype(np.float64)
+    return float(np.mean(predictions == labels))
+
+
+class LogisticModel:
+    """A trained classifier handle used by the inference service."""
+
+    def __init__(self, weights: np.ndarray, model_id: str = "model"):
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.model_id = model_id
+
+    @property
+    def size_mb(self) -> float:
+        return self.weights.nbytes / (1024.0 * 1024.0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (np.atleast_2d(features) @ self.weights > 0).astype(np.float64)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return sigmoid(np.atleast_2d(features) @ self.weights)

@@ -1,0 +1,53 @@
+"""FaaS orchestration frameworks (paper §4.2)."""
+
+from taureau.orchestration.composition import (
+    Catch,
+    Choice,
+    ChoiceRule,
+    Composition,
+    MapEach,
+    Parallel,
+    Retry,
+    Sequence,
+    Task,
+    TaskFailed,
+)
+from taureau.orchestration.dag import Dag, DagCycleError
+from taureau.orchestration.executor import Execution, Orchestrator
+from taureau.orchestration.statemachine import (
+    ChoiceState,
+    FailState,
+    ParallelState,
+    PassState,
+    StateMachine,
+    StateMachineFailed,
+    SucceedState,
+    TaskState,
+    WaitState,
+)
+
+__all__ = [
+    "Catch",
+    "Choice",
+    "ChoiceRule",
+    "Composition",
+    "MapEach",
+    "Parallel",
+    "Retry",
+    "Sequence",
+    "Task",
+    "TaskFailed",
+    "Dag",
+    "DagCycleError",
+    "Execution",
+    "Orchestrator",
+    "ChoiceState",
+    "FailState",
+    "ParallelState",
+    "PassState",
+    "StateMachine",
+    "StateMachineFailed",
+    "SucceedState",
+    "TaskState",
+    "WaitState",
+]

@@ -1,0 +1,163 @@
+"""The function-composition DSL (paper §4.2).
+
+"FaaS orchestration frameworks allow users to compose multiple functions
+to enable more complex application semantics."  The DSL is a small AST:
+
+- :class:`Task` — invoke one function (or a registered sub-composition)
+  with the current value;
+- :class:`Sequence` — pipe a value through steps;
+- :class:`Parallel` — fan out the same value to branches, collect a list;
+- :class:`Choice` — branch on a predicate over the value;
+- :class:`MapEach` — apply a body composition to every element of a list;
+- :class:`Retry` — re-run a body on failure, bounded attempts;
+- :class:`Catch` — handle a failing body with a fallback.
+
+Compositions reference functions *by name only* (Lopez property 1:
+functions are black boxes) and are themselves invocable (property 2);
+the executor never bills orchestration time as function time
+(property 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+__all__ = [
+    "Composition",
+    "Task",
+    "Sequence",
+    "Parallel",
+    "Choice",
+    "ChoiceRule",
+    "MapEach",
+    "Retry",
+    "Catch",
+    "TaskFailed",
+]
+
+
+class TaskFailed(Exception):
+    """A task's invocation ended in ERROR/TIMEOUT/THROTTLED."""
+
+    def __init__(self, record):
+        super().__init__(
+            f"{record.function_name} failed with {record.status.value}"
+        )
+        self.record = record
+
+
+class Composition:
+    """Base class; gives the DSL a fluent ``then``/``catch`` surface."""
+
+    def then(self, *steps: "Composition") -> "Sequence":
+        return Sequence([self, *steps])
+
+    def catch(self, handler: "Composition") -> "Catch":
+        return Catch(self, handler)
+
+    def with_retry(self, max_attempts: int) -> "Retry":
+        return Retry(self, max_attempts)
+
+    def leaf_names(self) -> list:
+        """Names of all task targets in this composition (for audits)."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class Task(Composition):
+    """Invoke ``name`` with the current value as payload.
+
+    ``transform`` optionally maps the upstream value into the payload —
+    composition-level glue that does not require touching the function
+    (the black-box property).
+    """
+
+    name: str
+    transform: typing.Optional[typing.Callable[[object], object]] = None
+
+    def leaf_names(self) -> list:
+        return [self.name]
+
+
+@dataclasses.dataclass
+class Sequence(Composition):
+    steps: typing.List[Composition]
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("a Sequence needs at least one step")
+
+    def leaf_names(self) -> list:
+        return [name for step in self.steps for name in step.leaf_names()]
+
+
+@dataclasses.dataclass
+class Parallel(Composition):
+    branches: typing.List[Composition]
+
+    def __post_init__(self):
+        if not self.branches:
+            raise ValueError("a Parallel needs at least one branch")
+
+    def leaf_names(self) -> list:
+        return [name for branch in self.branches for name in branch.leaf_names()]
+
+
+@dataclasses.dataclass
+class ChoiceRule:
+    predicate: typing.Callable[[object], bool]
+    branch: Composition
+
+
+@dataclasses.dataclass
+class Choice(Composition):
+    rules: typing.List[ChoiceRule]
+    default: typing.Optional[Composition] = None
+
+    def __post_init__(self):
+        if not self.rules:
+            raise ValueError("a Choice needs at least one rule")
+
+    def leaf_names(self) -> list:
+        names = [name for rule in self.rules for name in rule.branch.leaf_names()]
+        if self.default is not None:
+            names.extend(self.default.leaf_names())
+        return names
+
+
+@dataclasses.dataclass
+class MapEach(Composition):
+    """Apply ``body`` to each element of the (list) value, in parallel."""
+
+    body: Composition
+    max_concurrency: typing.Optional[int] = None
+
+    def __post_init__(self):
+        if self.max_concurrency is not None and self.max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+
+    def leaf_names(self) -> list:
+        return self.body.leaf_names()
+
+
+@dataclasses.dataclass
+class Retry(Composition):
+    body: Composition
+    max_attempts: int = 3
+
+    def __post_init__(self):
+        if self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+
+    def leaf_names(self) -> list:
+        return self.body.leaf_names()
+
+
+@dataclasses.dataclass
+class Catch(Composition):
+    body: Composition
+    handler: Composition
+
+    def leaf_names(self) -> list:
+        return self.body.leaf_names() + self.handler.leaf_names()

@@ -1,0 +1,144 @@
+"""DAG workflows over the composition executor (paper §4.2).
+
+``Sequence``/``Parallel`` cover series-parallel graphs, but real
+pipelines (ExCamera's encode→rebase lattice, ETL fan-in joins) are
+general DAGs.  :class:`Dag` runs one: every node is a composition,
+edges are data dependencies, and a node starts the moment its last
+dependency finishes — no global barriers.  Billing flows into the same
+:class:`~taureau.orchestration.executor.Execution` audit, so the
+no-double-billing property holds for DAGs too.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.orchestration.composition import Composition, Task
+from taureau.orchestration.executor import Execution, Orchestrator
+from taureau.sim import Event
+
+__all__ = ["Dag", "DagCycleError"]
+
+
+class DagCycleError(Exception):
+    """The workflow graph contains a dependency cycle."""
+
+
+class _DagNode:
+    def __init__(self, name: str, body: Composition, after: list):
+        self.name = name
+        self.body = body
+        self.after = after
+
+
+class Dag:
+    """A named-node workflow graph.
+
+    Node input convention: root nodes receive the DAG's initial input;
+    single-dependency nodes receive that dependency's output directly;
+    multi-dependency nodes receive ``{dependency_name: output}``.
+    """
+
+    def __init__(self):
+        self._nodes: typing.Dict[str, _DagNode] = {}
+
+    def node(
+        self,
+        name: str,
+        body: typing.Union[Composition, str],
+        after: typing.Optional[typing.Sequence[str]] = None,
+    ) -> "Dag":
+        """Add a node; ``body`` may be a composition or a function name."""
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already defined")
+        if isinstance(body, str):
+            body = Task(body)
+        dependencies = list(after or [])
+        for dependency in dependencies:
+            if dependency not in self._nodes:
+                raise ValueError(
+                    f"node {name!r} depends on undefined node {dependency!r}"
+                )
+        self._nodes[name] = _DagNode(name, body, dependencies)
+        return self
+
+    def topological_order(self) -> list:
+        """Node names in dependency order (validates acyclicity)."""
+        in_degree = {name: len(node.after) for name, node in self._nodes.items()}
+        dependents: dict = {name: [] for name in self._nodes}
+        for name, node in self._nodes.items():
+            for dependency in node.after:
+                dependents[dependency].append(name)
+        ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+        order: list = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for dependent in dependents[name]:
+                in_degree[dependent] -= 1
+                if in_degree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(self._nodes):
+            stuck = sorted(set(self._nodes) - set(order))
+            raise DagCycleError(f"cycle involving {stuck}")
+        return order
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, orchestrator: Orchestrator, value: object = None
+    ) -> typing.Tuple[Event, Execution]:
+        """Execute the DAG; the event fires with {node: output}."""
+        self.topological_order()  # validate before spending anything
+        execution = Execution()
+        execution.started_at = orchestrator.sim.now
+        process = orchestrator.sim.process(
+            self._drive(orchestrator, value, execution)
+        )
+
+        def stamp(event):
+            execution.finished_at = orchestrator.sim.now
+
+        process.add_callback(stamp)
+        return process, execution
+
+    def run_sync(self, orchestrator: Orchestrator, value: object = None):
+        done, execution = self.run(orchestrator, value)
+        return orchestrator.sim.run(until=done), execution
+
+    def _drive(self, orchestrator: Orchestrator, value, execution: Execution):
+        sim = orchestrator.sim
+        results: dict = {}
+        in_flight: dict = {}  # name -> Process
+        remaining = dict(self._nodes)
+
+        def launch_ready():
+            for name, node in list(remaining.items()):
+                if name in in_flight:
+                    continue
+                if all(dependency in results for dependency in node.after):
+                    node_input = self._input_for(node, value, results)
+                    in_flight[name] = sim.process(
+                        orchestrator._execute(node.body, node_input, execution)
+                    )
+
+        launch_ready()
+        while remaining:
+            if not in_flight:
+                raise DagCycleError("no runnable nodes remain")  # unreachable
+            yield sim.any_of(list(in_flight.values()))
+            for name, process in list(in_flight.items()):
+                if process.triggered:
+                    results[name] = process.value
+                    del in_flight[name]
+                    del remaining[name]
+            launch_ready()
+        return results
+
+    @staticmethod
+    def _input_for(node: _DagNode, initial, results: dict):
+        if not node.after:
+            return initial
+        if len(node.after) == 1:
+            return results[node.after[0]]
+        return {dependency: results[dependency] for dependency in node.after}

@@ -1,0 +1,213 @@
+"""The orchestration executor, enforcing the three Lopez properties.
+
+Runs a :class:`~taureau.orchestration.composition.Composition` against a
+:class:`~taureau.core.platform.FaasPlatform`:
+
+1. *Black box* — tasks are invoked by name; the executor never inspects
+   or modifies handlers.
+2. *Composition is a function* — :meth:`Orchestrator.register` makes a
+   composition invocable by name from other compositions, so nesting is
+   free.
+3. *No double billing* — the orchestrator adds control-plane latency
+   (one transition overhead per step) but never adds billed
+   function-seconds: the user's bill is exactly the sum of the leaf
+   invocations' costs, which :meth:`Execution.billed_cost_usd` exposes
+   for auditing (experiment E13).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.core.platform import FaasPlatform
+from taureau.orchestration.composition import (
+    Catch,
+    Choice,
+    Composition,
+    MapEach,
+    Parallel,
+    Retry,
+    Sequence,
+    Task,
+    TaskFailed,
+)
+from taureau.sim import Event, MetricRegistry
+
+__all__ = ["Execution", "Orchestrator"]
+
+
+class Execution:
+    """The result and audit trail of one composition run."""
+
+    def __init__(self):
+        self.records: list = []  # every leaf InvocationRecord, in finish order
+        self.transitions = 0
+        self.started_at = 0.0
+        self.finished_at = 0.0
+
+    @property
+    def billed_cost_usd(self) -> float:
+        """The user's bill: leaf invocations only — no composition markup."""
+        return sum(record.cost_usd for record in self.records)
+
+    @property
+    def billed_duration_s(self) -> float:
+        return sum(record.billed_duration_s for record in self.records)
+
+    @property
+    def wall_clock_s(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class Orchestrator:
+    """Executes compositions over a FaaS platform."""
+
+    def __init__(self, platform: FaasPlatform, transition_overhead_s: float = 0.005):
+        if transition_overhead_s < 0:
+            raise ValueError("transition_overhead_s must be nonnegative")
+        self.platform = platform
+        self.sim = platform.sim
+        self.transition_overhead_s = transition_overhead_s
+        self.metrics = MetricRegistry()
+        self._compositions: typing.Dict[str, Composition] = {}
+
+    # ------------------------------------------------------------------
+    # Property 2: compositions are functions
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, composition: Composition) -> None:
+        """Make ``composition`` invocable as ``Task(name)``."""
+        if name in self._compositions:
+            raise ValueError(f"composition {name!r} already registered")
+        self._compositions[name] = composition
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self, composition: Composition, value: object = None
+    ) -> typing.Tuple[Event, Execution]:
+        """Start the composition; returns ``(done_event, execution)``.
+
+        ``done_event`` fires with the composition's output value, or
+        fails with :class:`TaskFailed` if an unhandled task failure
+        propagates to the top.
+        """
+        execution = Execution()
+        execution.started_at = self.sim.now
+        process = self.sim.process(self._execute(composition, value, execution))
+
+        def stamp(event):
+            execution.finished_at = self.sim.now
+
+        process.add_callback(stamp)
+        self.metrics.counter("executions").add()
+        return process, execution
+
+    def run_sync(self, composition: Composition, value: object = None):
+        """Run to completion; returns ``(output, execution)``."""
+        done, execution = self.run(composition, value)
+        output = self.sim.run(until=done)
+        return output, execution
+
+    # ------------------------------------------------------------------
+    # Interpreter (a simulated process per composition run)
+    # ------------------------------------------------------------------
+
+    def _execute(self, node: Composition, value: object, execution: Execution):
+        execution.transitions += 1
+        self.metrics.counter("transitions").add()
+        if self.transition_overhead_s > 0:
+            yield self.sim.timeout(self.transition_overhead_s)
+
+        if isinstance(node, Task):
+            result = yield from self._run_task(node, value, execution)
+            return result
+
+        if isinstance(node, Sequence):
+            for step in node.steps:
+                value = yield from self._execute(step, value, execution)
+            return value
+
+        if isinstance(node, Parallel):
+            branches = [
+                self.sim.process(self._execute(branch, value, execution))
+                for branch in node.branches
+            ]
+            results = yield self.sim.all_of(branches)
+            return results
+
+        if isinstance(node, Choice):
+            for rule in node.rules:
+                if rule.predicate(value):
+                    result = yield from self._execute(rule.branch, value, execution)
+                    return result
+            if node.default is None:
+                raise ValueError(f"no Choice rule matched value {value!r}")
+            result = yield from self._execute(node.default, value, execution)
+            return result
+
+        if isinstance(node, MapEach):
+            items = list(value)
+            limit = node.max_concurrency or len(items) or 1
+            results: list = [None] * len(items)
+            index = 0
+            in_flight: list = []
+            while index < len(items) or in_flight:
+                while index < len(items) and len(in_flight) < limit:
+                    process = self.sim.process(
+                        self._execute(node.body, items[index], execution)
+                    )
+                    in_flight.append((index, process))
+                    index += 1
+                finished = yield self.sim.any_of(
+                    [process for __, process in in_flight]
+                )
+                still_running = []
+                for position, process in in_flight:
+                    if process.triggered:
+                        results[position] = process.value
+                    else:
+                        still_running.append((position, process))
+                in_flight = still_running
+            return results
+
+        if isinstance(node, Retry):
+            last_error: typing.Optional[BaseException] = None
+            for _attempt in range(node.max_attempts):
+                try:
+                    result = yield from self._execute(node.body, value, execution)
+                    return result
+                except TaskFailed as exc:
+                    last_error = exc
+                    self.metrics.counter("retries").add()
+            raise last_error
+
+        if isinstance(node, Catch):
+            try:
+                result = yield from self._execute(node.body, value, execution)
+                return result
+            except TaskFailed as exc:
+                self.metrics.counter("catches").add()
+                result = yield from self._execute(
+                    node.handler, exc.record, execution
+                )
+                return result
+
+        raise TypeError(f"unknown composition node: {node!r}")
+
+    def _run_task(self, task: Task, value: object, execution: Execution):
+        payload = task.transform(value) if task.transform else value
+        if task.name in self._compositions:
+            # Nested composition: runs in-line, billing flows into the
+            # same execution (still only leaf functions are billed).
+            result = yield from self._execute(
+                self._compositions[task.name], payload, execution
+            )
+            return result
+        record = yield self.platform.invoke(task.name, payload)
+        execution.records.append(record)
+        if not record.succeeded:
+            raise TaskFailed(record)
+        return record.response

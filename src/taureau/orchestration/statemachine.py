@@ -1,0 +1,189 @@
+"""A Step-Functions-style state machine (paper §4.2).
+
+The second orchestration surface: instead of composing AST nodes in
+Python, users declare named states with transitions — the Amazon States
+Language shape (Task / Choice / Wait / Pass / Parallel / Succeed /
+Fail).  The definition compiles to the composition DSL wherever
+possible and is interpreted directly where it cannot (Wait, terminal
+states), so both surfaces share one executor and one billing audit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from taureau.orchestration.composition import TaskFailed
+from taureau.orchestration.executor import Execution, Orchestrator
+from taureau.sim import Event
+
+__all__ = [
+    "State",
+    "TaskState",
+    "ChoiceState",
+    "WaitState",
+    "PassState",
+    "ParallelState",
+    "SucceedState",
+    "FailState",
+    "StateMachine",
+    "StateMachineFailed",
+]
+
+
+class StateMachineFailed(Exception):
+    """Execution reached a Fail state (or exhausted task retries)."""
+
+
+@dataclasses.dataclass
+class State:
+    pass
+
+
+@dataclasses.dataclass
+class TaskState(State):
+    resource: str  # function name on the platform
+    next: typing.Optional[str] = None  # None = terminal success
+    retry_attempts: int = 1
+
+
+@dataclasses.dataclass
+class ChoiceState(State):
+    #: (predicate, next-state-name) pairs, first match wins.
+    choices: typing.List[typing.Tuple[typing.Callable[[object], bool], str]]
+    default: typing.Optional[str] = None
+
+
+@dataclasses.dataclass
+class WaitState(State):
+    seconds: float
+    next: typing.Optional[str] = None
+
+
+@dataclasses.dataclass
+class PassState(State):
+    transform: typing.Optional[typing.Callable[[object], object]] = None
+    next: typing.Optional[str] = None
+
+
+@dataclasses.dataclass
+class ParallelState(State):
+    #: Each branch is a (start_state, states) sub-machine definition.
+    branches: typing.List["StateMachine"]
+    next: typing.Optional[str] = None
+
+
+@dataclasses.dataclass
+class SucceedState(State):
+    pass
+
+
+@dataclasses.dataclass
+class FailState(State):
+    error: str = "States.Failed"
+
+
+class StateMachine:
+    """A named-state workflow over a FaaS platform."""
+
+    def __init__(self, start_at: str, states: typing.Dict[str, State]):
+        if start_at not in states:
+            raise ValueError(f"start state {start_at!r} is not defined")
+        self._validate(states)
+        self.start_at = start_at
+        self.states = states
+
+    @staticmethod
+    def _validate(states: typing.Dict[str, State]) -> None:
+        for name, state in states.items():
+            targets: list = []
+            if isinstance(state, (TaskState, WaitState, PassState, ParallelState)):
+                if state.next is not None:
+                    targets.append(state.next)
+            if isinstance(state, ChoiceState):
+                targets.extend(next_name for __, next_name in state.choices)
+                if state.default is not None:
+                    targets.append(state.default)
+            for target in targets:
+                if target not in states:
+                    raise ValueError(
+                        f"state {name!r} transitions to undefined state {target!r}"
+                    )
+
+    def run(
+        self, orchestrator: Orchestrator, value: object = None
+    ) -> typing.Tuple[Event, Execution]:
+        """Execute on the orchestrator's platform; see Orchestrator.run."""
+        execution = Execution()
+        execution.started_at = orchestrator.sim.now
+        process = orchestrator.sim.process(
+            self._interpret(orchestrator, value, execution)
+        )
+
+        def stamp(event):
+            execution.finished_at = orchestrator.sim.now
+
+        process.add_callback(stamp)
+        return process, execution
+
+    def run_sync(self, orchestrator: Orchestrator, value: object = None):
+        done, execution = self.run(orchestrator, value)
+        return orchestrator.sim.run(until=done), execution
+
+    # ------------------------------------------------------------------
+
+    def _interpret(self, orchestrator: Orchestrator, value, execution: Execution):
+        sim = orchestrator.sim
+        current: typing.Optional[str] = self.start_at
+        while current is not None:
+            state = self.states[current]
+            execution.transitions += 1
+            if orchestrator.transition_overhead_s > 0:
+                yield sim.timeout(orchestrator.transition_overhead_s)
+
+            if isinstance(state, TaskState):
+                value = yield from self._run_task(orchestrator, state, value, execution)
+                current = state.next
+            elif isinstance(state, ChoiceState):
+                current = self._choose(state, value)
+            elif isinstance(state, WaitState):
+                yield sim.timeout(state.seconds)
+                current = state.next
+            elif isinstance(state, PassState):
+                if state.transform is not None:
+                    value = state.transform(value)
+                current = state.next
+            elif isinstance(state, ParallelState):
+                branches = [
+                    sim.process(branch._interpret(orchestrator, value, execution))
+                    for branch in state.branches
+                ]
+                value = yield sim.all_of(branches)
+                current = state.next
+            elif isinstance(state, SucceedState):
+                return value
+            elif isinstance(state, FailState):
+                raise StateMachineFailed(state.error)
+            else:
+                raise TypeError(f"unknown state type: {state!r}")
+        return value
+
+    @staticmethod
+    def _choose(state: ChoiceState, value) -> str:
+        for predicate, next_name in state.choices:
+            if predicate(value):
+                return next_name
+        if state.default is None:
+            raise ValueError(f"no choice matched value {value!r}")
+        return state.default
+
+    @staticmethod
+    def _run_task(orchestrator, state: TaskState, value, execution: Execution):
+        last_record = None
+        for _attempt in range(state.retry_attempts):
+            record = yield orchestrator.platform.invoke(state.resource, value)
+            execution.records.append(record)
+            if record.succeeded:
+                return record.response
+            last_record = record
+        raise TaskFailed(last_record)

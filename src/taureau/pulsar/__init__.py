@@ -1,0 +1,50 @@
+"""A Pulsar-like messaging system with serverless functions (paper §4.3)."""
+
+from taureau.pulsar.bookie import (
+    Bookie,
+    EntryUnavailable,
+    Ledger,
+    LedgerClosed,
+    LedgerEntry,
+)
+from taureau.pulsar.broker import Broker, BrokerTopic
+from taureau.pulsar.cluster import Producer, PulsarCluster
+from taureau.pulsar.georeplication import GeoReplicator, ReplicatedPayload, unwrap
+from taureau.pulsar.tiered import TieredStorage
+from taureau.pulsar.windows import WindowedAggregator, WindowResult
+from taureau.pulsar.functions import FunctionContext, FunctionsRuntime, PulsarFunction
+from taureau.pulsar.metadata import MetadataStore
+from taureau.pulsar.topic import (
+    Consumer,
+    Message,
+    MessageId,
+    Subscription,
+    SubscriptionType,
+)
+
+__all__ = [
+    "Bookie",
+    "EntryUnavailable",
+    "Ledger",
+    "LedgerClosed",
+    "LedgerEntry",
+    "Broker",
+    "BrokerTopic",
+    "Producer",
+    "PulsarCluster",
+    "GeoReplicator",
+    "ReplicatedPayload",
+    "unwrap",
+    "TieredStorage",
+    "WindowedAggregator",
+    "WindowResult",
+    "FunctionContext",
+    "FunctionsRuntime",
+    "PulsarFunction",
+    "MetadataStore",
+    "Consumer",
+    "Message",
+    "MessageId",
+    "Subscription",
+    "SubscriptionType",
+]

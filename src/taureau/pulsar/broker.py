@@ -1,0 +1,220 @@
+"""The Pulsar broker — the stateless serving layer of Figure 1.
+
+Paper §4.3: "The Pulsar broker is a stateless component and is tasked
+with receiving and dispatching messages while using bookie as durable
+storage for messages until they are consumed."
+
+A broker serializes message handling (one dispatcher pipeline), appends
+each message to the owning topic's current ledger, and — once the
+bookie ack-quorum confirms — fans the message out to every
+subscription.  Because all state lives in ledgers and the metadata
+store, a crashed broker's topics can be reassigned to a peer without
+losing anything: the new broker simply closes the old ledger and opens
+a fresh one (single-writer semantics).
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from taureau.core.calibration import DEFAULT_CALIBRATION, Calibration
+from taureau.pulsar.bookie import Bookie, Ledger
+from taureau.pulsar.topic import (
+    Consumer,
+    Message,
+    MessageId,
+    Subscription,
+    SubscriptionType,
+)
+from taureau.sim import Event, MetricRegistry, Simulation
+
+__all__ = ["BrokerTopic", "Broker"]
+
+
+class BrokerTopic:
+    """A (partition of a) topic as managed by its owning broker.
+
+    ``retention_s`` bounds how long persisted messages stay available for
+    late subscribers ("until they are consumed", plus a grace window, per
+    §4.3); ``None`` retains forever.
+    """
+
+    def __init__(self, name: str, ledger: Ledger,
+                 retention_s: typing.Optional[float] = None):
+        if retention_s is not None and retention_s < 0:
+            raise ValueError("retention_s must be nonnegative")
+        self.name = name
+        self.ledgers: list = [ledger]
+        self.backlog: list = []  # persisted Messages, in ack order
+        self.subscriptions: typing.Dict[str, Subscription] = {}
+        self.retention_s = retention_s
+
+    def prune_backlog(self, now: float) -> int:
+        """Drop persisted messages older than the retention window."""
+        if self.retention_s is None:
+            return 0
+        cutoff = now - self.retention_s
+        kept = [m for m in self.backlog if m.publish_time >= cutoff]
+        dropped = len(self.backlog) - len(kept)
+        self.backlog = kept
+        return dropped
+
+    @property
+    def current_ledger(self) -> Ledger:
+        return self.ledgers[-1]
+
+    def rotate_ledger(self, new_ledger: Ledger) -> None:
+        self.current_ledger.close()
+        self.ledgers.append(new_ledger)
+
+
+class Broker:
+    """Receives, persists and dispatches messages for its topics."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bookies: typing.Sequence[Bookie],
+        write_quorum: int = 2,
+        ack_quorum: int = 2,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ):
+        self.broker_id = f"broker{next(Broker._ids)}"
+        self.sim = sim
+        self.bookies = list(bookies)
+        self.write_quorum = min(write_quorum, len(self.bookies))
+        self.ack_quorum = min(ack_quorum, self.write_quorum)
+        self.calibration = calibration
+        self.alive = True
+        self.topics: typing.Dict[str, BrokerTopic] = {}
+        self.metrics = MetricRegistry()
+        self._next_free = 0.0
+
+    # ------------------------------------------------------------------
+    # Topic ownership
+    # ------------------------------------------------------------------
+
+    def own_topic(self, name: str,
+                  retention_s: typing.Optional[float] = None) -> BrokerTopic:
+        if name in self.topics:
+            raise ValueError(f"{self.broker_id} already owns {name!r}")
+        topic = BrokerTopic(name, self._new_ledger(), retention_s=retention_s)
+        self.topics[name] = topic
+        return topic
+
+    def adopt_topic(self, topic: BrokerTopic) -> None:
+        """Take over a topic from a failed peer (stateless hand-off)."""
+        topic.rotate_ledger(self._new_ledger())
+        self.topics[topic.name] = topic
+
+    def release_topic(self, name: str) -> BrokerTopic:
+        return self.topics.pop(name)
+
+    def _new_ledger(self) -> Ledger:
+        return Ledger(
+            self.sim,
+            self.bookies,
+            write_quorum=self.write_quorum,
+            ack_quorum=self.ack_quorum,
+        )
+
+    # ------------------------------------------------------------------
+    # Publish path
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        topic_name: str,
+        payload: object,
+        key: typing.Optional[str] = None,
+        size_mb: float = 0.0,
+    ) -> Event:
+        """Receive → persist → dispatch; the event fires with the Message.
+
+        The broker pipeline is serial: a publish waits for the broker to
+        be free (``dispatch`` latency each), which is what makes
+        partitioned topics spread across brokers scale throughput (E9).
+        """
+        if not self.alive:
+            raise RuntimeError(f"{self.broker_id} is down")
+        topic = self._topic(topic_name)
+        done = self.sim.event()
+        start = max(self.sim.now, self._next_free)
+        self._next_free = start + self.calibration.broker_dispatch_s
+        self.sim.schedule_at(
+            self._next_free, self._persist, topic, payload, key, size_mb, done
+        )
+        return done
+
+    def _persist(self, topic, payload, key, size_mb, done: Event) -> None:
+        entry_id, ack_time = topic.current_ledger.append(payload, size_mb)
+        message = Message(
+            message_id=MessageId(topic.current_ledger.ledger_id, entry_id),
+            topic=topic.name,
+            payload=payload,
+            key=key,
+            size_mb=size_mb,
+            publish_time=self.sim.now,
+        )
+        self.sim.schedule_at(max(ack_time, self.sim.now), self._acked, topic, message, done)
+
+    def _acked(self, topic: BrokerTopic, message: Message, done: Event) -> None:
+        topic.backlog.append(message)
+        dropped = topic.prune_backlog(self.sim.now)
+        if dropped:
+            self.metrics.counter("backlog_expired").add(dropped)
+        self.metrics.counter("messages_persisted").add()
+        self.metrics.counter("bytes_persisted_mb").add(message.size_mb)
+        for subscription in topic.subscriptions.values():
+            subscription.dispatch(message)
+        done.succeed(message)
+
+    # ------------------------------------------------------------------
+    # Subscribe path
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        topic_name: str,
+        subscription_name: str,
+        sub_type: SubscriptionType = SubscriptionType.EXCLUSIVE,
+        listener=None,
+        replay_backlog: bool = False,
+    ) -> Consumer:
+        """Attach a consumer; optionally replay already-persisted messages."""
+        topic = self._topic(topic_name)
+        subscription = topic.subscriptions.get(subscription_name)
+        if subscription is None:
+            subscription = Subscription(
+                self.sim,
+                topic_name,
+                subscription_name,
+                sub_type,
+                dispatch_latency_s=self.calibration.broker_dispatch_s,
+            )
+            topic.subscriptions[subscription_name] = subscription
+        elif subscription.sub_type is not sub_type:
+            raise ValueError(
+                f"subscription {subscription_name!r} already exists with type "
+                f"{subscription.sub_type.value}"
+            )
+        consumer = Consumer(self.sim, subscription, listener=listener)
+        subscription.add_consumer(consumer)
+        if replay_backlog:
+            topic.prune_backlog(self.sim.now)
+            for message in topic.backlog:
+                subscription.dispatch(message)
+        return consumer
+
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        self.alive = False
+
+    def _topic(self, name: str) -> BrokerTopic:
+        if name not in self.topics:
+            raise KeyError(f"{self.broker_id} does not own topic {name!r}")
+        return self.topics[name]

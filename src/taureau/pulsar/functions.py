@@ -1,0 +1,181 @@
+"""Pulsar Functions — serverless compute on message streams (§4.3.1).
+
+"Pulsar functions allow users to deploy and manage processing of
+serverless functions that consume messages from and publish messages to
+Pulsar topics" — the paper's bridge between the messaging substrate and
+serverless analytics (Figure 3 implements a Count-Min sketch this way).
+
+A :class:`PulsarFunction` is a Python callable ``process(input, context)``
+deployed over input topics with a SHARED subscription per instance
+group.  The context mirrors the real API: per-key state, user counters,
+and ``publish`` for side outputs; the return value (if not ``None``)
+goes to the configured output topic.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.pulsar.cluster import PulsarCluster
+from taureau.pulsar.topic import Message, SubscriptionType
+from taureau.sim import MetricRegistry
+
+__all__ = ["FunctionContext", "PulsarFunction", "FunctionsRuntime"]
+
+
+class FunctionContext:
+    """What a Pulsar function sees while processing one message."""
+
+    def __init__(self, runtime: "FunctionsRuntime", function: "PulsarFunction"):
+        self._runtime = runtime
+        self._function = function
+        self._message: typing.Optional[Message] = None
+        self._state: dict = {}
+        self._counters: dict = {}
+
+    # -- message metadata -----------------------------------------------------
+
+    @property
+    def function_name(self) -> str:
+        return self._function.name
+
+    @property
+    def current_message(self) -> Message:
+        if self._message is None:
+            raise RuntimeError("no message is being processed")
+        return self._message
+
+    @property
+    def message_key(self) -> typing.Optional[str]:
+        return self.current_message.key
+
+    # -- state & counters -------------------------------------------------------
+
+    def put_state(self, key: str, value: object) -> None:
+        """Durable-ish per-function state (the stateful-functions hook)."""
+        self._state[key] = value
+
+    def get_state(self, key: str, default: object = None) -> object:
+        return self._state.get(key, default)
+
+    def incr_counter(self, key: str, amount: int = 1) -> int:
+        self._counters[key] = self._counters.get(key, 0) + amount
+        return self._counters[key]
+
+    def get_counter(self, key: str) -> int:
+        return self._counters.get(key, 0)
+
+    # -- output ----------------------------------------------------------------
+
+    def publish(self, topic: str, payload: object, key=None):
+        """Side output to an arbitrary topic."""
+        return self._runtime.cluster.producer(topic).send(payload, key=key)
+
+
+class PulsarFunction:
+    """A deployable stream function."""
+
+    def __init__(
+        self,
+        name: str,
+        process: typing.Callable[[object, FunctionContext], object],
+        input_topics: typing.Sequence[str],
+        output_topic: typing.Optional[str] = None,
+        parallelism: int = 1,
+    ):
+        if parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        if not input_topics:
+            raise ValueError("a function needs at least one input topic")
+        self.name = name
+        self.process = process
+        self.input_topics = list(input_topics)
+        self.output_topic = output_topic
+        self.parallelism = parallelism
+
+
+class FunctionsRuntime:
+    """Deploys functions onto a cluster and pumps messages through them."""
+
+    def __init__(self, cluster: PulsarCluster):
+        self.cluster = cluster
+        self.metrics = MetricRegistry()
+        self._deployed: typing.Dict[str, FunctionContext] = {}
+
+    def deploy(self, function: PulsarFunction) -> FunctionContext:
+        """Subscribe the function's instances to its input topics.
+
+        All instances of one function share a SHARED subscription, so
+        each message is processed exactly once by one instance — the
+        queuing half of Pulsar's unified model.  Returns the (shared)
+        context so tests/examples can inspect state and counters.
+        """
+        if function.name in self._deployed:
+            raise ValueError(f"function {function.name!r} is already deployed")
+        context = FunctionContext(self, function)
+        failures: dict = {}
+        max_redeliveries = 3
+
+        def listener(message: Message, consumer) -> None:
+            context._message = message
+            try:
+                result = function.process(message.payload, context)
+            except Exception:
+                self.metrics.counter(f"{function.name}.process_errors").add()
+                count = failures.get(message.message_id, 0) + 1
+                failures[message.message_id] = count
+                if count <= max_redeliveries:
+                    consumer.nack(message)
+                else:
+                    # Dead-letter: stop redelivering a poison message.
+                    self.metrics.counter(f"{function.name}.dead_lettered").add()
+                    consumer.ack(message)
+                return
+            finally:
+                context._message = None
+            self.metrics.counter(f"{function.name}.processed").add()
+            if result is not None and function.output_topic is not None:
+                self.cluster.producer(function.output_topic).send(
+                    result, key=message.key
+                )
+            consumer.ack(message)
+
+        for topic in function.input_topics:
+            for _instance in range(function.parallelism):
+                self.cluster.subscribe(
+                    topic,
+                    subscription_name=f"fn-{function.name}",
+                    sub_type=SubscriptionType.SHARED,
+                    listener=listener,
+                )
+        self._deployed[function.name] = context
+        return context
+
+    def context_of(self, function_name: str) -> FunctionContext:
+        return self._deployed[function_name]
+
+    def deploy_platform_trigger(
+        self,
+        topic: str,
+        platform,
+        function_name: str,
+        subscription_name: typing.Optional[str] = None,
+    ) -> None:
+        """Invoke a FaaS function for every message on ``topic``.
+
+        This is the §3 event-driven pattern with Pulsar as the event
+        source: the message payload becomes the function's event, and
+        the message is acknowledged once the invocation is *submitted*
+        (at-most-once hand-off; use the platform's ``max_retries`` for
+        execution-level retry).
+        """
+        subscription = subscription_name or f"trigger-{function_name}"
+
+        def listener(message: Message, consumer) -> None:
+            platform.invoke(function_name, message.payload)
+            consumer.ack(message)
+            self.metrics.counter(f"trigger.{function_name}.fired").add()
+
+        self.cluster.subscribe(
+            topic, subscription, SubscriptionType.SHARED, listener=listener
+        )

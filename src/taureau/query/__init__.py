@@ -1,0 +1,17 @@
+"""A serverless SQL engine (Athena/BigQuery class; paper §4.1)."""
+
+from taureau.query.engine import QueryResult, ServerlessQueryEngine
+from taureau.query.sql import Condition, Query, SelectItem, SqlError, parse
+from taureau.query.table import ColumnarTable, TableCatalog
+
+__all__ = [
+    "QueryResult",
+    "ServerlessQueryEngine",
+    "Condition",
+    "Query",
+    "SelectItem",
+    "SqlError",
+    "parse",
+    "ColumnarTable",
+    "TableCatalog",
+]

@@ -1,0 +1,255 @@
+"""A small SQL dialect for the serverless query engine.
+
+Grammar (case-insensitive keywords)::
+
+    query   := SELECT items FROM ident [WHERE conj] [GROUP BY ident]
+               [ORDER BY label [DESC]] [LIMIT number]
+    items   := item (',' item)*
+    item    := AGG '(' (ident | '*') ')' | ident
+    AGG     := COUNT | SUM | AVG | MIN | MAX
+    conj    := cond (AND cond)*
+    cond    := ident op literal
+    op      := = | != | < | <= | > | >=
+    literal := number | 'single-quoted string'
+
+This covers the scan/filter/aggregate shape that Athena-class engines
+run massively parallel; joins are out of scope (as they are for many
+real per-query-billing workloads the paper references).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import typing
+
+__all__ = ["SqlError", "SelectItem", "Condition", "Query", "parse"]
+
+#: APPROX_COUNT_DISTINCT is the BigQuery-style sketch aggregate: each
+#: scan task builds a HyperLogLog over its chunk and the coordinator
+#: merges sketches — cardinality in one pass, mergeable across any
+#: fan-out (the §5.1 sketches meeting the §4.1 engines).
+AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX", "APPROX_COUNT_DISTINCT")
+OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+class SqlError(ValueError):
+    """The query text does not parse or does not validate."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectItem:
+    """One projection item: a bare column or ``AGG(column)``."""
+
+    column: str  # '*' only valid under COUNT
+    aggregate: typing.Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        if self.aggregate is None:
+            return self.column
+        return f"{self.aggregate.lower()}({self.column})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Condition:
+    column: str
+    op: str
+    literal: object
+
+    def matches(self, value) -> bool:
+        if self.op == "=":
+            return value == self.literal
+        if self.op == "!=":
+            return value != self.literal
+        if self.op == "<":
+            return value < self.literal
+        if self.op == "<=":
+            return value <= self.literal
+        if self.op == ">":
+            return value > self.literal
+        return value >= self.literal
+
+
+@dataclasses.dataclass(frozen=True)
+class Query:
+    items: typing.Tuple[SelectItem, ...]
+    table: str
+    where: typing.Tuple[Condition, ...]
+    group_by: typing.Optional[str]
+    order_by: typing.Optional[str] = None
+    descending: bool = False
+    limit: typing.Optional[int] = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(item.aggregate for item in self.items)
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<str>'[^']*')|(?P<num>-?\d+(?:\.\d+)?)"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*)|(?P<sym><=|>=|!=|[(),*=<>]))"
+)
+
+
+def _tokenize(text: str) -> list:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise SqlError(f"unexpected character at: {text[position:]!r}")
+            break
+        position = match.end()
+        if match.lastgroup == "str":
+            tokens.append(("literal", match.group("str")[1:-1]))
+        elif match.lastgroup == "num":
+            raw = match.group("num")
+            tokens.append(("literal", float(raw) if "." in raw else int(raw)))
+        elif match.lastgroup == "word":
+            tokens.append(("word", match.group("word")))
+        else:
+            tokens.append(("sym", match.group("sym")))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self):
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return (None, None)
+
+    def take(self):
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        kind, value = self.take()
+        if kind != "word" or value.upper() != keyword:
+            raise SqlError(f"expected {keyword}, found {value!r}")
+
+    def expect_symbol(self, symbol: str) -> None:
+        kind, value = self.take()
+        if kind != "sym" or value != symbol:
+            raise SqlError(f"expected {symbol!r}, found {value!r}")
+
+    def at_keyword(self, keyword: str) -> bool:
+        kind, value = self.peek()
+        return kind == "word" and value.upper() == keyword
+
+    def identifier(self) -> str:
+        kind, value = self.take()
+        if kind != "word":
+            raise SqlError(f"expected an identifier, found {value!r}")
+        return value
+
+    # -- grammar ------------------------------------------------------------
+
+    def query(self) -> Query:
+        self.expect_keyword("SELECT")
+        items = [self.item()]
+        while self.peek() == ("sym", ","):
+            self.take()
+            items.append(self.item())
+        self.expect_keyword("FROM")
+        table = self.identifier()
+        where: list = []
+        group_by = None
+        if self.at_keyword("WHERE"):
+            self.take()
+            where.append(self.condition())
+            while self.at_keyword("AND"):
+                self.take()
+                where.append(self.condition())
+        if self.at_keyword("GROUP"):
+            self.take()
+            self.expect_keyword("BY")
+            group_by = self.identifier()
+        order_by = None
+        descending = False
+        if self.at_keyword("ORDER"):
+            self.take()
+            self.expect_keyword("BY")
+            order_by = self.order_label()
+            if self.at_keyword("DESC"):
+                self.take()
+                descending = True
+            elif self.at_keyword("ASC"):
+                self.take()
+        limit = None
+        if self.at_keyword("LIMIT"):
+            self.take()
+            kind, value = self.take()
+            if kind != "literal" or not isinstance(value, int) or value < 0:
+                raise SqlError(f"LIMIT needs a nonnegative integer, got {value!r}")
+            limit = value
+        if self.position != len(self.tokens):
+            raise SqlError(f"trailing input: {self.tokens[self.position:]}")
+        return Query(
+            tuple(items), table, tuple(where), group_by,
+            order_by=order_by, descending=descending, limit=limit,
+        )
+
+    def order_label(self) -> str:
+        """An ORDER BY target: a column or an aggregate label like the
+        SELECT list's (e.g. ``COUNT(*)``)."""
+        kind, value = self.peek()
+        if kind == "word" and value.upper() in AGGREGATES:
+            return self.item().label
+        return self.identifier()
+
+    def item(self) -> SelectItem:
+        kind, value = self.peek()
+        if kind == "word" and value.upper() in AGGREGATES:
+            aggregate = self.take()[1].upper()
+            self.expect_symbol("(")
+            inner_kind, inner = self.take()
+            if inner_kind == "sym" and inner == "*":
+                column = "*"
+            elif inner_kind == "word":
+                column = inner
+            else:
+                raise SqlError(f"bad aggregate argument: {inner!r}")
+            self.expect_symbol(")")
+            if column == "*" and aggregate != "COUNT":
+                raise SqlError(f"{aggregate}(*) is not supported")
+            return SelectItem(column=column, aggregate=aggregate)
+        return SelectItem(column=self.identifier())
+
+    def condition(self) -> Condition:
+        column = self.identifier()
+        kind, op = self.take()
+        if kind != "sym" or op not in OPERATORS:
+            raise SqlError(f"expected a comparison operator, found {op!r}")
+        kind, literal = self.take()
+        if kind != "literal":
+            raise SqlError(f"expected a literal, found {literal!r}")
+        return Condition(column, op, literal)
+
+
+def parse(text: str) -> Query:
+    """Parse and validate one query."""
+    query = _Parser(_tokenize(text)).query()
+    plain = [item for item in query.items if item.aggregate is None]
+    if query.is_aggregate:
+        for item in plain:
+            if item.column != query.group_by:
+                raise SqlError(
+                    f"column {item.column!r} must appear in GROUP BY"
+                )
+    elif query.group_by is not None:
+        raise SqlError("GROUP BY requires at least one aggregate")
+    if query.order_by is not None:
+        labels = [item.label for item in query.items]
+        if query.order_by not in labels:
+            raise SqlError(
+                f"ORDER BY target {query.order_by!r} must be in the SELECT "
+                f"list {labels}"
+            )
+    return query

@@ -1,0 +1,88 @@
+"""Columnar tables partitioned into blob-stored chunks.
+
+The storage half of the serverless query engine (§4.1's Athena/BigQuery
+class): a table is a set of named columns, split row-wise into chunks
+that live as objects in the blob store.  Scan tasks read whole chunks —
+which is why these engines bill per byte *scanned*, not per byte
+returned.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.baas.blobstore import BlobStore
+
+__all__ = ["ColumnarTable", "TableCatalog"]
+
+_BYTES_PER_VALUE = 8.0  # modelled storage width per cell
+_MB = 1024.0 * 1024.0
+
+
+class ColumnarTable:
+    """An immutable, chunked, column-oriented table."""
+
+    def __init__(self, name: str, columns: typing.Mapping[str, typing.Sequence]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self.name = name
+        self.column_names = list(columns)
+        self.columns = {key: list(values) for key, values in columns.items()}
+        self.row_count = lengths.pop()
+
+    def rows(self) -> typing.Iterator[dict]:
+        for index in range(self.row_count):
+            yield {name: self.columns[name][index] for name in self.column_names}
+
+    def chunk(self, start: int, end: int) -> dict:
+        return {
+            name: self.columns[name][start:end] for name in self.column_names
+        }
+
+    @staticmethod
+    def chunk_size_mb(chunk: dict) -> float:
+        rows = len(next(iter(chunk.values()))) if chunk else 0
+        return rows * len(chunk) * _BYTES_PER_VALUE / _MB
+
+
+class TableCatalog:
+    """Registers tables into the blob store and tracks their chunks."""
+
+    def __init__(self, blob: BlobStore, chunk_rows: int = 10_000):
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        self.blob = blob
+        self.chunk_rows = chunk_rows
+        self._tables: typing.Dict[str, dict] = {}
+
+    def register(self, table: ColumnarTable) -> int:
+        """Partition and upload a table; returns the chunk count."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already registered")
+        chunk_keys = []
+        total_mb = 0.0
+        for start in range(0, max(table.row_count, 1), self.chunk_rows):
+            chunk = table.chunk(start, start + self.chunk_rows)
+            key = f"warehouse/{table.name}/chunk-{len(chunk_keys)}"
+            size_mb = ColumnarTable.chunk_size_mb(chunk)
+            self.blob.put(key, chunk, size_mb=size_mb)
+            chunk_keys.append(key)
+            total_mb += size_mb
+        self._tables[table.name] = {
+            "columns": table.column_names,
+            "chunks": chunk_keys,
+            "rows": table.row_count,
+            "size_mb": total_mb,
+        }
+        return len(chunk_keys)
+
+    def describe(self, name: str) -> dict:
+        if name not in self._tables:
+            raise KeyError(f"table {name!r} is not registered")
+        return dict(self._tables[name])
+
+    def tables(self) -> list:
+        return sorted(self._tables)

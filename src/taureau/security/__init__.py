@@ -1,0 +1,5 @@
+"""Security primitives for the serverless outlook (paper §6)."""
+
+from taureau.security.oram import PathOram
+
+__all__ = ["PathOram"]

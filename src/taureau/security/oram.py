@@ -1,0 +1,158 @@
+"""Path ORAM over a serverless blob store (paper §6, citing [169]).
+
+The paper's security outlook: "Increased network communications
+incentivizes the exploration of security primitives that hide network
+access patterns in the cloud, e.g., using ORAMs".  Stefanov et al.'s
+Path ORAM is the cited construction; this is a faithful small-scale
+implementation with the blob store playing the untrusted server:
+
+- server state: a complete binary tree of buckets (Z slots each),
+  stored one blob per bucket;
+- client state: a position map (logical block -> random leaf) and a
+  stash of overflow blocks;
+- every logical access reads and rewrites one *uniformly random*
+  root-to-leaf path, so the server observes nothing about which logical
+  block was touched or whether it was a read or a write.
+
+Experiment E27 measures the privacy property (path-access uniformity,
+read/write indistinguishability) and its price (an O(log N) bandwidth
+blow-up per access).
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from taureau.baas.blobstore import BlobStore
+from taureau.sim import MetricRegistry
+
+__all__ = ["PathOram"]
+
+
+class PathOram:
+    """An oblivious key-value store for fixed-size logical blocks."""
+
+    def __init__(
+        self,
+        store: BlobStore,
+        capacity: int,
+        bucket_size: int = 4,
+        block_mb: float = 0.064,
+        rng: typing.Optional[random.Random] = None,
+        name: str = "oram",
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        self.store = store
+        self.capacity = capacity
+        self.bucket_size = bucket_size
+        self.block_mb = block_mb
+        self.rng = rng or random.Random(0)
+        self.name = name
+        self.metrics = MetricRegistry()
+        # Tree with at least `capacity` leaves.
+        self.height = max(1, (capacity - 1).bit_length())
+        self.leaf_count = 1 << self.height
+        self._position: dict = {}  # block_id -> leaf
+        self._stash: dict = {}  # block_id -> value
+        #: The access trace the *server* sees: (leaf,) per access only.
+        self.server_trace: list = []
+        for index in range(2 * self.leaf_count - 1):
+            self._write_bucket(index, [], ctx=None)
+
+    # ------------------------------------------------------------------
+    # Public (client) API
+    # ------------------------------------------------------------------
+
+    def read(self, block_id: str, ctx=None) -> object:
+        """Obliviously read a block (None if never written)."""
+        return self._access(block_id, None, is_write=False, ctx=ctx)
+
+    def write(self, block_id: str, value: object, ctx=None) -> None:
+        """Obliviously write a block."""
+        self._access(block_id, value, is_write=True, ctx=ctx)
+
+    @property
+    def stash_size(self) -> int:
+        return len(self._stash)
+
+    def accesses_per_operation(self) -> int:
+        """Bucket I/Os per logical access: read+write one full path."""
+        return 2 * (self.height + 1)
+
+    # ------------------------------------------------------------------
+    # The Path ORAM access protocol
+    # ------------------------------------------------------------------
+
+    def _access(self, block_id: str, new_value, is_write: bool, ctx):
+        leaf = self._position.get(block_id)
+        if leaf is None:
+            leaf = self.rng.randrange(self.leaf_count)
+        # Remap *before* the access so the server never sees a repeat.
+        self._position[block_id] = self.rng.randrange(self.leaf_count)
+        self.server_trace.append(leaf)
+        self.metrics.counter("accesses").add()
+
+        path = self._path_indices(leaf)
+        for bucket_index in path:
+            for resident_id, value in self._read_bucket(bucket_index, ctx):
+                self._stash[resident_id] = value
+
+        result = self._stash.get(block_id)
+        if is_write:
+            self._stash[block_id] = new_value
+            result = new_value
+
+        # Evict: push stash blocks as deep as their assigned leaf allows.
+        for bucket_index in reversed(path):  # leaf first
+            placed = []
+            for resident_id in list(self._stash):
+                if len(placed) >= self.bucket_size:
+                    break
+                assigned_leaf = self._position.get(resident_id)
+                if assigned_leaf is None:
+                    continue
+                if bucket_index in self._path_set(assigned_leaf):
+                    placed.append((resident_id, self._stash.pop(resident_id)))
+            self._write_bucket(bucket_index, placed, ctx)
+        self.metrics.series("stash_size").record(
+            self.store.sim.now, len(self._stash)
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Tree plumbing (bucket 0 is the root)
+    # ------------------------------------------------------------------
+
+    def _path_indices(self, leaf: int) -> list:
+        """Bucket indices from root to ``leaf``."""
+        index = leaf + self.leaf_count - 1
+        path = [index]
+        while index > 0:
+            index = (index - 1) // 2
+            path.append(index)
+        return list(reversed(path))
+
+    def _path_set(self, leaf: int) -> set:
+        return set(self._path_indices(leaf))
+
+    def _read_bucket(self, index: int, ctx) -> list:
+        self.metrics.counter("bucket_reads").add()
+        return self.store.get(self._bucket_key(index), ctx=ctx)
+
+    def _write_bucket(self, index: int, contents: list, ctx) -> None:
+        self.metrics.counter("bucket_writes").add()
+        self.store.put(
+            self._bucket_key(index),
+            list(contents),
+            ctx=ctx,
+            # Every bucket is padded to full size: the server cannot even
+            # learn bucket occupancy.
+            size_mb=self.bucket_size * self.block_mb,
+        )
+
+    def _bucket_key(self, index: int) -> str:
+        return f"{self.name}/bucket/{index}"

@@ -1,0 +1,138 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulation` owns the virtual clock and the event heap.  Everything
+in taureau that "takes time" — cold starts, message delivery, block
+allocation RPCs — is expressed as events scheduled on one shared
+``Simulation`` instance, so an entire serverless stack advances on a single
+deterministic timeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from taureau.sim.events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
+from taureau.sim.rng import RngRegistry
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """A deterministic discrete-event simulation.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all randomness drawn through :attr:`rng`.  Two
+        simulations built with the same seed and the same program produce
+        byte-identical traces.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = RngRegistry(seed)
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+
+    def schedule_at(self, when: float, callback, *args) -> None:
+        """Run ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before current time t={self.now}"
+            )
+        heapq.heappush(self._heap, (when, next(self._counter), callback, args))
+
+    def schedule_after(self, delay: float, callback, *args) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        self.schedule_at(self.now + delay, callback, *args)
+
+    def _schedule_event(self, when: float, event: Event) -> None:
+        self.schedule_at(when, self._process_event, event)
+
+    def _enqueue_fired(self, event: Event) -> None:
+        self.schedule_at(self.now, self._process_event, event)
+
+    def _process_event(self, event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+        if event.exception is not None and not callbacks and not event._defused:
+            raise event.exception
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> Process:
+        """Start a generator as a simulated process."""
+        return Process(self, generator)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Pop and execute the single next scheduled item."""
+        when, _tie, callback, args = heapq.heappop(self._heap)
+        self.now = when
+        callback(*args)
+
+    def peek(self) -> float:
+        """Time of the next scheduled item, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: typing.Optional[object] = None) -> object:
+        """Advance the simulation.
+
+        ``until`` may be ``None`` (run until no work remains), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        triggers, returning its value).
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+                return None
+            if isinstance(until, Event):
+                sentinel = until
+                while not sentinel.triggered or sentinel.callbacks is not None:
+                    if not self._heap:
+                        raise SimulationError(
+                            "simulation ran out of work before the awaited "
+                            "event triggered (deadlock?)"
+                        )
+                    self.step()
+                return sentinel.value
+            deadline = float(until)
+            while self._heap and self._heap[0][0] <= deadline:
+                self.step()
+            self.now = max(self.now, deadline)
+            return None
+        finally:
+            self._running = False

@@ -1,0 +1,274 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the familiar SimPy-like model: an :class:`Event` is a
+one-shot occurrence that callbacks (or suspended processes) wait on.  Events
+are created against a :class:`~taureau.sim.engine.Simulation` and fire at a
+simulated timestamp.  A :class:`Process` drives a generator function; every
+value the generator yields must be an event, and the process resumes when
+that event fires.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from taureau.sim.engine import Simulation
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, then becomes either *succeeded* (with a
+    value) or *failed* (with an exception).  Callbacks registered through
+    :meth:`add_callback` run, in registration order, at the simulated time
+    the event fires.
+    """
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.callbacks: list = []
+        self._value = _PENDING
+        self._exception: typing.Optional[BaseException] = None
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self):
+        """The success value; raises if the event failed or is pending."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimulationError("event value read before it triggered")
+        return self._value
+
+    @property
+    def exception(self) -> typing.Optional[BaseException]:
+        return self._exception
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value=None) -> "Event":
+        """Mark the event successful and schedule its callbacks for *now*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.sim._enqueue_fired(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed and schedule its callbacks for *now*.
+
+        The exception propagates to every waiter; if nothing waits on the
+        event by the time it is processed, the simulation re-raises it so
+        errors never pass silently.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._exception = exception
+        self.sim._enqueue_fired(self)
+        return self
+
+    def add_callback(self, callback) -> None:
+        """Run ``callback(event)`` when this event fires.
+
+        If the event has already been processed the callback is scheduled
+        to run immediately (at the current simulated time).
+        """
+        if self.callbacks is None:
+            # Already processed: deliver asynchronously but without delay.
+            self.sim.schedule_after(0.0, lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the kernel will not re-raise it."""
+        self._defused = True
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self.ok else f"failed({self._exception!r})"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, sim: "Simulation", delay: float, value=None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule_event(sim.now + delay, self)
+
+    # A Timeout is pre-armed: it must not be succeeded/failed manually and
+    # it is "triggered" only when the heap pops it, so override bookkeeping.
+    @property
+    def triggered(self) -> bool:
+        return self.callbacks is None
+
+
+class Process(Event):
+    """Drives a generator through simulated time.
+
+    The process itself is an event that fires with the generator's return
+    value (or fails with its uncaught exception), so processes can wait on
+    one another by yielding them.
+    """
+
+    def __init__(self, sim: "Simulation", generator):
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator (did you call the function?)")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: typing.Optional[Event] = None
+        # Kick off on the next kernel step at the current time.
+        sim.schedule_after(0.0, self._resume, None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        self.sim.schedule_after(0.0, self._throw, Interrupt(cause))
+
+    # -- internal ----------------------------------------------------------
+
+    def _resume(self, fired: typing.Optional[Event]) -> None:
+        if self.triggered:
+            return
+        if fired is not None and not fired.ok:
+            fired.defuse()
+            self._step(lambda: self._generator.throw(fired.exception))
+        elif fired is not None:
+            self._step(lambda: self._generator.send(fired._value))
+        else:
+            self._step(lambda: next(self._generator))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self._step(lambda: self._generator.throw(exc))
+
+    def _step(self, advance) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            self.fail(exc)
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process yielded {target!r}; processes must yield Event objects"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every child event has succeeded.
+
+    Succeeds with the list of child values, in the order the children were
+    given.  Fails as soon as any child fails.
+    """
+
+    def __init__(self, sim: "Simulation", events: typing.Sequence[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            child.defuse()
+            return
+        if not child.ok:
+            child.defuse()
+            self.fail(child.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([event._value for event in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first child event succeeds (or fails)."""
+
+    def __init__(self, sim: "Simulation", events: typing.Sequence[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            child.defuse()
+            return
+        if child.ok:
+            self.succeed(child._value)
+        else:
+            child.defuse()
+            self.fail(child.exception)

@@ -1,0 +1,219 @@
+"""Metric recorders shared by every taureau subsystem.
+
+Three shapes cover everything the experiments need:
+
+- :class:`Counter` — monotonically increasing totals (requests, bytes);
+- :class:`Distribution` — latency-style samples with percentile queries;
+- :class:`TimeSeries` — (time, value) traces for capacity/load plots.
+
+A :class:`MetricRegistry` groups them under dotted names so a platform can
+expose one ``metrics`` object and benches can pull any series out of it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import typing
+
+__all__ = ["Counter", "Distribution", "TimeSeries", "MetricRegistry"]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} decremented by {amount}")
+        self.value += amount
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Distribution:
+    """A bag of scalar samples with summary-statistic queries."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: list = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    def extend(self, values: typing.Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"distribution {self.name!r} has no samples")
+        return self.total / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples)
+
+    @property
+    def stddev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((x - mu) ** 2 for x in self._samples) / (len(self._samples) - 1)
+        )
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 <= q <= 100), linearly interpolated."""
+        if not self._samples:
+            raise ValueError(f"distribution {self.name!r} has no samples")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        ordered = self._ordered()
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def _ordered(self) -> list:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"Distribution({self.name!r}, n={len(self._samples)})"
+
+
+class TimeSeries:
+    """A (time, value) trace, appended in nondecreasing time order."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: list = []
+        self.values: list = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time series {self.name!r}: {time} precedes {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, time: float) -> float:
+        """The last recorded value at or before ``time`` (step semantics)."""
+        if not self.times:
+            raise ValueError(f"time series {self.name!r} is empty")
+        index = bisect.bisect_right(self.times, time) - 1
+        if index < 0:
+            raise ValueError(f"time {time} precedes first sample {self.times[0]}")
+        return self.values[index]
+
+    def integral(self, start: float, end: float) -> float:
+        """The step-function integral of the series over [start, end].
+
+        Useful for resource-time products (e.g. GB-seconds billed).
+        """
+        if end < start:
+            raise ValueError("integral bounds reversed")
+        if not self.times or end <= self.times[0]:
+            return 0.0
+        total = 0.0
+        clock = max(start, self.times[0])
+        index = bisect.bisect_right(self.times, clock) - 1
+        while clock < end:
+            next_change = (
+                self.times[index + 1] if index + 1 < len(self.times) else float("inf")
+            )
+            segment_end = min(end, next_change)
+            total += self.values[index] * (segment_end - clock)
+            clock = segment_end
+            index += 1
+        return total
+
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def time_average(self, start: float, end: float) -> float:
+        if end <= start:
+            raise ValueError("time_average needs end > start")
+        return self.integral(start, end) / (end - start)
+
+
+class MetricRegistry:
+    """A namespace of metrics, created on first reference."""
+
+    def __init__(self):
+        self._counters: dict = {}
+        self._distributions: dict = {}
+        self._series: dict = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def distribution(self, name: str) -> Distribution:
+        if name not in self._distributions:
+            self._distributions[name] = Distribution(name)
+        return self._distributions[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary, handy for bench output."""
+        summary: dict = {}
+        for name, counter in self._counters.items():
+            summary[name] = counter.value
+        for name, dist in self._distributions.items():
+            if len(dist):
+                summary[name] = {
+                    "count": dist.count,
+                    "mean": dist.mean,
+                    "p50": dist.p50,
+                    "p99": dist.p99,
+                }
+        return summary

@@ -1,0 +1,22 @@
+"""Mergeable data sketches for serverless analytics (paper §5.1, Fig. 3)."""
+
+from taureau.sketches.bloom import BloomFilter
+from taureau.sketches.countmin import CountMinSketch
+from taureau.sketches.frequentdirections import FrequentDirections
+from taureau.sketches.hashing import hash64, hash_to_unit
+from taureau.sketches.hyperloglog import HyperLogLog
+from taureau.sketches.quantiles import QuantileSketch
+from taureau.sketches.reservoir import ReservoirSample
+from taureau.sketches.spacesaving import SpaceSaving
+
+__all__ = [
+    "BloomFilter",
+    "CountMinSketch",
+    "FrequentDirections",
+    "HyperLogLog",
+    "QuantileSketch",
+    "ReservoirSample",
+    "SpaceSaving",
+    "hash64",
+    "hash_to_unit",
+]

@@ -1,0 +1,74 @@
+"""A Bloom filter — the "filtering" member of the sketch family (§5.1)."""
+
+from __future__ import annotations
+
+import math
+
+from taureau.sketches.hashing import hash64
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Approximate set membership with no false negatives.
+
+    Sized from ``capacity`` expected insertions and a target
+    ``fp_rate``; the standard ``m = -n ln p / (ln 2)^2`` geometry.
+    """
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < fp_rate < 1:
+            raise ValueError("fp_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        self.seed = seed
+        self.bit_count = max(
+            8, int(math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        )
+        self.hash_count = max(
+            1, int(round((self.bit_count / capacity) * math.log(2)))
+        )
+        self._bits = bytearray((self.bit_count + 7) // 8)
+        self.inserted = 0
+
+    def add(self, item: object) -> None:
+        for position in self._positions(item):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self.inserted += 1
+
+    def __contains__(self, item: object) -> bool:
+        return all(
+            self._bits[position >> 3] & (1 << (position & 7))
+            for position in self._positions(item)
+        )
+
+    def merge(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise OR — the union of the two sets."""
+        if (self.bit_count, self.hash_count, self.seed) != (
+            other.bit_count,
+            other.hash_count,
+            other.seed,
+        ):
+            raise ValueError("can only merge filters with identical geometry")
+        merged = BloomFilter(self.capacity, self.fp_rate, self.seed)
+        merged._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
+        merged.inserted = self.inserted + other.inserted
+        return merged
+
+    def expected_fp_rate(self) -> float:
+        """The false-positive probability at the current fill level."""
+        fill = 1.0 - math.exp(-self.hash_count * self.inserted / self.bit_count)
+        return fill ** self.hash_count
+
+    @property
+    def memory_bytes(self) -> int:
+        return len(self._bits)
+
+    def _positions(self, item: object):
+        # Kirsch-Mitzenmacher double hashing: two base hashes generate k.
+        h1 = hash64(item, seed=self.seed)
+        h2 = hash64(item, seed=self.seed + 1) | 1
+        for i in range(self.hash_count):
+            yield (h1 + i * h2) % self.bit_count

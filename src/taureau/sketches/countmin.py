@@ -1,0 +1,101 @@
+"""The Count-Min sketch (Cormode & Muthukrishnan [86]; paper Figure 3).
+
+Estimates item frequencies in a stream using ``depth`` rows of ``width``
+counters.  Guarantees: the estimate never undercounts, and with
+probability at least ``1 - delta`` it overcounts by at most
+``epsilon * N`` where ``N`` is the total stream weight.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+import numpy as np
+
+from taureau.sketches.hashing import hash64
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """A mergeable frequency sketch.
+
+    Construct either from accuracy targets (``epsilon``/``delta``) or
+    explicit dimensions (``width``/``depth``), exactly like the library
+    the paper's Figure 3 uses.
+    """
+
+    def __init__(
+        self,
+        epsilon: typing.Optional[float] = None,
+        delta: typing.Optional[float] = None,
+        width: typing.Optional[int] = None,
+        depth: typing.Optional[int] = None,
+        seed: int = 0,
+    ):
+        if width is None or depth is None:
+            if epsilon is None or delta is None:
+                raise ValueError("provide (epsilon, delta) or (width, depth)")
+            if not 0 < epsilon < 1 or not 0 < delta < 1:
+                raise ValueError("epsilon and delta must be in (0, 1)")
+            width = int(math.ceil(math.e / epsilon))
+            depth = int(math.ceil(math.log(1.0 / delta)))
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self.total = 0
+        self._table = np.zeros((depth, width), dtype=np.int64)
+
+    @property
+    def epsilon(self) -> float:
+        """The additive-error factor this geometry guarantees."""
+        return math.e / self.width
+
+    @property
+    def delta(self) -> float:
+        """The failure probability this geometry guarantees."""
+        return math.exp(-self.depth)
+
+    def add(self, item: object, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        for row in range(self.depth):
+            column = hash64(item, seed=self.seed * 1024 + row) % self.width
+            self._table[row, column] += count
+        self.total += count
+
+    def estimate(self, item: object) -> int:
+        """An upper-biased frequency estimate (never undercounts)."""
+        return int(
+            min(
+                self._table[row, hash64(item, seed=self.seed * 1024 + row) % self.width]
+                for row in range(self.depth)
+            )
+        )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Combine with a same-geometry sketch (distributed aggregation)."""
+        if (self.width, self.depth, self.seed) != (
+            other.width,
+            other.depth,
+            other.seed,
+        ):
+            raise ValueError("can only merge sketches with identical geometry")
+        merged = CountMinSketch(width=self.width, depth=self.depth, seed=self.seed)
+        merged._table = self._table + other._table
+        merged.total = self.total + other.total
+        return merged
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._table.nbytes)
+
+    def heavy_hitters(
+        self, candidates: typing.Iterable[object], threshold_fraction: float
+    ) -> list:
+        """Candidates whose estimated frequency exceeds the threshold."""
+        floor = threshold_fraction * self.total
+        return [item for item in candidates if self.estimate(item) >= floor]

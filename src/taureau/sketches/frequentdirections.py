@@ -1,0 +1,98 @@
+"""Frequent Directions — the "matrix sketching" family member (§5.1).
+
+Liberty's Frequent Directions maintains an ``ell x d`` sketch ``B`` of a
+row stream ``A`` such that
+
+    0  <=  x^T (A^T A - B^T B) x  <=  ||A||_F^2 / ell     for unit x,
+
+i.e. the sketch's covariance underestimates the true covariance by at
+most the Frobenius mass divided by the sketch size — the guarantee the
+tests check.  Like every sketch here it is mergeable, so serverless
+workers can sketch shards independently and a reducer combines them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+__all__ = ["FrequentDirections"]
+
+
+class FrequentDirections:
+    """A mergeable low-rank sketch of a tall matrix's row space."""
+
+    def __init__(self, sketch_rows: int, dimensions: int):
+        if sketch_rows < 2:
+            raise ValueError("sketch_rows must be at least 2")
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        self.ell = sketch_rows
+        self.dimensions = dimensions
+        # Double-width buffer: fill the lower half, shrink when full.
+        self._buffer = np.zeros((2 * sketch_rows, dimensions))
+        self._filled = sketch_rows  # rows ell..2ell-1 are the insert area
+        self.rows_seen = 0
+        self.squared_frobenius = 0.0
+
+    def update(self, row: typing.Sequence[float]) -> None:
+        """Append one row of the streamed matrix."""
+        vector = np.asarray(row, dtype=np.float64)
+        if vector.shape != (self.dimensions,):
+            raise ValueError(
+                f"expected a row of {self.dimensions} values, got {vector.shape}"
+            )
+        if self._filled >= 2 * self.ell:
+            self._shrink()
+        self._buffer[self._filled] = vector
+        self._filled += 1
+        self.rows_seen += 1
+        self.squared_frobenius += float(vector @ vector)
+
+    def extend(self, rows: np.ndarray) -> None:
+        for row in np.atleast_2d(rows):
+            self.update(row)
+
+    def sketch(self) -> np.ndarray:
+        """The current ``ell x d`` sketch matrix ``B``."""
+        self._shrink()
+        return self._buffer[: self.ell].copy()
+
+    def covariance_error_bound(self) -> float:
+        """The deterministic guarantee: ||A^T A - B^T B||_2 <= this."""
+        return self.squared_frobenius / self.ell
+
+    def merge(self, other: "FrequentDirections") -> "FrequentDirections":
+        """Sketch of the row-concatenation of both streams."""
+        if (self.ell, self.dimensions) != (other.ell, other.dimensions):
+            raise ValueError("can only merge sketches with identical shapes")
+        merged = FrequentDirections(self.ell, self.dimensions)
+        merged.extend(self.sketch())
+        merged.extend(other.sketch())
+        # Merged counters describe the true underlying streams.
+        merged.rows_seen = self.rows_seen + other.rows_seen
+        merged.squared_frobenius = self.squared_frobenius + other.squared_frobenius
+        return merged
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._buffer.nbytes)
+
+    # -- internals -----------------------------------------------------------
+
+    def _shrink(self) -> None:
+        """SVD shrinkage: keep the top directions, damp by sigma_ell^2."""
+        if self._filled <= self.ell:
+            return
+        __, singular, vt = np.linalg.svd(
+            self._buffer[: self._filled], full_matrices=False
+        )
+        damping = (
+            singular[self.ell - 1] ** 2 if len(singular) >= self.ell else 0.0
+        )
+        damped = np.sqrt(np.maximum(singular ** 2 - damping, 0.0))
+        self._buffer[:] = 0.0
+        keep = min(self.ell, len(singular))
+        self._buffer[:keep] = damped[:keep, None] * vt[:keep]
+        self._filled = self.ell

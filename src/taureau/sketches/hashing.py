@@ -1,0 +1,30 @@
+"""Seeded, stable hashing shared by the sketch family.
+
+Python's builtin ``hash`` is randomized per interpreter run, which would
+make sketches irreproducible; everything here goes through blake2b with
+an explicit seed so estimates are identical across runs and mergeable
+across sketch instances built with the same parameters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+__all__ = ["hash64", "hash_to_unit"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def hash64(item: object, seed: int = 0) -> int:
+    """A stable 64-bit hash of ``item`` under ``seed``."""
+    payload = repr(item).encode("utf-8") if not isinstance(item, bytes) else item
+    digest = hashlib.blake2b(
+        payload, digest_size=8, key=struct.pack("<Q", seed & _MASK64)
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def hash_to_unit(item: object, seed: int = 0) -> float:
+    """A stable hash of ``item`` mapped into [0, 1)."""
+    return hash64(item, seed) / float(1 << 64)

@@ -1,0 +1,104 @@
+"""A compactor-based quantile sketch (KLL-style; §5.1 "quantiles").
+
+Items land in a level-0 buffer; when a level fills, it is sorted and
+every other element (random parity) is promoted to the next level with
+doubled weight.  Rank queries sum weights below the query point.  This
+is the standard mergeable-compactor construction (Karnin-Lang-Liberty
+simplified to fixed capacity per level).
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch:
+    """Approximate quantiles over a numeric stream in bounded memory."""
+
+    def __init__(self, capacity: int = 128, rng: typing.Optional[random.Random] = None):
+        if capacity < 8:
+            raise ValueError("capacity must be at least 8")
+        self.capacity = capacity
+        self.rng = rng or random.Random(0)
+        self.count = 0
+        self._levels: list = [[]]
+
+    def add(self, value: float) -> None:
+        self._levels[0].append(float(value))
+        self.count += 1
+        self._compact()
+
+    def extend(self, values: typing.Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def quantile(self, q: float) -> float:
+        """The value at rank fraction ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            raise ValueError("quantile of an empty sketch")
+        weighted = self._weighted_items()
+        weighted.sort(key=lambda pair: pair[0])
+        target = q * self.count
+        running = 0.0
+        for value, weight in weighted:
+            running += weight
+            if running >= target:
+                return value
+        return weighted[-1][0]
+
+    def rank(self, value: float) -> float:
+        """The approximate fraction of items <= ``value``."""
+        if self.count == 0:
+            raise ValueError("rank of an empty sketch")
+        below = sum(w for v, w in self._weighted_items() if v <= value)
+        return below / self.count
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Combine level-wise, then re-compact."""
+        if self.capacity != other.capacity:
+            raise ValueError("can only merge sketches of equal capacity")
+        merged = QuantileSketch(self.capacity, self.rng)
+        depth = max(len(self._levels), len(other._levels))
+        merged._levels = [[] for _ in range(depth)]
+        for level in range(depth):
+            if level < len(self._levels):
+                merged._levels[level].extend(self._levels[level])
+            if level < len(other._levels):
+                merged._levels[level].extend(other._levels[level])
+        merged.count = self.count + other.count
+        merged._compact()
+        return merged
+
+    @property
+    def stored_items(self) -> int:
+        return sum(len(level) for level in self._levels)
+
+    # -- internals -----------------------------------------------------------
+
+    def _compact(self) -> None:
+        level = 0
+        while level < len(self._levels):
+            buffer = self._levels[level]
+            if len(buffer) <= self.capacity:
+                level += 1
+                continue
+            buffer.sort()
+            offset = self.rng.randrange(2)
+            promoted = buffer[offset::2]
+            self._levels[level] = []
+            if level + 1 == len(self._levels):
+                self._levels.append([])
+            self._levels[level + 1].extend(promoted)
+            level += 1
+
+    def _weighted_items(self) -> list:
+        return [
+            (value, float(1 << level))
+            for level, buffer in enumerate(self._levels)
+            for value in buffer
+        ]

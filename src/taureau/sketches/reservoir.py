@@ -1,0 +1,69 @@
+"""Reservoir sampling — the "sampling" member of the sketch family (§5.1)."""
+
+from __future__ import annotations
+
+import random
+import typing
+
+__all__ = ["ReservoirSample"]
+
+
+class ReservoirSample:
+    """A uniform sample of ``k`` items from an unbounded stream (Vitter's R).
+
+    Mergeable: two reservoirs combine into a uniform sample over the
+    concatenated streams via weighted subsampling.
+    """
+
+    def __init__(self, k: int, rng: typing.Optional[random.Random] = None):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.rng = rng or random.Random(0)
+        self.seen = 0
+        self._items: list = []
+
+    def add(self, item: object) -> None:
+        self.seen += 1
+        if len(self._items) < self.k:
+            self._items.append(item)
+            return
+        index = self.rng.randrange(self.seen)
+        if index < self.k:
+            self._items[index] = item
+
+    def sample(self) -> list:
+        return list(self._items)
+
+    def merge(self, other: "ReservoirSample") -> "ReservoirSample":
+        """A uniform reservoir over both underlying streams."""
+        if self.k != other.k:
+            raise ValueError("can only merge reservoirs of equal k")
+        merged = ReservoirSample(self.k, self.rng)
+        merged.seen = self.seen + other.seen
+        if merged.seen <= self.k:
+            merged._items = self._items + other._items
+            return merged
+        pool_self = list(self._items)
+        pool_other = list(other._items)
+        picked: list = []
+        remaining_self, remaining_other = self.seen, other.seen
+        for _slot in range(min(self.k, merged.seen)):
+            take_self = (
+                self.rng.random()
+                < remaining_self / float(remaining_self + remaining_other)
+            )
+            if take_self and pool_self:
+                picked.append(pool_self.pop(self.rng.randrange(len(pool_self))))
+                remaining_self -= 1
+            elif pool_other:
+                picked.append(pool_other.pop(self.rng.randrange(len(pool_other))))
+                remaining_other -= 1
+            elif pool_self:
+                picked.append(pool_self.pop(self.rng.randrange(len(pool_self))))
+                remaining_self -= 1
+        merged._items = picked
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,74 @@
+"""SpaceSaving — the "frequent elements" member of the sketch family (§5.1).
+
+Metwally et al.'s algorithm: track at most ``k`` counters; when a new
+item arrives with all counters taken, it evicts the minimum counter and
+inherits its count (recorded as that item's maximum overestimation).
+Any item with true frequency above ``N / k`` is guaranteed to be present.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["SpaceSaving"]
+
+
+class SpaceSaving:
+    """Top-k frequent-item tracking in bounded memory."""
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.total = 0
+        self._counts: dict = {}
+        self._errors: dict = {}
+
+    def add(self, item: object, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.total += count
+        if item in self._counts:
+            self._counts[item] += count
+            return
+        if len(self._counts) < self.k:
+            self._counts[item] = count
+            self._errors[item] = 0
+            return
+        victim = min(self._counts, key=self._counts.get)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[item] = floor + count
+        self._errors[item] = floor
+
+    def estimate(self, item: object) -> int:
+        """Estimated count (upper bound; 0 if not tracked)."""
+        return self._counts.get(item, 0)
+
+    def guaranteed_count(self, item: object) -> int:
+        """A lower bound on the item's true count."""
+        return self._counts.get(item, 0) - self._errors.get(item, 0)
+
+    def top(self, n: typing.Optional[int] = None) -> list:
+        """``(item, estimate)`` pairs, most frequent first."""
+        ranked = sorted(self._counts.items(), key=lambda kv: -kv[1])
+        return ranked if n is None else ranked[:n]
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Combine two summaries (standard counter-sum merge)."""
+        if self.k != other.k:
+            raise ValueError("can only merge SpaceSaving sketches of equal k")
+        merged = SpaceSaving(self.k)
+        merged.total = self.total + other.total
+        combined: dict = dict(self._counts)
+        errors: dict = dict(self._errors)
+        for item, count in other._counts.items():
+            combined[item] = combined.get(item, 0) + count
+            errors[item] = errors.get(item, 0) + other._errors[item]
+        survivors = sorted(combined.items(), key=lambda kv: -kv[1])[: self.k]
+        merged._counts = dict(survivors)
+        merged._errors = {item: errors[item] for item, __ in survivors}
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._counts)

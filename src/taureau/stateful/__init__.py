@@ -1,0 +1,5 @@
+"""Stateful Functions-as-a-Service (Cloudburst-style; paper §4.1)."""
+
+from taureau.stateful.cloudburst import StatefulRuntime, StateHandle
+
+__all__ = ["StatefulRuntime", "StateHandle"]

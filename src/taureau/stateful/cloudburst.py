@@ -1,0 +1,138 @@
+"""A Cloudburst-style stateful FaaS layer (paper §4.1, [168]).
+
+"Cloudburst is a stateful FaaS platform that provides familiar Python
+programming with low-latency mutable state and communication."  Its
+design pairs every function-executor with a *cache* of the backing
+key-value store, so repeated reads hit sandbox-local state instead of
+the network.
+
+:class:`StatefulRuntime` reproduces that shape over taureau: durable
+state lives in a pinned Jiffy hash table (the Anna-KVS stand-in), and
+each sandbox gets a local cache consulted before the store.  Writes are
+write-through (last-writer-wins, the consistency level we model);
+cached reads within ``cache_ttl_s`` are free of store latency — which
+is the entire performance argument.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.core.function import FunctionSpec
+from taureau.core.platform import FaasPlatform
+from taureau.jiffy.client import JiffyClient
+from taureau.sim import MetricRegistry
+
+__all__ = ["StateHandle", "StatefulRuntime"]
+
+_KVS_PATH = "/cloudburst/kvs"
+
+
+class StateHandle:
+    """What a stateful handler sees: cached get/put over the KVS."""
+
+    def __init__(self, runtime: "StatefulRuntime", ctx):
+        self._runtime = runtime
+        self._ctx = ctx
+        self._cache = runtime._cache_for(ctx.sandbox_id)
+
+    def get(self, key: str, default: object = None) -> object:
+        """Read ``key``; sandbox-cache hits skip the store round-trip."""
+        runtime = self._runtime
+        now = runtime.platform.sim.now
+        cached = self._cache.get(key)
+        if cached is not None and now - cached[1] <= runtime.cache_ttl_s:
+            runtime.metrics.counter("cache_hits").add()
+            return cached[0]
+        runtime.metrics.counter("cache_misses").add()
+        table = runtime.jiffy.controller.open(_KVS_PATH)
+        if key in table:
+            value = runtime.jiffy.get(_KVS_PATH, key, ctx=self._ctx)
+        else:
+            runtime.jiffy._charge(self._ctx, 0.0)
+            value = default
+        self._cache[key] = (value, now)
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        """Write-through: the store and this sandbox's cache both update.
+
+        Other sandboxes' caches serve stale reads until their TTL lapses
+        — last-writer-wins, as documented.
+        """
+        runtime = self._runtime
+        runtime.jiffy.put(_KVS_PATH, key, value, ctx=self._ctx)
+        self._cache[key] = (value, runtime.platform.sim.now)
+        runtime.metrics.counter("puts").add()
+
+    def incr(self, key: str, amount: float = 1.0) -> float:
+        """Read-modify-write increment (uncached read for freshness)."""
+        runtime = self._runtime
+        table = runtime.jiffy.controller.open(_KVS_PATH)
+        current = (
+            runtime.jiffy.get(_KVS_PATH, key, ctx=self._ctx) if key in table else 0.0
+        )
+        updated = current + amount
+        self.put(key, updated)
+        return updated
+
+
+class StatefulRuntime:
+    """Deploys stateful functions over a FaaS platform + Jiffy KVS.
+
+    Stateful handlers take ``(event, state, ctx)``; everything else —
+    billing, cold starts, retries — is the plain platform underneath.
+    """
+
+    def __init__(
+        self,
+        platform: FaasPlatform,
+        jiffy: JiffyClient,
+        cache_ttl_s: float = 5.0,
+    ):
+        if cache_ttl_s < 0:
+            raise ValueError("cache_ttl_s must be nonnegative")
+        self.platform = platform
+        self.jiffy = jiffy
+        self.cache_ttl_s = cache_ttl_s
+        self.metrics = MetricRegistry()
+        self._caches: typing.Dict[str, dict] = {}
+        if not jiffy.exists(_KVS_PATH):
+            jiffy.create(_KVS_PATH, "hash_table", initial_blocks=2, pinned=True)
+
+    def register(
+        self,
+        name: str,
+        handler: typing.Callable[[object, StateHandle, object], object],
+        **spec_kwargs,
+    ) -> FunctionSpec:
+        """Deploy ``handler(event, state, ctx)`` as a stateful function."""
+        runtime = self
+
+        def wrapped(event, ctx):
+            state = StateHandle(runtime, ctx)
+            return handler(event, state, ctx)
+
+        return self.platform.register(
+            FunctionSpec(name=name, handler=wrapped, **spec_kwargs)
+        )
+
+    def invoke(self, name: str, payload: object = None):
+        return self.platform.invoke(name, payload)
+
+    def invoke_sync(self, name: str, payload: object = None):
+        return self.platform.invoke_sync(name, payload)
+
+    def kvs_get(self, key: str, default: object = None) -> object:
+        """Driver-side read of the backing store (no cache, no latency)."""
+        table = self.jiffy.controller.open(_KVS_PATH)
+        return table.get(key) if key in table else default
+
+    def cache_hit_rate(self) -> float:
+        hits = self.metrics.counter("cache_hits").value
+        misses = self.metrics.counter("cache_misses").value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def _cache_for(self, sandbox_id: str) -> dict:
+        return self._caches.setdefault(sandbox_id, {})

@@ -1,0 +1,14 @@
+"""Virtualization-evolution substrate (paper §2.1)."""
+
+from taureau.virt.layers import LAYERS, LayerKind, VirtualizationLayer, layer
+from taureau.virt.units import ExecutionUnit, UnitFactory, UnitState
+
+__all__ = [
+    "LAYERS",
+    "LayerKind",
+    "VirtualizationLayer",
+    "layer",
+    "ExecutionUnit",
+    "UnitFactory",
+    "UnitState",
+]

@@ -1,0 +1,145 @@
+"""The virtualization ladder: bare metal → VM → container → function.
+
+Section 2.1 of the paper traces serverless back through the evolution of
+virtualization: VMs virtualize hardware, containers virtualize the
+operating system, and FaaS runtimes virtualize the process itself.  Each
+step up the ladder starts faster, packs denser, and carries less per-unit
+overhead — at the price of weaker isolation.  This module makes those
+qualitative claims quantitative: each :class:`VirtualizationLayer` carries
+a startup-latency distribution, a per-unit memory overhead, and an
+isolation score, calibrated against the measurement studies the paper
+cites (Wang et al. ATC'18; Manco et al. SOSP'17; Firecracker numbers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+import typing
+
+__all__ = ["LayerKind", "VirtualizationLayer", "LAYERS", "layer"]
+
+
+class LayerKind(enum.Enum):
+    """The rungs of the paper's virtualization ladder (§2.1).
+
+    ``UNIKERNEL`` is the off-ladder contender from §5.1's USETL [95] and
+    "My VM is Lighter (and Safer) Than Your Container" [143]: a minimal
+    kernel baked with one application in one address space, giving
+    VM-class (hypervisor) isolation at near-function startup cost — it
+    deliberately breaks the ladder's isolation-for-speed trade-off.
+    """
+
+    BARE_METAL = "bare_metal"
+    VIRTUAL_MACHINE = "virtual_machine"
+    CONTAINER = "container"
+    UNIKERNEL = "unikernel"
+    FUNCTION = "function"
+
+
+@dataclasses.dataclass(frozen=True)
+class VirtualizationLayer:
+    """Cost/behaviour parameters for one virtualization layer.
+
+    Parameters
+    ----------
+    kind:
+        Which rung of the ladder this is.
+    startup_mean_s / startup_jitter_s:
+        Mean provisioning latency and the half-width of its uniform
+        jitter.  Bare metal is minutes (rack + image a server); functions
+        are tens of milliseconds (fork a runtime).
+    memory_overhead_mb:
+        Fixed per-unit overhead beyond the application's own footprint
+        (guest kernel for VMs, container runtime state, interpreter).
+    isolation:
+        A [0, 1] score summarizing the strength of the isolation boundary
+        (hardware > hypervisor > kernel namespace > language runtime).
+    virtualizes:
+        What the layer abstracts, per the paper's framing.
+    max_units_per_host:
+        A hard cap on co-residency.  Bare metal is 1 by definition —
+        without virtualization there is nothing to share a host with.
+    """
+
+    kind: LayerKind
+    startup_mean_s: float
+    startup_jitter_s: float
+    memory_overhead_mb: float
+    isolation: float
+    virtualizes: str
+    max_units_per_host: typing.Optional[int] = None
+
+    def sample_startup_latency(self, rng: random.Random) -> float:
+        """One provisioning-latency draw, uniformly jittered."""
+        jitter = rng.uniform(-self.startup_jitter_s, self.startup_jitter_s)
+        return max(0.0, self.startup_mean_s + jitter)
+
+    def units_per_host(self, host_memory_mb: float, app_memory_mb: float) -> int:
+        """How many units of ``app_memory_mb`` fit on one host.
+
+        Density is memory-bound: each unit costs its application footprint
+        plus this layer's fixed overhead.
+        """
+        per_unit = app_memory_mb + self.memory_overhead_mb
+        if per_unit <= 0:
+            raise ValueError("unit footprint must be positive")
+        by_memory = int(host_memory_mb // per_unit)
+        if self.max_units_per_host is not None:
+            return min(by_memory, self.max_units_per_host)
+        return by_memory
+
+
+#: Calibrated parameters for each layer.  Startup means follow the orders
+#: of magnitude reported in the systems the paper cites: physical server
+#: provisioning (minutes), EC2-style VM boot (tens of seconds), container
+#: start (~1 s), Lambda-style runtime fork (~50-100 ms warm-capable).
+LAYERS: typing.Dict[LayerKind, VirtualizationLayer] = {
+    LayerKind.BARE_METAL: VirtualizationLayer(
+        kind=LayerKind.BARE_METAL,
+        startup_mean_s=600.0,
+        startup_jitter_s=120.0,
+        memory_overhead_mb=0.0,
+        isolation=1.0,
+        virtualizes="nothing (dedicated hardware)",
+        max_units_per_host=1,
+    ),
+    LayerKind.VIRTUAL_MACHINE: VirtualizationLayer(
+        kind=LayerKind.VIRTUAL_MACHINE,
+        startup_mean_s=30.0,
+        startup_jitter_s=10.0,
+        memory_overhead_mb=512.0,
+        isolation=0.9,
+        virtualizes="physical hardware (hypervisor)",
+    ),
+    LayerKind.CONTAINER: VirtualizationLayer(
+        kind=LayerKind.CONTAINER,
+        startup_mean_s=1.0,
+        startup_jitter_s=0.5,
+        memory_overhead_mb=32.0,
+        isolation=0.6,
+        virtualizes="the operating system (kernel namespaces)",
+    ),
+    LayerKind.UNIKERNEL: VirtualizationLayer(
+        kind=LayerKind.UNIKERNEL,
+        startup_mean_s=0.01,
+        startup_jitter_s=0.005,
+        memory_overhead_mb=4.0,
+        isolation=0.9,
+        virtualizes="a single-application library OS on the hypervisor",
+    ),
+    LayerKind.FUNCTION: VirtualizationLayer(
+        kind=LayerKind.FUNCTION,
+        startup_mean_s=0.08,
+        startup_jitter_s=0.04,
+        memory_overhead_mb=8.0,
+        isolation=0.4,
+        virtualizes="the runtime/process",
+    ),
+}
+
+
+def layer(kind: LayerKind) -> VirtualizationLayer:
+    """The calibrated :class:`VirtualizationLayer` for ``kind``."""
+    return LAYERS[kind]

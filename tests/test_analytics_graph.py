@@ -1,0 +1,113 @@
+"""Tests for Pregel-style serverless graph processing."""
+
+import networkx as nx
+import pytest
+
+from taureau.analytics import (
+    PregelJob,
+    connected_components_program,
+    pagerank_program,
+    sssp_program,
+)
+from taureau.core import FaasPlatform
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.sim import Simulation
+
+
+def make_stack():
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    pool = BlockPool(sim, node_count=4, blocks_per_node=256, block_size_mb=8.0)
+    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+    return sim, platform, jiffy
+
+
+class TestPageRank:
+    def test_matches_networkx(self):
+        graph = nx.karate_club_graph()
+        sim, platform, jiffy = make_stack()
+        job = PregelJob(
+            platform, jiffy, graph, pagerank_program(), workers=4, max_supersteps=30
+        )
+        ours = job.run_sync()
+        reference = nx.pagerank(graph, alpha=0.85, max_iter=100)
+        for node in graph.nodes():
+            assert ours[node] == pytest.approx(reference[node], abs=0.01)
+
+    def test_ranks_sum_to_one(self):
+        graph = nx.path_graph(10)
+        sim, platform, jiffy = make_stack()
+        job = PregelJob(platform, jiffy, graph, pagerank_program(), workers=3,
+                        max_supersteps=25)
+        ours = job.run_sync()
+        assert sum(ours.values()) == pytest.approx(1.0, abs=0.05)
+
+
+class TestSssp:
+    def test_distances_match_networkx(self):
+        graph = nx.erdos_renyi_graph(30, 0.15, seed=42)
+        sim, platform, jiffy = make_stack()
+        job = PregelJob(platform, jiffy, graph, sssp_program(0), workers=4)
+        ours = job.run_sync()
+        reference = nx.single_source_shortest_path_length(graph, 0)
+        for node in graph.nodes():
+            if node in reference:
+                assert ours[node] == pytest.approx(float(reference[node]))
+            else:
+                assert ours[node] == float("inf")
+
+    def test_unreachable_stays_infinite(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(99)  # isolated
+        sim, platform, jiffy = make_stack()
+        job = PregelJob(platform, jiffy, graph, sssp_program(0), workers=2)
+        ours = job.run_sync()
+        assert ours[1] == 1.0
+        assert ours[99] == float("inf")
+
+
+class TestConnectedComponents:
+    def test_labels_match_networkx_components(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (10, 11), (20, 21), (21, 22)])
+        sim, platform, jiffy = make_stack()
+        job = PregelJob(
+            platform, jiffy, graph, connected_components_program(), workers=3
+        )
+        ours = job.run_sync()
+        for component in nx.connected_components(graph):
+            labels = {ours[node] for node in component}
+            assert len(labels) == 1
+            assert labels == {min(component)}
+
+
+class TestPregelMechanics:
+    def test_terminates_before_max_supersteps_on_quiescence(self):
+        graph = nx.path_graph(5)
+        sim, platform, jiffy = make_stack()
+        job = PregelJob(platform, jiffy, graph, sssp_program(0), workers=2,
+                        max_supersteps=50)
+        job.run_sync()
+        assert job.supersteps_run < 50
+
+    def test_state_reclaimed_after_run(self):
+        graph = nx.path_graph(6)
+        sim, platform, jiffy = make_stack()
+        job = PregelJob(platform, jiffy, graph, sssp_program(0), workers=2)
+        job.run_sync()
+        assert jiffy.controller.pool.allocated_blocks == 0
+
+    def test_worker_count_does_not_change_answer(self):
+        graph = nx.erdos_renyi_graph(20, 0.2, seed=7)
+        answers = []
+        for workers in (1, 3, 5):
+            sim, platform, jiffy = make_stack()
+            job = PregelJob(platform, jiffy, graph, sssp_program(0), workers=workers)
+            answers.append(job.run_sync())
+        assert answers[0] == answers[1] == answers[2]
+
+    def test_invalid_workers_rejected(self):
+        sim, platform, jiffy = make_stack()
+        with pytest.raises(ValueError):
+            PregelJob(platform, jiffy, nx.path_graph(3), sssp_program(0), workers=0)

@@ -1,0 +1,136 @@
+"""Tests for serverless MapReduce and shuffle media."""
+
+import collections
+
+import pytest
+
+from taureau.analytics import (
+    BlobShuffle,
+    JiffyShuffle,
+    KvShuffle,
+    MapReduceJob,
+    word_count_map,
+    word_count_reduce,
+)
+from taureau.baas import BlobStore, KvStore
+from taureau.core import FaasPlatform
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.sim import Simulation
+
+CORPUS = [
+    "the quick brown fox jumps over the lazy dog",
+    "the dog barks at the quick fox",
+    "brown foxes and lazy dogs",
+]
+
+
+def exact_word_count(chunks):
+    counter = collections.Counter()
+    for chunk in chunks:
+        counter.update(word.lower() for word in chunk.split())
+    return dict(counter)
+
+
+def make_platform():
+    sim = Simulation(seed=0)
+    return sim, FaasPlatform(sim)
+
+
+def jiffy_client(sim):
+    pool = BlockPool(sim, node_count=4, blocks_per_node=64, block_size_mb=8.0)
+    return JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=3600.0))
+
+
+class TestMapReduceCorrectness:
+    @pytest.mark.parametrize("medium_kind", ["blob", "kv", "jiffy"])
+    def test_word_count_matches_exact(self, medium_kind):
+        sim, platform = make_platform()
+        medium = {
+            "blob": lambda: BlobShuffle(BlobStore(sim)),
+            "kv": lambda: KvShuffle(KvStore(sim)),
+            "jiffy": lambda: JiffyShuffle(jiffy_client(sim)),
+        }[medium_kind]()
+        job = MapReduceJob(
+            platform, medium, word_count_map, word_count_reduce, partitions=3
+        )
+        result = job.run_sync(CORPUS)
+        assert result == exact_word_count(CORPUS)
+
+    def test_single_partition(self):
+        sim, platform = make_platform()
+        job = MapReduceJob(
+            platform, BlobShuffle(BlobStore(sim)), word_count_map,
+            word_count_reduce, partitions=1,
+        )
+        assert job.run_sync(CORPUS) == exact_word_count(CORPUS)
+
+    def test_custom_map_reduce(self):
+        sim, platform = make_platform()
+        job = MapReduceJob(
+            platform,
+            BlobShuffle(BlobStore(sim)),
+            map_fn=lambda numbers: [(n % 2, n) for n in numbers],
+            reduce_fn=lambda key, values: max(values),
+            partitions=2,
+        )
+        result = job.run_sync([[1, 2, 3], [4, 5, 6], [7, 8]])
+        assert result == {0: 8, 1: 7}
+
+    def test_map_failure_surfaces(self):
+        sim, platform = make_platform()
+
+        def bad_map(chunk):
+            raise ValueError("corrupt input")
+
+        job = MapReduceJob(
+            platform, BlobShuffle(BlobStore(sim)), bad_map, word_count_reduce
+        )
+        done = job.run(CORPUS)
+        done.add_callback(lambda event: event.defuse())
+        sim.run()
+        assert isinstance(done.exception, RuntimeError)
+
+    def test_shuffle_cleanup_leaves_no_state(self):
+        sim, platform = make_platform()
+        blob = BlobStore(sim)
+        job = MapReduceJob(
+            platform, BlobShuffle(blob), word_count_map, word_count_reduce
+        )
+        job.run_sync(CORPUS)
+        assert blob.list_keys(f"shuffle/{job.job_id}/") == []
+
+    def test_jiffy_shuffle_namespace_reclaimed(self):
+        sim, platform = make_platform()
+        client = jiffy_client(sim)
+        job = MapReduceJob(
+            platform, JiffyShuffle(client), word_count_map, word_count_reduce
+        )
+        job.run_sync(CORPUS)
+        assert not client.exists(f"/shuffle/{job.job_id}")
+        assert client.controller.pool.allocated_blocks == 0
+
+    def test_validation(self):
+        sim, platform = make_platform()
+        with pytest.raises(ValueError):
+            MapReduceJob(
+                platform, BlobShuffle(BlobStore(sim)), word_count_map,
+                word_count_reduce, partitions=0,
+            )
+
+
+class TestShufflePerformance:
+    def test_jiffy_shuffle_faster_than_blob(self):
+        """E14's core claim: memory-class shuffle beats the blob store."""
+
+        def run(medium_factory):
+            sim, platform = make_platform()
+            job = MapReduceJob(
+                platform, medium_factory(sim), word_count_map, word_count_reduce,
+                partitions=4,
+            )
+            job.run_sync(CORPUS * 20)
+            return sim.now
+
+        blob_time = run(lambda sim: BlobShuffle(BlobStore(sim)))
+        jiffy_time = run(lambda sim: JiffyShuffle(jiffy_client(sim)))
+        assert jiffy_time < blob_time

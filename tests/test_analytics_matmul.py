@@ -1,0 +1,98 @@
+"""Tests for serverless matrix multiplication."""
+
+import numpy as np
+import pytest
+
+from taureau.analytics import blocked_matmul, strassen_local, strassen_matmul
+from taureau.core import FaasPlatform
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.sim import Simulation
+
+
+def make_stack():
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    pool = BlockPool(sim, node_count=4, blocks_per_node=128, block_size_mb=16.0)
+    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+    return sim, platform, jiffy
+
+
+def random_matrix(rng, n, m=None):
+    return rng.standard_normal((n, m or n))
+
+
+class TestBlockedMatmul:
+    def test_matches_numpy(self):
+        sim, platform, jiffy = make_stack()
+        rng = np.random.default_rng(0)
+        a, b = random_matrix(rng, 96, 80), random_matrix(rng, 80, 64)
+        result = blocked_matmul(platform, jiffy, a, b, tile=32)
+        np.testing.assert_allclose(result, a @ b, rtol=1e-10)
+
+    def test_non_divisible_tile_sizes(self):
+        sim, platform, jiffy = make_stack()
+        rng = np.random.default_rng(1)
+        a, b = random_matrix(rng, 50, 30), random_matrix(rng, 30, 70)
+        result = blocked_matmul(platform, jiffy, a, b, tile=16)
+        np.testing.assert_allclose(result, a @ b, rtol=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        sim, platform, jiffy = make_stack()
+        with pytest.raises(ValueError):
+            blocked_matmul(platform, jiffy, np.ones((4, 3)), np.ones((4, 3)))
+
+    def test_intermediate_state_reclaimed(self):
+        sim, platform, jiffy = make_stack()
+        rng = np.random.default_rng(2)
+        a, b = random_matrix(rng, 32), random_matrix(rng, 32)
+        blocked_matmul(platform, jiffy, a, b, tile=16)
+        assert jiffy.controller.pool.allocated_blocks == 0
+
+
+class TestStrassenLocal:
+    def test_matches_numpy_recursive(self):
+        rng = np.random.default_rng(3)
+        a, b = random_matrix(rng, 128), random_matrix(rng, 128)
+        np.testing.assert_allclose(
+            strassen_local(a, b, threshold=32), a @ b, rtol=1e-9
+        )
+
+    def test_odd_size_falls_back(self):
+        rng = np.random.default_rng(4)
+        a, b = random_matrix(rng, 33), random_matrix(rng, 33)
+        np.testing.assert_allclose(strassen_local(a, b), a @ b, rtol=1e-10)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            strassen_local(np.ones((4, 2)), np.ones((2, 4)))
+
+
+class TestStrassenServerless:
+    def test_one_level_matches_numpy(self):
+        sim, platform, jiffy = make_stack()
+        rng = np.random.default_rng(5)
+        a, b = random_matrix(rng, 64), random_matrix(rng, 64)
+        result, stats = strassen_matmul(platform, jiffy, a, b, levels=1)
+        np.testing.assert_allclose(result, a @ b, rtol=1e-9)
+        assert stats["leaf_tasks"] == 7
+
+    def test_two_levels_uses_49_leaves(self):
+        sim, platform, jiffy = make_stack()
+        rng = np.random.default_rng(6)
+        a, b = random_matrix(rng, 64), random_matrix(rng, 64)
+        result, stats = strassen_matmul(platform, jiffy, a, b, levels=2)
+        np.testing.assert_allclose(result, a @ b, rtol=1e-8)
+        assert stats["leaf_tasks"] == 49
+
+    def test_fewer_multiplications_than_blocked(self):
+        """Strassen's point: 7 leaf products versus 8 for one split."""
+        sim, platform, jiffy = make_stack()
+        rng = np.random.default_rng(7)
+        a, b = random_matrix(rng, 32), random_matrix(rng, 32)
+        __, stats = strassen_matmul(platform, jiffy, a, b, levels=1)
+        assert stats["leaf_tasks"] == 7 < 8
+
+    def test_indivisible_size_rejected(self):
+        sim, platform, jiffy = make_stack()
+        with pytest.raises(ValueError):
+            strassen_matmul(platform, jiffy, np.ones((6, 6)), np.ones((6, 6)), levels=2)

@@ -1,0 +1,111 @@
+"""Tests for the serverless sample-sort."""
+
+import random
+
+import pytest
+
+from taureau.analytics import BlobShuffle, JiffyShuffle, ServerlessSort
+from taureau.baas import BlobStore
+from taureau.core import FaasPlatform
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.sim import Simulation
+
+
+def make_platform():
+    sim = Simulation(seed=0)
+    return sim, FaasPlatform(sim)
+
+
+def random_chunks(rng, chunks=6, per_chunk=500):
+    return [
+        [rng.randrange(1_000_000) for __ in range(per_chunk)]
+        for __ in range(chunks)
+    ]
+
+
+class TestServerlessSort:
+    def test_output_is_globally_sorted(self):
+        sim, platform = make_platform()
+        sorter = ServerlessSort(
+            platform, BlobShuffle(BlobStore(sim)), partitions=4
+        )
+        chunks = random_chunks(random.Random(1))
+        result = sorter.run_sync(chunks)
+        expected = sorted(record for chunk in chunks for record in chunk)
+        assert result == expected
+
+    def test_jiffy_shuffle_variant(self):
+        sim, platform = make_platform()
+        pool = BlockPool(sim, node_count=4, blocks_per_node=128, block_size_mb=8.0)
+        medium = JiffyShuffle(
+            JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+        )
+        sorter = ServerlessSort(platform, medium, partitions=3)
+        chunks = random_chunks(random.Random(2), chunks=4, per_chunk=300)
+        result = sorter.run_sync(chunks)
+        assert result == sorted(sum(chunks, []))
+
+    def test_custom_key_function(self):
+        sim, platform = make_platform()
+        sorter = ServerlessSort(
+            platform, BlobShuffle(BlobStore(sim)), partitions=2,
+            key_fn=lambda record: record["score"],
+        )
+        rng = random.Random(3)
+        chunks = [
+            [{"id": i, "score": rng.random()} for i in range(100)]
+            for __ in range(3)
+        ]
+        result = sorter.run_sync(chunks)
+        scores = [record["score"] for record in result]
+        assert scores == sorted(scores)
+        assert len(result) == 300
+
+    def test_skewed_input_still_sorts(self):
+        sim, platform = make_platform()
+        sorter = ServerlessSort(platform, BlobShuffle(BlobStore(sim)), partitions=4)
+        # Heavy duplication: splitters collapse but output must be correct.
+        chunks = [[7] * 200, [3] * 200, [7] * 100 + [1] * 100]
+        result = sorter.run_sync(chunks)
+        assert result == sorted(sum(chunks, []))
+
+    def test_single_partition_degenerate(self):
+        sim, platform = make_platform()
+        sorter = ServerlessSort(platform, BlobShuffle(BlobStore(sim)), partitions=1)
+        chunks = random_chunks(random.Random(4), chunks=2, per_chunk=50)
+        assert sorter.run_sync(chunks) == sorted(sum(chunks, []))
+
+    def test_validation(self):
+        sim, platform = make_platform()
+        with pytest.raises(ValueError):
+            ServerlessSort(platform, BlobShuffle(BlobStore(sim)), partitions=0)
+        with pytest.raises(ValueError):
+            ServerlessSort(
+                platform, BlobShuffle(BlobStore(sim)), sample_rate=0.0
+            )
+
+
+class TestPlatformTrigger:
+    def test_messages_trigger_faas_invocations(self):
+        from taureau.core import FunctionSpec
+        from taureau.pulsar import FunctionsRuntime, PulsarCluster
+
+        sim = Simulation(seed=0)
+        cluster = PulsarCluster(sim, broker_count=2, bookie_count=3)
+        cluster.create_topic("uploads")
+        platform = FaasPlatform(sim)
+        runtime = FunctionsRuntime(cluster)
+        processed = []
+
+        def thumbnailer(event, ctx):
+            ctx.charge(0.05)
+            processed.append(event)
+            return f"thumb-{event}"
+
+        platform.register(FunctionSpec(name="thumbnailer", handler=thumbnailer))
+        runtime.deploy_platform_trigger("uploads", platform, "thumbnailer")
+        cluster.publish_all("uploads", [f"img{i}.png" for i in range(5)])
+        sim.run()
+        assert sorted(processed) == [f"img{i}.png" for i in range(5)]
+        assert platform.metrics.counter("invocations").value == 5
+        assert runtime.metrics.counter("trigger.thumbnailer.fired").value == 5

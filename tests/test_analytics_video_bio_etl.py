@@ -1,0 +1,148 @@
+"""Tests for the video pipeline, sequence comparison and ETL workloads."""
+
+import random
+
+import pytest
+
+from taureau.analytics import (
+    AllPairsComparison,
+    ExifHeatMapPipeline,
+    SyntheticVideo,
+    VideoPipeline,
+    random_protein,
+    single_node_encode_time_s,
+    smith_waterman_score,
+    synthetic_photos,
+)
+from taureau.baas import BlobStore, ServerlessDatabase
+from taureau.core import FaasPlatform
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.sim import Simulation
+
+
+def make_stack():
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    pool = BlockPool(sim, node_count=4, blocks_per_node=256, block_size_mb=8.0)
+    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+    return sim, platform, jiffy
+
+
+class TestVideoPipeline:
+    def test_stitched_output_matches_reference(self):
+        sim, platform, jiffy = make_stack()
+        video = SyntheticVideo(frame_count=96, frame_bytes=1024)
+        pipeline = VideoPipeline(platform, jiffy, video, chunk_frames=24)
+        result = pipeline.run_sync()
+        assert result["frames"] == 96
+        assert result["checksum"] == pipeline.expected_checksum()
+        assert result["chunks"] == 4
+
+    def test_parallel_encode_beats_single_node(self):
+        sim, platform, jiffy = make_stack()
+        video = SyntheticVideo(frame_count=240, frame_bytes=512)
+        pipeline = VideoPipeline(platform, jiffy, video, chunk_frames=24)
+        result = pipeline.run_sync()
+        assert result["wall_clock_s"] < single_node_encode_time_s(video)
+
+    def test_finer_chunks_lower_encode_time_until_stitch_dominates(self):
+        def wall_clock(chunk_frames):
+            sim, platform, jiffy = make_stack()
+            video = SyntheticVideo(frame_count=240, frame_bytes=512)
+            return VideoPipeline(
+                platform, jiffy, video, chunk_frames=chunk_frames
+            ).run_sync()["wall_clock_s"]
+
+        coarse = wall_clock(120)  # 2 chunks
+        fine = wall_clock(12)  # 20 chunks
+        assert fine < coarse
+
+    def test_video_frame_determinism_and_bounds(self):
+        video = SyntheticVideo(frame_count=4, frame_bytes=64)
+        assert video.frame(0) == video.frame(0)
+        assert len(video.frame(3)) == 64
+        with pytest.raises(IndexError):
+            video.frame(4)
+        with pytest.raises(ValueError):
+            video.chunks(0)
+
+
+class TestSequenceComparison:
+    def test_smith_waterman_identical_sequences(self):
+        score = smith_waterman_score("ACDEFG", "ACDEFG", match=3)
+        assert score == 18  # 6 matches x 3
+
+    def test_smith_waterman_finds_local_alignment(self):
+        # A shared "WWWWW" island inside unrelated flanks.
+        a = "ACDEF" + "WWWWW" + "GHIKL"
+        b = "MNPQR" + "WWWWW" + "STVYA"
+        assert smith_waterman_score(a, b) >= 15
+
+    def test_smith_waterman_empty(self):
+        assert smith_waterman_score("", "ACD") == 0
+
+    def test_all_pairs_counts(self):
+        sim, platform, __ = make_stack()
+        rng = random.Random(0)
+        sequences = [random_protein(rng, 20) for __ in range(6)]
+        job = AllPairsComparison(platform, sequences, batch_size=4)
+        scores = job.run_sync()
+        assert len(scores) == 15  # C(6, 2)
+
+    def test_self_similar_pair_scores_highest(self):
+        sim, platform, __ = make_stack()
+        rng = random.Random(1)
+        base = random_protein(rng, 40)
+        mutated = base[:38] + "AA"
+        decoys = [random_protein(rng, 40) for __ in range(4)]
+        sequences = [base, mutated] + decoys
+        job = AllPairsComparison(platform, sequences, batch_size=3)
+        scores = job.run_sync()
+        best_pair, __ = job.top_matches(scores, n=1)[0]
+        assert best_pair == (0, 1)
+
+    def test_validation(self):
+        sim, platform, __ = make_stack()
+        with pytest.raises(ValueError):
+            AllPairsComparison(platform, ["ONLY"], batch_size=2)
+        with pytest.raises(ValueError):
+            AllPairsComparison(platform, ["AB", "CD"], batch_size=0)
+
+
+class TestEtlPipeline:
+    def make_etl(self):
+        sim = Simulation(seed=0)
+        platform = FaasPlatform(sim)
+        blob = BlobStore(sim)
+        db = ServerlessDatabase(sim)
+        return sim, ExifHeatMapPipeline(platform, blob, db)
+
+    def test_heatmap_counts_all_usable_photos(self):
+        sim, pipeline = self.make_etl()
+        photos = synthetic_photos(random.Random(0), 40, missing_exif_rate=0.25)
+        usable = sum(1 for photo in photos if photo.exif is not None)
+        stats = pipeline.run_sync(pipeline.ingest(photos))
+        assert stats["loaded"] == usable
+        assert stats["skipped"] == 40 - usable
+        assert sum(pipeline.heatmap().values()) == usable
+
+    def test_hotspots_emerge(self):
+        sim, pipeline = self.make_etl()
+        photos = synthetic_photos(random.Random(1), 120, missing_exif_rate=0.0)
+        pipeline.run_sync(pipeline.ingest(photos))
+        hottest = pipeline.hottest_cells(3)
+        # With ~3 hotspots blurred by sigma=0.5 over 1-degree cells, the top
+        # three cells still hold far more than a uniform spread would.
+        cells = len(pipeline.heatmap())
+        uniform_top3 = 3 * 120 / cells
+        assert sum(count for __, count in hottest) > 2.5 * uniform_top3
+
+    def test_idempotent_under_duplicate_processing(self):
+        sim, pipeline = self.make_etl()
+        photos = synthetic_photos(random.Random(2), 10, missing_exif_rate=0.0)
+        keys = pipeline.ingest(photos)
+        pipeline.run_sync(keys)
+        first = pipeline.heatmap()
+        # Re-running the same keys must not double count (execute_once).
+        pipeline.run_sync(keys)
+        assert pipeline.heatmap() == first

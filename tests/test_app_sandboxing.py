@@ -1,0 +1,77 @@
+"""Tests for SAND-style application-level sandboxing."""
+
+import pytest
+
+from taureau.core import FaasPlatform, FunctionSpec, PlatformConfig
+from taureau.sim import Simulation
+
+
+def make_platform(app_sandboxing):
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(
+        sim, config=PlatformConfig(app_sandboxing=app_sandboxing)
+    )
+    for name in ("parse", "resize", "store"):
+        platform.register(
+            FunctionSpec(
+                name=name,
+                handler=lambda event, ctx: ctx.charge(0.05),
+                memory_mb=256,
+                tenant="photo-app",
+            )
+        )
+    return sim, platform
+
+
+class TestAppSandboxing:
+    def test_warm_sharing_across_functions_of_one_app(self):
+        sim, platform = make_platform(app_sandboxing=True)
+        first = platform.invoke_sync("parse", None)
+        second = platform.invoke_sync("resize", None)  # different function!
+        third = platform.invoke_sync("store", None)
+        assert first.cold_start
+        assert not second.cold_start and not third.cold_start
+
+    def test_per_function_mode_stays_cold_across_functions(self):
+        sim, platform = make_platform(app_sandboxing=False)
+        platform.invoke_sync("parse", None)
+        second = platform.invoke_sync("resize", None)
+        assert second.cold_start
+
+    def test_no_sharing_across_tenants(self):
+        sim = Simulation(seed=0)
+        platform = FaasPlatform(sim, config=PlatformConfig(app_sandboxing=True))
+        for name, tenant in (("a-fn", "app-a"), ("b-fn", "app-b")):
+            platform.register(
+                FunctionSpec(
+                    name=name, handler=lambda e, c: c.charge(0.05),
+                    memory_mb=256, tenant=tenant,
+                )
+            )
+        platform.invoke_sync("a-fn", None)
+        other = platform.invoke_sync("b-fn", None)
+        assert other.cold_start
+
+    def test_memory_requirement_gates_reuse(self):
+        sim = Simulation(seed=0)
+        platform = FaasPlatform(sim, config=PlatformConfig(app_sandboxing=True))
+        platform.register(
+            FunctionSpec(name="small", handler=lambda e, c: c.charge(0.05),
+                         memory_mb=128, tenant="app")
+        )
+        platform.register(
+            FunctionSpec(name="big", handler=lambda e, c: c.charge(0.05),
+                         memory_mb=2048, tenant="app")
+        )
+        platform.invoke_sync("small", None)
+        # The small sandbox cannot host the big function.
+        big = platform.invoke_sync("big", None)
+        assert big.cold_start
+        # But the big sandbox can host the small function afterwards.
+        small_again = platform.invoke_sync("small", None)
+        assert not small_again.cold_start
+
+    def test_warm_pool_size_counts_shared_bucket(self):
+        sim, platform = make_platform(app_sandboxing=True)
+        platform.invoke_sync("parse", None)
+        assert platform.warm_pool_size("resize") == 1  # same app bucket

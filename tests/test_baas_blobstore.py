@@ -1,0 +1,115 @@
+"""Unit tests for the blob store."""
+
+import numpy as np
+import pytest
+
+from taureau.baas import BlobNotFound, BlobStore, estimate_size_mb
+from taureau.core import InvocationContext
+from taureau.sim import Simulation
+
+
+def make_store():
+    sim = Simulation(seed=0)
+    return sim, BlobStore(sim)
+
+
+def make_ctx():
+    return InvocationContext("inv", "fn", timeout_s=300.0, start_time=0.0)
+
+
+class TestSizing:
+    def test_bytes_and_strings(self):
+        assert estimate_size_mb(b"x" * (1024 * 1024)) == pytest.approx(1.0)
+        assert estimate_size_mb("a" * 1024) == pytest.approx(1 / 1024.0)
+
+    def test_numpy_uses_nbytes(self):
+        array = np.zeros(1024 * 256, dtype=np.float64)  # 2 MB
+        assert estimate_size_mb(array) == pytest.approx(2.0)
+
+    def test_none_is_free(self):
+        assert estimate_size_mb(None) == 0.0
+
+    def test_containers_sum_members(self):
+        payload = {"a": b"x" * 1024, "b": [b"y" * 1024, b"z" * 1024]}
+        assert estimate_size_mb(payload) > estimate_size_mb(b"x" * 2048)
+
+
+class TestBlobStore:
+    def test_put_get_roundtrip(self):
+        __, store = make_store()
+        store.put("k", {"data": 1})
+        assert store.get("k") == {"data": 1}
+        assert "k" in store
+        assert len(store) == 1
+
+    def test_get_missing_raises(self):
+        __, store = make_store()
+        with pytest.raises(BlobNotFound):
+            store.get("nope")
+
+    def test_delete(self):
+        __, store = make_store()
+        store.put("k", b"x", size_mb=1.0)
+        store.delete("k")
+        assert "k" not in store
+        assert store.stored_mb == 0.0
+        with pytest.raises(BlobNotFound):
+            store.delete("k")
+
+    def test_overwrite_replaces_size(self):
+        __, store = make_store()
+        store.put("k", b"", size_mb=10.0)
+        store.put("k", b"", size_mb=2.0)
+        assert store.stored_mb == pytest.approx(2.0)
+
+    def test_list_keys_prefix(self):
+        __, store = make_store()
+        for key in ("jobs/1", "jobs/2", "other/1"):
+            store.put(key, b"")
+        assert store.list_keys("jobs/") == ["jobs/1", "jobs/2"]
+        assert store.list_keys() == ["jobs/1", "jobs/2", "other/1"]
+
+    def test_latency_charged_to_context(self):
+        __, store = make_store()
+        ctx = make_ctx()
+        store.put("k", b"", ctx=ctx, size_mb=80.0)  # 80 MB at 80 MB/s = 1s
+        assert ctx.accrued_s == pytest.approx(
+            store.calibration.blob_base_latency_s + 1.0
+        )
+        before = ctx.accrued_s
+        store.get("k", ctx=ctx)
+        assert ctx.accrued_s - before == pytest.approx(
+            store.calibration.blob_base_latency_s + 1.0
+        )
+
+    def test_size_transfer_slower_than_memory_class(self):
+        __, store = make_store()
+        # The blob store must be orders of magnitude slower than the
+        # memory-class latency — E5 depends on this gap existing.
+        blob = store.operation_latency_s(1.0)
+        memory = store.calibration.memory_transfer_latency(1.0)
+        assert blob / memory > 10
+
+    def test_request_costs_accumulate(self):
+        __, store = make_store()
+        store.put("a", b"")
+        store.get("a")
+        store.get("a")
+        calibration = store.calibration
+        assert store.request_cost_usd() == pytest.approx(
+            calibration.blob_price_per_put + 2 * calibration.blob_price_per_get
+        )
+
+    def test_storage_cost_integrates_over_time(self):
+        sim, store = make_store()
+        store.put("k", b"", size_mb=1024.0)  # 1 GB
+        sim.schedule_after(30 * 24 * 3600.0, lambda: None)  # one month
+        sim.run()
+        assert store.storage_cost_usd() == pytest.approx(
+            store.calibration.blob_price_per_gb_month, rel=1e-6
+        )
+
+    def test_negative_size_rejected(self):
+        __, store = make_store()
+        with pytest.raises(ValueError):
+            store.put("k", b"", size_mb=-1.0)

@@ -1,0 +1,181 @@
+"""Unit tests for the serverless transactional database."""
+
+import pytest
+
+from taureau.baas import ServerlessDatabase, TransactionConflict
+from taureau.sim import Simulation
+
+
+def make_db():
+    db = ServerlessDatabase(Simulation(seed=0))
+    db.create_table("accounts")
+    return db
+
+
+class TestPlainOperations:
+    def test_put_get_roundtrip(self):
+        db = make_db()
+        db.put("accounts", "alice", {"balance": 100})
+        assert db.get("accounts", "alice") == {"balance": 100}
+
+    def test_get_missing_returns_none(self):
+        assert make_db().get("accounts", "nobody") is None
+
+    def test_unknown_table_raises(self):
+        db = make_db()
+        with pytest.raises(KeyError):
+            db.get("ghosts", "k")
+
+    def test_duplicate_table_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.create_table("accounts")
+
+    def test_returned_rows_are_copies(self):
+        db = make_db()
+        db.put("accounts", "alice", {"balance": 100})
+        row = db.get("accounts", "alice")
+        row["balance"] = 0
+        assert db.get("accounts", "alice") == {"balance": 100}
+
+    def test_scan_with_predicate(self):
+        db = make_db()
+        db.put("accounts", "alice", {"balance": 100})
+        db.put("accounts", "bob", {"balance": 5})
+        rich = db.scan("accounts", predicate=lambda key, row: row["balance"] > 50)
+        assert rich == [("alice", {"balance": 100})]
+
+    def test_delete(self):
+        db = make_db()
+        db.put("accounts", "alice", {"balance": 1})
+        db.delete("accounts", "alice")
+        assert db.get("accounts", "alice") is None
+
+
+class TestTransactions:
+    def test_transfer_commits_atomically(self):
+        db = make_db()
+        db.put("accounts", "alice", {"balance": 100})
+        db.put("accounts", "bob", {"balance": 0})
+        txn = db.transaction()
+        alice = txn.get("accounts", "alice")
+        bob = txn.get("accounts", "bob")
+        txn.put("accounts", "alice", {"balance": alice["balance"] - 30})
+        txn.put("accounts", "bob", {"balance": bob["balance"] + 30})
+        txn.commit()
+        assert db.get("accounts", "alice")["balance"] == 70
+        assert db.get("accounts", "bob")["balance"] == 30
+
+    def test_conflicting_transaction_aborts_without_applying(self):
+        db = make_db()
+        db.put("accounts", "alice", {"balance": 100})
+        txn_a = db.transaction()
+        txn_b = db.transaction()
+        a_row = txn_a.get("accounts", "alice")
+        b_row = txn_b.get("accounts", "alice")
+        txn_a.put("accounts", "alice", {"balance": a_row["balance"] - 10})
+        txn_b.put("accounts", "alice", {"balance": b_row["balance"] - 99})
+        txn_a.commit()
+        with pytest.raises(TransactionConflict):
+            txn_b.commit()
+        assert db.get("accounts", "alice")["balance"] == 90
+        assert db.metrics.counter("conflicts").value == 1
+
+    def test_read_your_own_writes(self):
+        db = make_db()
+        txn = db.transaction()
+        txn.put("accounts", "carol", {"balance": 7})
+        assert txn.get("accounts", "carol") == {"balance": 7}
+        txn.delete("accounts", "carol")
+        assert txn.get("accounts", "carol") is None
+
+    def test_insert_insert_conflict_detected(self):
+        db = make_db()
+        txn_a = db.transaction()
+        txn_b = db.transaction()
+        assert txn_a.get("accounts", "new") is None
+        assert txn_b.get("accounts", "new") is None
+        txn_a.put("accounts", "new", {"balance": 1})
+        txn_b.put("accounts", "new", {"balance": 2})
+        txn_a.commit()
+        with pytest.raises(TransactionConflict):
+            txn_b.commit()
+
+    def test_commit_twice_rejected(self):
+        db = make_db()
+        txn = db.transaction()
+        txn.put("accounts", "x", {"balance": 1})
+        txn.commit()
+        with pytest.raises(ValueError):
+            txn.commit()
+
+    def test_run_transaction_retries_to_success(self):
+        db = make_db()
+        db.put("accounts", "hits", {"n": 0})
+
+        def increment(txn):
+            row = txn.get("accounts", "hits")
+            txn.put("accounts", "hits", {"n": row["n"] + 1})
+
+        for __ in range(5):
+            db.run_transaction(increment)
+        assert db.get("accounts", "hits")["n"] == 5
+
+
+class TestIdempotency:
+    def test_execute_once_memoizes(self):
+        db = make_db()
+        calls = {"n": 0}
+
+        def effect():
+            calls["n"] += 1
+            return "receipt"
+
+        first = db.execute_once("req-1", effect)
+        second = db.execute_once("req-1", effect)
+        assert first == second == "receipt"
+        assert calls["n"] == 1
+        assert db.metrics.counter("idempotent_hits").value == 1
+
+    def test_different_tokens_run_separately(self):
+        db = make_db()
+        calls = {"n": 0}
+
+        def effect():
+            calls["n"] += 1
+
+        db.execute_once("a", effect)
+        db.execute_once("b", effect)
+        assert calls["n"] == 2
+
+    def test_reexecuted_function_applies_effect_once(self):
+        """The paper's §4.1 scenario: platform retries must not double-apply."""
+        from taureau.core import FaasPlatform, FunctionSpec
+
+        sim = Simulation(seed=0)
+        db = ServerlessDatabase(sim)
+        db.create_table("orders")
+        platform = FaasPlatform(sim, services={"db": db})
+        attempts = {"n": 0}
+
+        def place_order(event, ctx):
+            ctx.charge(0.01)
+            database = ctx.service("db")
+
+            def write():
+                row = database.get("orders", "o1") or {"quantity": 0}
+                database.put("orders", "o1", {"quantity": row["quantity"] + 1})
+                return "placed"
+
+            result = database.execute_once(f"order-{event['id']}", write)
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError("crash after commit")
+            return result
+
+        platform.register(
+            FunctionSpec(name="place_order", handler=place_order, max_retries=5)
+        )
+        record = platform.invoke_sync("place_order", {"id": 7})
+        assert record.succeeded
+        assert db.get("orders", "o1") == {"quantity": 1}

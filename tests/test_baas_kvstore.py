@@ -1,0 +1,78 @@
+"""Unit tests for the KV store."""
+
+import pytest
+
+from taureau.baas import ConditionFailed, KvStore
+from taureau.core import InvocationContext
+from taureau.sim import Simulation
+
+
+def make_store():
+    return KvStore(Simulation(seed=0))
+
+
+class TestKvStore:
+    def test_put_get(self):
+        store = make_store()
+        version = store.put("k", "v")
+        assert version == 1
+        assert store.get("k") == "v"
+
+    def test_versions_increment(self):
+        store = make_store()
+        assert store.put("k", "a") == 1
+        assert store.put("k", "b") == 2
+        assert store.get_item("k").version == 2
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_store().get("missing")
+
+    def test_conditional_create(self):
+        store = make_store()
+        store.put_if_version("k", "v", expected_version=0)
+        with pytest.raises(ConditionFailed):
+            store.put_if_version("k", "again", expected_version=0)
+
+    def test_conditional_update_cas_loop(self):
+        store = make_store()
+        store.put("k", 10)
+        item = store.get_item("k")
+        store.put_if_version("k", item.value + 1, expected_version=item.version)
+        assert store.get("k") == 11
+        # A stale CAS now fails.
+        with pytest.raises(ConditionFailed):
+            store.put_if_version("k", 99, expected_version=item.version)
+        assert store.metrics.counter("condition_failures").value == 1
+
+    def test_delete(self):
+        store = make_store()
+        store.put("k", "v")
+        store.delete("k")
+        assert "k" not in store
+        with pytest.raises(KeyError):
+            store.delete("k")
+
+    def test_counter_add(self):
+        store = make_store()
+        assert store.counter_add("hits") == 1.0
+        assert store.counter_add("hits", 4.0) == 5.0
+
+    def test_keys_prefix(self):
+        store = make_store()
+        store.put("a/1", 1)
+        store.put("a/2", 1)
+        store.put("b/1", 1)
+        assert store.keys("a/") == ["a/1", "a/2"]
+
+    def test_kv_faster_than_blob_for_small_items(self):
+        # KV stores win on small items (low base latency); blob stores win
+        # on bulk (higher bandwidth).  Check both sides of the trade-off.
+        store = make_store()
+        ctx = InvocationContext("i", "f", 300.0, 0.0)
+        store.put("k", "v", ctx=ctx, size_mb=0.001)
+        kv_latency = ctx.accrued_s
+        assert kv_latency < store.calibration.blob_transfer_latency(0.001)
+        assert store.calibration.kv_transfer_latency(
+            100.0
+        ) > store.calibration.blob_transfer_latency(100.0)

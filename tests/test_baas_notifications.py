@@ -1,0 +1,72 @@
+"""Unit tests for the notification service."""
+
+import pytest
+
+from taureau.baas import NotificationService
+from taureau.core import FaasPlatform, FunctionSpec
+from taureau.sim import Simulation
+
+
+def make_sns():
+    sim = Simulation(seed=0)
+    sns = NotificationService(sim)
+    sns.create_topic("events")
+    return sim, sns
+
+
+class TestNotificationService:
+    def test_publish_fans_out_to_all_subscribers(self):
+        sim, sns = make_sns()
+        seen_a, seen_b = [], []
+        sns.subscribe("events", seen_a.append)
+        sns.subscribe("events", seen_b.append)
+        count = sns.publish("events", {"kind": "ping"})
+        assert count == 2
+        assert seen_a == []  # delivery is async
+        sim.run()
+        assert seen_a == seen_b == [{"kind": "ping"}]
+
+    def test_publish_to_empty_topic(self):
+        sim, sns = make_sns()
+        assert sns.publish("events", "msg") == 0
+
+    def test_unknown_topic_raises(self):
+        __, sns = make_sns()
+        with pytest.raises(KeyError):
+            sns.publish("ghosts", "msg")
+        with pytest.raises(KeyError):
+            sns.subscribe("ghosts", print)
+
+    def test_duplicate_topic_rejected(self):
+        __, sns = make_sns()
+        with pytest.raises(ValueError):
+            sns.create_topic("events")
+
+    def test_delivery_happens_after_publish_time(self):
+        sim, sns = make_sns()
+        delivery_times = []
+        sns.subscribe("events", lambda msg: delivery_times.append(sim.now))
+        sim.schedule_at(5.0, sns.publish, "events", "x")
+        sim.run()
+        assert delivery_times[0] > 5.0
+
+    def test_subscribe_function_triggers_platform(self):
+        """The §3 event-driven pattern: message -> function invocation."""
+        sim, sns = make_sns()
+        platform = FaasPlatform(sim)
+        handled = []
+
+        def on_event(event, ctx):
+            ctx.charge(0.01)
+            handled.append(event)
+            return "ok"
+
+        platform.register(FunctionSpec(name="on_event", handler=on_event))
+        sns.subscribe_function("events", platform, "on_event")
+        sns.publish("events", {"device": "sensor-1"})
+        sns.publish("events", {"device": "sensor-2"})
+        sim.run()
+        # Handler *completion* order depends on per-sandbox cold-start
+        # jitter, so compare as a set.
+        assert sorted(h["device"] for h in handled) == ["sensor-1", "sensor-2"]
+        assert platform.metrics.counter("invocations").value == 2

@@ -1,0 +1,87 @@
+"""Tests for the cost/usage report."""
+
+import pytest
+
+from taureau.core import CostReport, FaasPlatform, FunctionSpec
+from taureau.sim import Simulation
+
+
+def make_platform():
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    platform.register(
+        FunctionSpec(name="api", handler=lambda e, c: c.charge(0.25),
+                     memory_mb=512, tenant="acme")
+    )
+    platform.register(
+        FunctionSpec(name="batch", handler=lambda e, c: c.charge(2.0),
+                     memory_mb=2048, tenant="globex")
+    )
+    platform.register(
+        FunctionSpec(name="unused", handler=lambda e, c: None, tenant="acme")
+    )
+    return sim, platform
+
+
+class TestCostReport:
+    def test_lines_match_platform_totals(self):
+        sim, platform = make_platform()
+        for __ in range(5):
+            platform.invoke_sync("api", None)
+        platform.invoke_sync("batch", None)
+        report = CostReport.from_platform(platform)
+        assert report.total_usd == pytest.approx(platform.total_cost_usd())
+        by_name = {line.function_name: line for line in report.lines}
+        assert by_name["api"].invocations == 5
+        assert by_name["api"].billed_seconds == pytest.approx(5 * 0.3)
+        assert by_name["batch"].invocations == 1
+        assert "unused" not in by_name  # zero-use functions stay off the bill
+
+    def test_lines_sorted_by_cost(self):
+        sim, platform = make_platform()
+        platform.invoke_sync("api", None)
+        platform.invoke_sync("batch", None)
+        report = CostReport.from_platform(platform)
+        costs = [line.cost_usd for line in report.lines]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_by_tenant_breakdown(self):
+        sim, platform = make_platform()
+        platform.invoke_sync("api", None)
+        platform.invoke_sync("batch", None)
+        tenants = CostReport.from_platform(platform).by_tenant()
+        assert set(tenants) == {"acme", "globex"}
+        assert tenants["globex"] > tenants["acme"]
+
+    def test_provisioned_charge_included(self):
+        sim, platform = make_platform()
+        platform.set_provisioned_concurrency("api", 2)
+        sim.run(until=3600.0)
+        report = CostReport.from_platform(platform)
+        assert report.provisioned_cost_usd > 0
+        assert report.total_usd == pytest.approx(report.provisioned_cost_usd)
+
+    def test_format_renders_every_line_and_total(self):
+        sim, platform = make_platform()
+        platform.invoke_sync("api", None)
+        platform.invoke_sync("batch", None)
+        text = CostReport.from_platform(platform).format()
+        assert "api" in text and "batch" in text
+        assert "TOTAL" in text
+        assert "acme" in text and "globex" in text
+
+    def test_retries_produce_extra_billed_requests(self):
+        sim = Simulation(seed=0)
+        platform = FaasPlatform(sim)
+
+        def flaky(event, ctx):
+            ctx.charge(0.1)
+            raise RuntimeError("always")
+
+        platform.register(
+            FunctionSpec(name="flaky", handler=flaky, max_retries=2)
+        )
+        platform.invoke_sync("flaky", None)
+        report = CostReport.from_platform(platform)
+        (line,) = report.lines
+        assert line.invocations == 3  # each attempt billed, as on Lambda

@@ -1,0 +1,62 @@
+"""Unit tests for sandbox placement policies."""
+
+from taureau.cluster import Cluster, ResourceVector
+from taureau.core import (
+    ComplementaryScheduler,
+    FirstFitScheduler,
+    FunctionSpec,
+    LeastLoadedScheduler,
+)
+
+
+def spec(memory_mb=256, cpu_demand=1.0):
+    return FunctionSpec(
+        name="f", handler=lambda e, c: None, memory_mb=memory_mb, cpu_demand=cpu_demand
+    )
+
+
+class TestFirstFit:
+    def test_picks_first_machine_with_room(self):
+        cluster = Cluster.homogeneous(3, cpu_cores=4, memory_mb=1000)
+        cluster.machines[0].allocate(ResourceVector(0, 900))
+        chosen = FirstFitScheduler().place(cluster.machines, spec(256), {})
+        assert chosen is cluster.machines[1]
+
+    def test_returns_none_when_full(self):
+        cluster = Cluster.homogeneous(1, cpu_cores=4, memory_mb=100)
+        assert FirstFitScheduler().place(cluster.machines, spec(256), {}) is None
+
+
+class TestLeastLoaded:
+    def test_prefers_emptier_machine(self):
+        cluster = Cluster.homogeneous(2, cpu_cores=4, memory_mb=1000)
+        cluster.machines[0].allocate(ResourceVector(0, 500))
+        chosen = LeastLoadedScheduler().place(cluster.machines, spec(100), {})
+        assert chosen is cluster.machines[1]
+
+
+class TestComplementary:
+    def test_avoids_cpu_hot_machines(self):
+        cluster = Cluster.homogeneous(2, cpu_cores=4, memory_mb=10000)
+        cpu_load = {cluster.machines[0].machine_id: 4.0}
+        chosen = ComplementaryScheduler().place(
+            cluster.machines, spec(cpu_demand=2.0), cpu_load
+        )
+        assert chosen is cluster.machines[1]
+
+    def test_memory_light_cpu_heavy_interleave(self):
+        # A memory-bound function (low CPU) happily co-locates with the
+        # CPU-hot machine if that keeps pressure balanced elsewhere.
+        cluster = Cluster.homogeneous(2, cpu_cores=4, memory_mb=10000)
+        machine_a, machine_b = cluster.machines
+        cpu_load = {machine_a.machine_id: 3.0, machine_b.machine_id: 0.5}
+        chosen = ComplementaryScheduler().place(
+            cluster.machines, spec(cpu_demand=3.0), cpu_load
+        )
+        assert chosen is machine_b
+
+    def test_ties_broken_by_free_memory(self):
+        cluster = Cluster.homogeneous(2, cpu_cores=4, memory_mb=1000)
+        cluster.machines[0].allocate(ResourceVector(0, 400))
+        chosen = ComplementaryScheduler().place(cluster.machines, spec(100), {})
+        assert chosen is cluster.machines[1]

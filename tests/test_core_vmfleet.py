@@ -1,0 +1,76 @@
+"""Unit tests for the server-centric VM fleet baseline."""
+
+import pytest
+
+from taureau.core import AutoscalerPolicy, VmFleet
+from taureau.sim import Simulation
+
+
+class TestStaticFleet:
+    def test_requests_fill_slots_then_queue(self):
+        sim = Simulation()
+        fleet = VmFleet(sim, initial_vms=1, slots_per_vm=2)
+        done = [fleet.submit(10.0) for _ in range(3)]
+        sim.run(until=done[2])
+        # Two ran immediately; the third waited for a slot (10s) + 10s service.
+        assert sim.now == pytest.approx(20.0)
+        assert fleet.metrics.distribution("queue_delay_s").maximum == pytest.approx(10.0)
+
+    def test_cost_is_vm_hours_idle_or_not(self):
+        sim = Simulation()
+        fleet = VmFleet(sim, initial_vms=4)
+        sim.run(until=3600.0)
+        assert fleet.cost_usd() == pytest.approx(4 * fleet.calibration.vm_price_per_hour)
+
+    def test_set_vm_count_drains_queue(self):
+        sim = Simulation()
+        fleet = VmFleet(sim, initial_vms=0, slots_per_vm=1)
+        done = fleet.submit(1.0)
+        sim.schedule_at(5.0, fleet.set_vm_count, 1)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(6.0)
+
+    def test_validation(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            VmFleet(sim, initial_vms=-1)
+        fleet = VmFleet(sim, initial_vms=1)
+        with pytest.raises(ValueError):
+            fleet.submit(-1.0)
+        with pytest.raises(ValueError):
+            fleet.set_vm_count(-2)
+
+
+class TestAutoscaledFleet:
+    def test_scales_up_under_load_after_boot_delay(self):
+        sim = Simulation()
+        policy = AutoscalerPolicy(target_utilization=0.5, interval_s=10.0, min_vms=1)
+        fleet = VmFleet(sim, initial_vms=1, slots_per_vm=1, policy=policy)
+        # Saturate: 5 long requests against 1 slot.
+        for __ in range(5):
+            fleet.submit(500.0)
+        sim.run(until=120.0)
+        assert fleet.vm_count > 1
+        assert fleet.metrics.counter("scale_ups").value >= 1
+
+    def test_scales_down_when_idle(self):
+        sim = Simulation()
+        policy = AutoscalerPolicy(target_utilization=0.5, interval_s=10.0, min_vms=1)
+        fleet = VmFleet(sim, initial_vms=8, slots_per_vm=1, policy=policy)
+        sim.run(until=60.0)
+        assert fleet.vm_count == 1
+        assert fleet.metrics.counter("scale_downs").value >= 1
+
+    def test_never_drops_below_min(self):
+        sim = Simulation()
+        policy = AutoscalerPolicy(interval_s=5.0, min_vms=3)
+        fleet = VmFleet(sim, initial_vms=3, policy=policy)
+        sim.run(until=100.0)
+        assert fleet.vm_count == 3
+
+    def test_desired_vms_formula(self):
+        policy = AutoscalerPolicy(target_utilization=0.5, min_vms=1, max_vms=10)
+        # 8 busy + 2 queued demand at 50% target across 4-slot VMs -> 5 VMs.
+        assert policy.desired_vms(8, 2, 4) == 5
+        assert policy.desired_vms(0, 0, 4) == 1  # clamped to min
+        assert policy.desired_vms(1000, 0, 4) == 10  # clamped to max

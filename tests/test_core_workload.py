@@ -1,0 +1,110 @@
+"""Unit tests for workload generators."""
+
+import random
+
+import pytest
+
+from taureau.core import (
+    FaasPlatform,
+    FunctionSpec,
+    bursty_arrivals,
+    collect,
+    constant_arrivals,
+    diurnal_arrivals,
+    peak_to_mean_ratio,
+    poisson_arrivals,
+    replay,
+    spike_arrivals,
+)
+from taureau.sim import Simulation
+
+
+def within_horizon(arrivals, horizon):
+    return all(0 <= t < horizon for t in arrivals)
+
+
+class TestGenerators:
+    def test_constant_spacing(self):
+        arrivals = constant_arrivals(rate=2.0, horizon=5.0)
+        assert len(arrivals) == 10
+        assert arrivals[1] - arrivals[0] == pytest.approx(0.5)
+
+    def test_constant_zero_rate_empty(self):
+        assert constant_arrivals(0.0, 10.0) == []
+
+    def test_poisson_rate_roughly_matches(self):
+        arrivals = poisson_arrivals(random.Random(1), rate=10.0, horizon=1000.0)
+        assert within_horizon(arrivals, 1000.0)
+        assert len(arrivals) == pytest.approx(10_000, rel=0.05)
+        assert arrivals == sorted(arrivals)
+
+    def test_poisson_reproducible(self):
+        a = poisson_arrivals(random.Random(5), 3.0, 100.0)
+        b = poisson_arrivals(random.Random(5), 3.0, 100.0)
+        assert a == b
+
+    def test_diurnal_peaks_and_troughs(self):
+        arrivals = diurnal_arrivals(
+            random.Random(2), base_rate=0.0, peak_rate=20.0, period=100.0,
+            horizon=1000.0,
+        )
+        assert within_horizon(arrivals, 1000.0)
+        # Quarter-period around the sine peak (t=25 mod 100) should be far
+        # busier than around the trough (t=75 mod 100).
+        peak_count = sum(1 for t in arrivals if 10 <= t % 100 < 40)
+        trough_count = sum(1 for t in arrivals if 60 <= t % 100 < 90)
+        assert peak_count > 5 * max(trough_count, 1)
+
+    def test_diurnal_validates_rates(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(random.Random(0), 10.0, 5.0, 100.0, 10.0)
+
+    def test_bursty_has_quiet_gaps(self):
+        arrivals = bursty_arrivals(
+            random.Random(3), on_rate=50.0, mean_on_s=1.0, mean_off_s=10.0,
+            horizon=200.0,
+        )
+        assert within_horizon(arrivals, 200.0)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert max(gaps) > 3.0  # OFF periods visible
+        assert min(gaps) < 0.2  # ON periods dense
+
+    def test_spike_concentrates_arrivals(self):
+        arrivals = spike_arrivals(
+            random.Random(4), base_rate=1.0, spike_rate=100.0,
+            spike_start=50.0, spike_duration=5.0, horizon=100.0,
+        )
+        in_spike = sum(1 for t in arrivals if 50 <= t < 55)
+        outside = len(arrivals) - in_spike
+        assert in_spike > outside
+
+    def test_peak_to_mean_ratio(self):
+        # 10 arrivals in one bucket, 0 in nine others -> ratio 10.
+        arrivals = [5.0 + i * 0.01 for i in range(10)] + [99.0]
+        ratio = peak_to_mean_ratio(arrivals, bucket_s=10.0)
+        assert ratio > 5.0
+        assert peak_to_mean_ratio([], 1.0) == 0.0
+        # Perfectly uniform load has ratio ~1.
+        uniform = constant_arrivals(1.0, 100.0)
+        assert peak_to_mean_ratio(uniform, 10.0) == pytest.approx(1.0)
+
+
+class TestReplay:
+    def test_replay_drives_platform(self):
+        sim = Simulation(seed=0)
+        platform = FaasPlatform(sim)
+        seen = []
+
+        def handler(event, ctx):
+            ctx.charge(0.01)
+            seen.append((sim.now, event))
+            return event
+
+        platform.register(FunctionSpec(name="f", handler=handler))
+        arrivals = [1.0, 2.0, 3.0]
+        events = replay(platform, "f", arrivals, payload_fn=lambda i: i * 10)
+        records = collect(sim, events)
+        assert [record.payload for record in records] == [0, 10, 20]
+        assert len(seen) == 3
+        # Handlers ran at (arrival + startup latency), in arrival order.
+        assert [round(t) for t, __ in seen] == [1, 2, 3]

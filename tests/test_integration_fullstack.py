@@ -1,0 +1,184 @@
+"""Full-stack integration: every subsystem on one simulated timeline.
+
+The scenario stitches the paper's landscape together end to end:
+
+  IoT devices publish readings to a partitioned Pulsar topic
+    → a Pulsar trigger invokes a FaaS ingest function per message
+      → the function updates a Count-Min sketch, rolls state in Jiffy,
+        and transactionally records device rows in the database
+  → readings land in a columnar warehouse table
+    → the Athena-class engine answers analyst SQL over them
+  → the orchestrator runs a billed maintenance composition
+  → a machine failure mid-stream must not lose a single reading.
+
+One test class, many cross-system invariants.
+"""
+
+import random
+
+import pytest
+
+from taureau.baas import BlobStore, ServerlessDatabase
+from taureau.cluster import Cluster
+from taureau.core import CostReport, FaasPlatform, FunctionSpec, PlatformConfig
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.orchestration import Orchestrator, Sequence, Task
+from taureau.pulsar import FunctionsRuntime, PulsarCluster
+from taureau.query import ColumnarTable, ServerlessQueryEngine, TableCatalog
+from taureau.sim import Simulation
+from taureau.sketches import CountMinSketch
+
+DEVICES = 9
+READINGS_PER_DEVICE = 20
+
+
+@pytest.fixture
+def stack():
+    sim = Simulation(seed=99)
+    cluster = Cluster.homogeneous(4, cpu_cores=16, memory_mb=16384)
+    platform = FaasPlatform(
+        sim, cluster=cluster, config=PlatformConfig(keep_alive_s=120.0)
+    )
+    blob = BlobStore(sim)
+    db = ServerlessDatabase(sim)
+    db.create_table("devices")
+    pool = BlockPool(sim, node_count=4, blocks_per_node=128, block_size_mb=8.0)
+    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+    jiffy.create("/ingest/windows", "hash_table", pinned=True)
+    platform.wire_service("db", db)
+    platform.wire_service("jiffy", jiffy)
+    pulsar = PulsarCluster(sim, broker_count=3, bookie_count=3)
+    pulsar.create_topic("readings", partitions=3)
+    runtime = FunctionsRuntime(pulsar)
+    sketch = CountMinSketch(width=2048, depth=4)
+
+    def ingest(event, ctx):
+        ctx.charge(0.005)
+        device, value = event["device"], event["value"]
+        sketch.add(device)
+        store = ctx.service("jiffy")
+        table = store.controller.open("/ingest/windows")
+        window = table.get(device) if device in table else []
+        store.put("/ingest/windows", device, (window + [value])[-5:], ctx=ctx)
+        database = ctx.service("db")
+
+        def apply():
+            def body(txn):
+                row = txn.get("devices", device) or {"count": 0, "total": 0.0}
+                txn.put("devices", device, {
+                    "count": row["count"] + 1,
+                    "total": row["total"] + value,
+                })
+            database.run_transaction(body, ctx=ctx)
+            return 1
+
+        return database.execute_once(f"ingest-{event['seq']}", apply, ctx=ctx)
+
+    platform.register(
+        FunctionSpec(name="ingest", handler=ingest, memory_mb=256, max_retries=2)
+    )
+    runtime.deploy_platform_trigger("readings", platform, "ingest")
+    return {
+        "sim": sim, "cluster": cluster, "platform": platform, "blob": blob,
+        "db": db, "jiffy": jiffy, "pulsar": pulsar, "sketch": sketch,
+    }
+
+
+def publish_readings(stack, fail_machine_at=None):
+    sim, pulsar = stack["sim"], stack["pulsar"]
+    rng = random.Random(5)
+    producer = pulsar.producer("readings")
+    sequence = 0
+    for round_index in range(READINGS_PER_DEVICE):
+        for device_index in range(DEVICES):
+            device = f"dev{device_index}"
+            when = 0.5 + round_index * 2.0 + device_index * 0.01
+            payload = {
+                "device": device,
+                "value": rng.uniform(10, 30),
+                "seq": sequence,
+            }
+            sim.schedule_at(when, producer.send, payload, device)
+            sequence += 1
+    if fail_machine_at is not None:
+        def crash():
+            platform, cluster = stack["platform"], stack["cluster"]
+            if len(cluster) > 1:
+                platform.fail_machine(cluster.machines[0])
+        sim.schedule_at(fail_machine_at, crash)
+    sim.run()
+
+
+class TestFullStack:
+    def test_every_reading_lands_exactly_once(self, stack):
+        publish_readings(stack)
+        rows = dict(stack["db"].scan("devices"))
+        assert len(rows) == DEVICES
+        assert all(row["count"] == READINGS_PER_DEVICE for row in rows.values())
+
+    def test_sketch_and_jiffy_state_agree_with_db(self, stack):
+        publish_readings(stack)
+        sketch = stack["sketch"]
+        jiffy = stack["jiffy"]
+        for device_index in range(DEVICES):
+            device = f"dev{device_index}"
+            # Count-Min never undercounts the per-device message count.
+            assert sketch.estimate(device) >= READINGS_PER_DEVICE
+            # The rolling window holds the last five values only.
+            assert len(jiffy.get("/ingest/windows", device)) == 5
+
+    def test_machine_failure_mid_stream_loses_nothing(self, stack):
+        publish_readings(stack, fail_machine_at=15.0)
+        assert stack["platform"].metrics.counter("machine_failures").value == 1
+        rows = dict(stack["db"].scan("devices"))
+        # Retried ingests were idempotent: exactly-once effects survive.
+        assert all(row["count"] == READINGS_PER_DEVICE for row in rows.values())
+
+    def test_warehouse_queries_match_the_database(self, stack):
+        publish_readings(stack)
+        db_rows = dict(stack["db"].scan("devices"))
+        catalog = TableCatalog(stack["blob"], chunk_rows=4)
+        catalog.register(
+            ColumnarTable(
+                "device_stats",
+                {
+                    "device": list(db_rows),
+                    "count": [row["count"] for row in db_rows.values()],
+                    "total": [row["total"] for row in db_rows.values()],
+                },
+            )
+        )
+        engine = ServerlessQueryEngine(stack["platform"], catalog)
+        result = engine.query_sync(
+            "SELECT COUNT(*), SUM(count) FROM device_stats"
+        )
+        ((device_count, reading_count),) = result.rows
+        assert device_count == DEVICES
+        assert reading_count == DEVICES * READINGS_PER_DEVICE
+
+    def test_orchestrated_maintenance_is_billed_once(self, stack):
+        publish_readings(stack)
+        platform = stack["platform"]
+        orchestrator = Orchestrator(platform)
+
+        @platform.function("audit")
+        def audit(event, ctx):
+            ctx.charge(0.05)
+            return len(ctx.service("db").scan("devices"))
+
+        @platform.function("report")
+        def report(event, ctx):
+            ctx.charge(0.02)
+            return f"{event} devices audited"
+
+        before = platform.total_cost_usd()
+        output, execution = orchestrator.run_sync(
+            Sequence([Task("audit"), Task("report")]), None
+        )
+        assert output == f"{DEVICES} devices audited"
+        assert platform.total_cost_usd() - before == pytest.approx(
+            execution.billed_cost_usd
+        )
+        lines = {line.function_name for line in
+                 CostReport.from_platform(platform).lines}
+        assert {"ingest", "audit", "report"} <= lines

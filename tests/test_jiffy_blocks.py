@@ -1,0 +1,81 @@
+"""Unit tests for the block pool."""
+
+import pytest
+
+from taureau.jiffy import BlockPool, PoolExhausted
+from taureau.sim import Simulation
+
+
+def make_pool(**kwargs):
+    defaults = {"node_count": 2, "blocks_per_node": 4, "block_size_mb": 8.0}
+    defaults.update(kwargs)
+    return BlockPool(Simulation(seed=0), **defaults)
+
+
+class TestBlockPool:
+    def test_dimensions(self):
+        pool = make_pool()
+        assert pool.total_blocks == 8
+        assert pool.free_blocks == 8
+        assert pool.allocated_blocks == 0
+
+    def test_allocate_and_release(self):
+        pool = make_pool()
+        blocks = pool.allocate("/app1", 3)
+        assert len(blocks) == 3
+        assert all(block.owner == "/app1" for block in blocks)
+        assert pool.free_blocks == 5
+        pool.release(blocks)
+        assert pool.free_blocks == 8
+        assert all(block.owner is None for block in blocks)
+
+    def test_all_or_nothing_allocation(self):
+        pool = make_pool()
+        pool.allocate("/a", 6)
+        with pytest.raises(PoolExhausted):
+            pool.allocate("/b", 3)
+        # The failed request must not have consumed anything.
+        assert pool.free_blocks == 2
+        assert pool.metrics.counter("allocation_failures").value == 1
+
+    def test_release_unallocated_rejected(self):
+        pool = make_pool()
+        blocks = pool.allocate("/a", 1)
+        pool.release(blocks)
+        with pytest.raises(ValueError):
+            pool.release(blocks)
+
+    def test_allocate_zero_rejected(self):
+        with pytest.raises(ValueError):
+            make_pool().allocate("/a", 0)
+
+    def test_peak_tracking(self):
+        pool = make_pool()
+        a = pool.allocate("/a", 4)
+        pool.release(a)
+        pool.allocate("/b", 2)
+        assert pool.peak_allocated_blocks() == 4
+        assert pool.allocated_blocks == 2
+
+    def test_block_store_and_evict(self):
+        pool = make_pool(block_size_mb=4.0)
+        (block,) = pool.allocate("/a", 1)
+        block.store(3.0)
+        assert block.free_mb == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            block.store(2.0)
+        block.evict(3.0)
+        assert block.used_mb == 0.0
+        with pytest.raises(ValueError):
+            block.evict(1.0)
+
+    def test_released_block_is_wiped(self):
+        pool = make_pool()
+        (block,) = pool.allocate("/a", 1)
+        block.store(5.0)
+        pool.release([block])
+        assert block.used_mb == 0.0
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            BlockPool(Simulation(), node_count=0)

@@ -1,0 +1,232 @@
+"""Tests for the Jiffy controller: leases, notifications, reclamation."""
+
+import pytest
+
+from taureau.jiffy import BlockPool, GlobalAddressSpace, JiffyClient, JiffyController
+from taureau.sim import Simulation
+
+
+def make_controller(ttl=30.0, **pool_kwargs):
+    sim = Simulation(seed=0)
+    defaults = {"node_count": 2, "blocks_per_node": 64, "block_size_mb": 4.0}
+    defaults.update(pool_kwargs)
+    pool = BlockPool(sim, **defaults)
+    return sim, JiffyController(sim, pool=pool, default_ttl_s=ttl)
+
+
+class TestLifecycle:
+    def test_create_open_roundtrip(self):
+        __, controller = make_controller()
+        created = controller.create("/job/scratch", "hash_table")
+        assert controller.open("/job/scratch") is created
+        assert controller.exists("/job/scratch")
+
+    def test_unknown_structure_type_rejected(self):
+        __, controller = make_controller()
+        with pytest.raises(ValueError, match="unknown structure"):
+            controller.create("/x", "btree")
+
+    def test_remove_frees_blocks_recursively(self):
+        __, controller = make_controller()
+        controller.create("/job/a", "file", initial_blocks=2)
+        controller.create("/job/b", "queue", initial_blocks=3)
+        free_before = controller.pool.free_blocks
+        controller.remove("/job")
+        assert controller.pool.free_blocks == free_before + 5
+        assert not controller.exists("/job/a")
+
+    def test_used_mb_aggregates_subtree(self):
+        __, controller = make_controller()
+        file_a = controller.create("/job/a", "file")
+        file_b = controller.create("/job/b", "file")
+        file_a.append("x", size_mb=2.0)
+        file_b.append("y", size_mb=3.0)
+        assert controller.used_mb("/job") == pytest.approx(5.0)
+        assert controller.used_mb() == pytest.approx(5.0)
+
+    def test_create_failure_rolls_back_namespace(self):
+        # Pool too small for the requested structure: path must not leak.
+        __, controller = make_controller(blocks_per_node=1, node_count=1)
+        controller.create("/a", "file")  # takes the only block
+        with pytest.raises(Exception):
+            controller.create("/b", "file", initial_blocks=4)
+        assert not controller.exists("/b")
+
+
+class TestLeases:
+    def test_lease_expiry_reclaims_namespace(self):
+        sim, controller = make_controller(ttl=10.0)
+        file = controller.create("/task/out", "file")
+        file.append("data", size_mb=1.0)
+        sim.run(until=11.0)
+        assert not controller.exists("/task/out")
+        assert controller.pool.allocated_blocks == 0
+        assert controller.metrics.counter("lease_reclaims").value == 1
+
+    def test_renewal_keeps_namespace_alive(self):
+        sim, controller = make_controller(ttl=10.0)
+        controller.create("/task/out", "file")
+        for when in (5.0, 12.0, 19.0):
+            sim.schedule_at(when, controller.renew_lease, "/task/out")
+        sim.run(until=25.0)
+        assert controller.exists("/task/out")
+        sim.run(until=40.0)  # last renewal at 19 + ttl 10 = 29
+        assert not controller.exists("/task/out")
+
+    def test_pinned_namespace_survives_expiry(self):
+        sim, controller = make_controller(ttl=5.0)
+        controller.create("/shared/model", "file", pinned=True)
+        sim.run(until=100.0)
+        assert controller.exists("/shared/model")
+
+    def test_lease_remaining(self):
+        sim, controller = make_controller(ttl=30.0)
+        controller.create("/x", "file")
+        assert controller.lease_remaining_s("/x") == pytest.approx(30.0)
+
+    def test_explicit_remove_before_expiry_is_clean(self):
+        sim, controller = make_controller(ttl=10.0)
+        controller.create("/x", "file")
+        controller.remove("/x")
+        sim.run()  # the scheduled expiry check must be a no-op
+        assert controller.pool.allocated_blocks == 0
+
+
+class TestNotifications:
+    def test_write_notification_via_client(self):
+        sim, controller = make_controller()
+        client = JiffyClient(controller)
+        events = []
+        client.create("/chan", "queue")
+        client.subscribe("/chan", events.append)
+        client.enqueue("/chan", {"msg": 1}, size_mb=0.1)
+        sim.run()
+        kinds = [event.kind for event in events]
+        assert "write" in kinds
+
+    def test_reclaim_notification(self):
+        sim, controller = make_controller(ttl=5.0)
+        events = []
+        controller.create("/gone", "file")
+        controller.subscribe("/gone", events.append)
+        sim.run(until=10.0)
+        assert [event.kind for event in events] == ["reclaimed"]
+
+
+class TestClient:
+    def test_client_charges_memory_latency(self):
+        from taureau.core import InvocationContext
+
+        sim, controller = make_controller()
+        client = JiffyClient(controller)
+        client.create("/data", "file")
+        ctx = InvocationContext("i", "f", 300.0, 0.0)
+        client.append("/data", b"", ctx=ctx, size_mb=2.0)
+        expected = controller.calibration.memory_transfer_latency(2.0)
+        assert ctx.accrued_s == pytest.approx(expected)
+
+    def test_client_queue_roundtrip(self):
+        sim, controller = make_controller()
+        client = JiffyClient(controller)
+        client.create("/q", "queue")
+        client.enqueue("/q", "a")
+        client.enqueue("/q", "b")
+        assert client.queue_length("/q") == 2
+        assert client.dequeue("/q") == "a"
+
+    def test_client_hash_table_roundtrip(self):
+        sim, controller = make_controller()
+        client = JiffyClient(controller)
+        client.create("/t", "hash_table")
+        client.put("/t", "k", 42)
+        assert client.get("/t", "k") == 42
+        assert client.keys("/t") == ["k"]
+
+    def test_jiffy_much_faster_than_blob_for_state_exchange(self):
+        """The E5 premise: memory-class exchange beats persistent stores."""
+        from taureau.baas import BlobStore
+        from taureau.core import InvocationContext
+
+        sim, controller = make_controller()
+        client = JiffyClient(controller)
+        blob = BlobStore(sim)
+        client.create("/state", "file")
+
+        jiffy_ctx = InvocationContext("i1", "f", 300.0, 0.0)
+        blob_ctx = InvocationContext("i2", "f", 300.0, 0.0)
+        client.append("/state", b"", ctx=jiffy_ctx, size_mb=2.0)
+        blob.put("state", b"", ctx=blob_ctx, size_mb=2.0)
+        assert blob_ctx.accrued_s / jiffy_ctx.accrued_s > 10
+
+
+class TestGlobalAddressSpace:
+    def test_rescale_disrupts_all_tenants(self):
+        space = GlobalAddressSpace(partitions=4)
+        for tenant in ("a", "b", "c"):
+            for index in range(50):
+                space.put(tenant, f"k{index}", size_mb=1.0)
+        moved = space.rescale(8)
+        # Scaling (nominally for tenant a) moved bytes of every tenant.
+        assert set(moved) == {"a", "b", "c"}
+        assert all(mb > 0 for mb in moved.values())
+
+    def test_jiffy_namespaces_isolate_by_contrast(self):
+        """E6's core claim: per-namespace resize touches one tenant only."""
+        __, controller = make_controller()
+        tables = {}
+        for tenant in ("a", "b", "c"):
+            table = controller.create(f"/{tenant}/data", "hash_table")
+            for index in range(20):
+                table.put(f"k{index}", index, size_mb=0.1)
+            tables[tenant] = table
+        before_b = tables["b"].bytes_repartitioned_mb
+        before_c = tables["c"].bytes_repartitioned_mb
+        tables["a"].resize(4)
+        assert tables["a"].bytes_repartitioned_mb > 0
+        assert tables["b"].bytes_repartitioned_mb == before_b
+        assert tables["c"].bytes_repartitioned_mb == before_c
+
+    def test_used_mb_per_tenant(self):
+        space = GlobalAddressSpace()
+        space.put("a", "k", 2.0)
+        space.put("b", "k", 3.0)
+        assert space.used_mb("a") == 2.0
+        assert space.used_mb() == 5.0
+        space.remove("a", "k")
+        assert space.used_mb("a") == 0.0
+
+
+class TestWaitForWrite:
+    def test_consumer_process_unblocks_on_producer_write(self):
+        sim, controller = make_controller()
+        client = JiffyClient(controller)
+        client.create("/pipe", "queue")
+        consumed = []
+
+        def consumer():
+            yield client.wait_for_write("/pipe")
+            consumed.append((sim.now, client.dequeue("/pipe")))
+
+        sim.process(consumer())
+        sim.schedule_at(5.0, client.enqueue, "/pipe", "payload")
+        sim.run()
+        assert len(consumed) == 1
+        when, value = consumed[0]
+        assert value == "payload"
+        assert when > 5.0  # strictly after the producer's write
+
+    def test_wait_is_one_shot(self):
+        sim, controller = make_controller()
+        client = JiffyClient(controller)
+        client.create("/pipe", "queue")
+        wakeups = []
+
+        def consumer():
+            yield client.wait_for_write("/pipe")
+            wakeups.append(sim.now)
+
+        sim.process(consumer())
+        sim.schedule_at(1.0, client.enqueue, "/pipe", "a")
+        sim.schedule_at(2.0, client.enqueue, "/pipe", "b")
+        sim.run()
+        assert len(wakeups) == 1

@@ -1,0 +1,61 @@
+"""Unit tests for the hierarchical namespace tree."""
+
+import pytest
+
+from taureau.jiffy import NamespaceTree, normalize_path
+
+
+class TestPathHandling:
+    def test_normalize(self):
+        assert normalize_path("a/b") == "/a/b"
+        assert normalize_path("/a/b/") == "/a/b"
+        assert normalize_path("//a//b") == "/a/b"
+
+    def test_invalid_paths_rejected(self):
+        for bad in ("", "   ", "/", None, 42):
+            with pytest.raises(ValueError):
+                normalize_path(bad)
+
+
+class TestNamespaceTree:
+    def test_create_and_lookup(self):
+        tree = NamespaceTree()
+        node = tree.create("/job/map/0")
+        assert node.path == "/job/map/0"
+        assert tree.lookup("/job/map/0") is node
+        assert tree.exists("/job/map")
+        assert not tree.exists("/job/reduce")
+
+    def test_create_existing_rejected(self):
+        tree = NamespaceTree()
+        tree.create("/a/b")
+        with pytest.raises(FileExistsError):
+            tree.create("/a/b")
+
+    def test_intermediate_directories_materialize(self):
+        tree = NamespaceTree()
+        tree.create("/x/y/z")
+        assert tree.list_children("/x") == ["y"]
+        assert tree.list_children() == ["x"]
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(FileNotFoundError):
+            NamespaceTree().lookup("/ghost")
+
+    def test_remove_detaches_subtree(self):
+        tree = NamespaceTree()
+        tree.create("/job/a")
+        tree.create("/job/b")
+        removed = tree.remove("/job")
+        assert not tree.exists("/job/a")
+        assert removed.parent is None
+        names = sorted(node.path for node in removed.walk())
+        # Detached subtree still walkable for cleanup: paths relative now.
+        assert len(names) == 3  # job + a + b
+
+    def test_walk_visits_everything(self):
+        tree = NamespaceTree()
+        for path in ("/a/1", "/a/2", "/b"):
+            tree.create(path)
+        paths = sorted(node.path for node in tree.walk())
+        assert paths == ["/a", "/a/1", "/a/2", "/b"]

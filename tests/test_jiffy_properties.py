@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for Jiffy accounting invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from taureau.jiffy import BlockPool, JiffyController, PoolExhausted
+from taureau.sim import Simulation
+
+# Operation plans over one hash table: (op, key_index, size_quarters).
+table_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "remove", "get", "resize_up", "resize_down"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=1, max_value=8),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def fresh_controller(blocks_per_node=64):
+    sim = Simulation(seed=0)
+    pool = BlockPool(sim, node_count=2, blocks_per_node=blocks_per_node,
+                     block_size_mb=4.0)
+    return pool, JiffyController(sim, pool=pool, default_ttl_s=1e9)
+
+
+class TestHashTableAccounting:
+    @given(ops=table_ops)
+    @settings(max_examples=50, deadline=None)
+    def test_used_bytes_equal_live_values_and_pool_balances(self, ops):
+        pool, controller = fresh_controller()
+        table = controller.create("/t", "hash_table")
+        shadow: dict = {}
+        for op, key_index, quarters in ops:
+            key = f"k{key_index}"
+            size = quarters * 0.25
+            if op == "put":
+                table.put(key, key_index, size_mb=size)
+                shadow[key] = size
+            elif op == "remove" and key in shadow:
+                table.remove(key)
+                del shadow[key]
+            elif op == "get" and key in shadow:
+                assert table.get(key) is not None
+            elif op == "resize_up":
+                try:
+                    table.resize(table.block_count + 1)
+                except ValueError:
+                    pass  # that exact size has no feasible layout; no-op
+            elif op == "resize_down" and table.block_count > 1:
+                try:
+                    table.resize(table.block_count - 1)
+                except ValueError:
+                    pass  # legitimately does not fit; must be a no-op
+            # Invariants after every step:
+            assert table.used_mb == sum(shadow.values())
+            assert len(table) == len(shadow)
+            assert pool.allocated_blocks == table.block_count
+            assert pool.free_blocks + pool.allocated_blocks == pool.total_blocks
+        # Tear-down returns everything.
+        controller.remove("/t")
+        assert pool.allocated_blocks == 0
+
+    @given(ops=table_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_contents_always_match_shadow_dict(self, ops):
+        __, controller = fresh_controller()
+        table = controller.create("/t", "hash_table")
+        shadow: dict = {}
+        for op, key_index, quarters in ops:
+            key = f"k{key_index}"
+            if op == "put":
+                table.put(key, ("value", key_index), size_mb=quarters * 0.25)
+                shadow[key] = ("value", key_index)
+            elif op == "remove" and key in shadow:
+                table.remove(key)
+                del shadow[key]
+        assert table.keys() == sorted(shadow)
+        for key, value in shadow.items():
+            assert table.get(key) == value
+
+
+queue_ops = st.lists(
+    st.sampled_from(["enqueue", "dequeue"]), min_size=1, max_size=80
+)
+
+
+class TestQueueAccounting:
+    @given(ops=queue_ops)
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_and_block_reclamation(self, ops):
+        pool, controller = fresh_controller()
+        queue = controller.create("/q", "queue")
+        shadow: list = []
+        sequence = 0
+        for op in ops:
+            if op == "enqueue":
+                queue.enqueue(sequence, size_mb=1.0)
+                shadow.append(sequence)
+                sequence += 1
+            elif shadow:
+                assert queue.dequeue() == shadow.pop(0)
+            assert len(queue) == len(shadow)
+            assert queue.used_mb == len(shadow) * 1.0
+            # Block usage stays within one block of the live data.
+            assert queue.block_count <= len(shadow) // 4 + 2
+
+    @given(ops=queue_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_spill_roundtrip_preserves_queue(self, ops):
+        from taureau.baas import BlobStore
+
+        sim = Simulation(seed=0)
+        pool = BlockPool(sim, node_count=2, blocks_per_node=64, block_size_mb=4.0)
+        controller = JiffyController(
+            sim, pool=pool, default_ttl_s=1e9, spill_store=BlobStore(sim)
+        )
+        queue = controller.create("/q", "queue")
+        shadow: list = []
+        sequence = 0
+        for op in ops:
+            if op == "enqueue":
+                queue.enqueue(sequence, size_mb=0.5)
+                shadow.append(sequence)
+                sequence += 1
+            elif shadow:
+                assert queue.dequeue() == shadow.pop(0)
+        controller.spill("/q")
+        hydrated = controller.open("/q")
+        drained = [hydrated.dequeue() for __ in range(len(shadow))]
+        assert drained == shadow
+
+
+class TestPoolExhaustionIsAtomic:
+    @given(request=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_failed_allocation_takes_nothing(self, request):
+        pool, __ = fresh_controller(blocks_per_node=8)  # 16 blocks total
+        taken = pool.allocate("/a", 10)
+        before = pool.free_blocks
+        if request <= before:
+            blocks = pool.allocate("/b", request)
+            assert pool.free_blocks == before - request
+            pool.release(blocks)
+        else:
+            try:
+                pool.allocate("/b", request)
+                assert False, "expected PoolExhausted"
+            except PoolExhausted:
+                assert pool.free_blocks == before
+        pool.release(taken)
+        assert pool.free_blocks == pool.total_blocks

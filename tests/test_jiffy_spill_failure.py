@@ -1,0 +1,150 @@
+"""Tests for the Jiffy spill tier and memory-node failure injection."""
+
+import pytest
+
+from taureau.baas import BlobStore
+from taureau.jiffy import (
+    BlockPool,
+    DataLost,
+    JiffyController,
+    PoolExhausted,
+)
+from taureau.sim import Simulation
+
+
+def make_controller(blocks=8, spill=True):
+    sim = Simulation(seed=0)
+    pool = BlockPool(sim, node_count=2, blocks_per_node=blocks // 2,
+                     block_size_mb=4.0)
+    store = BlobStore(sim) if spill else None
+    controller = JiffyController(
+        sim, pool=pool, default_ttl_s=36000.0, spill_store=store
+    )
+    return sim, pool, controller
+
+
+class TestSpillTier:
+    def test_explicit_spill_roundtrip(self):
+        __, pool, controller = make_controller()
+        file = controller.create("/cold/data", "file")
+        file.append("payload", size_mb=2.0)
+        blocks_before = pool.allocated_blocks
+        moved = controller.spill("/cold/data")
+        assert moved == pytest.approx(2.0)
+        assert controller.is_spilled("/cold/data")
+        assert pool.allocated_blocks < blocks_before
+        # open() hydrates transparently.
+        hydrated = controller.open("/cold/data")
+        assert hydrated.read_all() == ["payload"]
+        assert not controller.is_spilled("/cold/data")
+        assert controller.metrics.counter("hydrations").value == 1
+
+    def test_pressure_spills_oldest_namespace(self):
+        __, pool, controller = make_controller(blocks=8)
+        old = controller.create("/app-old/data", "file")
+        for __i in range(3):
+            old.append(b"", size_mb=3.5)  # ~4 blocks total incl. initial
+        # A new hungry namespace needs more blocks than remain free.
+        new = controller.create("/app-new/data", "file")
+        for __i in range(6):
+            new.append(b"", size_mb=3.5)
+        assert controller.is_spilled("/app-old/data")
+        assert controller.metrics.counter("spills").value >= 1
+        # Old data is still fully recoverable.
+        assert controller.open("/app-old/data").read_all() == [b""] * 3
+
+    def test_without_spill_store_exhaustion_raises(self):
+        __, __, controller = make_controller(blocks=4, spill=False)
+        file = controller.create("/a/data", "file")
+        with pytest.raises(PoolExhausted):
+            for __i in range(10):
+                file.append(b"", size_mb=3.5)
+
+    def test_pinned_namespaces_never_spill(self):
+        __, __, controller = make_controller(blocks=8)
+        pinned = controller.create("/pinned/data", "file", pinned=True)
+        pinned.append(b"", size_mb=3.0)
+        hungry = controller.create("/hungry/data", "file")
+        with pytest.raises(PoolExhausted):
+            for __i in range(10):
+                hungry.append(b"", size_mb=3.5)
+        assert not controller.is_spilled("/pinned/data")
+
+    def test_removing_spilled_namespace_cleans_store(self):
+        __, __, controller = make_controller()
+        file = controller.create("/gone/data", "file")
+        file.append(b"", size_mb=1.0)
+        controller.spill("/gone/data")
+        assert "jiffy-spill/gone/data" in controller.spill_store
+        controller.remove("/gone")
+        assert not controller.is_spilled("/gone/data")
+        assert "jiffy-spill/gone/data" not in controller.spill_store
+
+    def test_spill_unconfigured_rejected(self):
+        __, __, controller = make_controller(spill=False)
+        controller.create("/x", "file")
+        with pytest.raises(RuntimeError, match="no spill store"):
+            controller.spill("/x")
+
+    def test_spill_hash_table_and_queue_roundtrip(self):
+        __, __, controller = make_controller(blocks=16)
+        table = controller.create("/t", "hash_table")
+        table.put("k", 42, size_mb=0.5)
+        queue = controller.create("/q", "queue")
+        queue.enqueue("first", size_mb=0.5)
+        queue.enqueue("second", size_mb=0.5)
+        controller.spill("/t")
+        controller.spill("/q")
+        assert controller.open("/t").get("k") == 42
+        assert controller.open("/q").dequeue() == "first"
+
+
+class TestNodeFailure:
+    def test_failed_node_damages_resident_structures(self):
+        sim, pool, controller = make_controller(blocks=8, spill=False)
+        file = controller.create("/victim/data", "file")
+        for __i in range(4):
+            file.append(b"", size_mb=3.5)  # spans blocks on both nodes
+        affected = pool.fail_node(file.blocks[0].node)
+        assert "/victim/data" in affected
+        with pytest.raises(DataLost):
+            file.read_all()
+
+    def test_unaffected_structures_keep_working(self):
+        sim, pool, controller = make_controller(blocks=8, spill=False)
+        # Two small structures; round-robin block handout means they may
+        # share a node, so place them explicitly by filling one first.
+        a = controller.create("/a/data", "file")
+        a.append(b"", size_mb=1.0)
+        survivor_node = a.blocks[0].node
+        victim_node = next(n for n in pool.nodes if n is not survivor_node)
+        pool.fail_node(victim_node)
+        assert a.read_all() == [b""]
+
+    def test_spilled_data_survives_node_failure(self):
+        """The tier's durability point: flushed state outlives its node."""
+        sim, pool, controller = make_controller(blocks=8)
+        file = controller.create("/flushed/data", "file")
+        original_node = file.blocks[0].node
+        file.append("precious", size_mb=1.0)
+        controller.spill("/flushed/data")
+        pool.fail_node(original_node)
+        # Hydration lands on the surviving node; nothing was lost.
+        hydrated = controller.open("/flushed/data")
+        assert hydrated.read_all() == ["precious"]
+        assert hydrated.blocks[0].node is not original_node
+
+    def test_fail_node_validation(self):
+        sim, pool, __ = make_controller()
+        pool.fail_node(pool.nodes[0])
+        with pytest.raises(ValueError, match="already failed"):
+            pool.fail_node(pool.nodes[0])
+
+    def test_pool_accounting_after_failure(self):
+        sim, pool, controller = make_controller(blocks=8, spill=False)
+        file = controller.create("/a/data", "file")
+        file.append(b"", size_mb=3.0)
+        total_before = pool.free_blocks + pool.allocated_blocks
+        pool.fail_node(pool.nodes[0])
+        assert pool.free_blocks + pool.allocated_blocks < total_before
+        assert pool.metrics.counter("node_failures").value == 1

@@ -1,0 +1,151 @@
+"""Unit tests for block-backed data structures."""
+
+import pytest
+
+from taureau.jiffy import BlockAllocator, BlockPool, JiffyFile, JiffyHashTable, JiffyQueue
+from taureau.sim import Simulation
+
+
+@pytest.fixture
+def pool():
+    return BlockPool(
+        Simulation(seed=0), node_count=2, blocks_per_node=32, block_size_mb=4.0
+    )
+
+
+def allocator(pool, path="/app"):
+    return BlockAllocator(pool, path)
+
+
+class TestJiffyFile:
+    def test_append_and_read(self, pool):
+        file = JiffyFile(allocator(pool))
+        file.append("a", size_mb=1.0)
+        file.append("b", size_mb=1.0)
+        assert file.read_all() == ["a", "b"]
+        assert file.read(1) == "b"
+        assert len(file) == 2
+
+    def test_grows_blocks_on_demand(self, pool):
+        file = JiffyFile(allocator(pool))
+        for index in range(10):
+            file.append(index, size_mb=1.0)
+        assert file.block_count == 3  # 10 MB over 4 MB blocks
+        assert file.used_mb == pytest.approx(10.0)
+
+    def test_oversized_item_rejected(self, pool):
+        file = JiffyFile(allocator(pool))
+        with pytest.raises(ValueError):
+            file.append("huge", size_mb=5.0)
+
+    def test_destroy_releases_blocks(self, pool):
+        file = JiffyFile(allocator(pool))
+        file.append("x", size_mb=1.0)
+        before = pool.free_blocks
+        file.destroy()
+        assert pool.free_blocks == before + 1
+        with pytest.raises(RuntimeError):
+            file.append("y", size_mb=1.0)
+        file.destroy()  # idempotent
+
+
+class TestJiffyQueue:
+    def test_fifo_order(self, pool):
+        queue = JiffyQueue(allocator(pool))
+        for item in ("a", "b", "c"):
+            queue.enqueue(item, size_mb=0.5)
+        assert [queue.dequeue() for _ in range(3)] == ["a", "b", "c"]
+        assert len(queue) == 0
+
+    def test_dequeue_empty_raises(self, pool):
+        with pytest.raises(IndexError):
+            JiffyQueue(allocator(pool)).dequeue()
+
+    def test_drained_blocks_return_to_pool(self, pool):
+        queue = JiffyQueue(allocator(pool))
+        for index in range(8):  # 8 MB -> 2 blocks
+            queue.enqueue(index, size_mb=1.0)
+        assert queue.block_count == 2
+        for _ in range(8):
+            queue.dequeue()
+        # Fully drained: shrinks back to one block.
+        assert queue.block_count == 1
+        assert queue.used_mb == pytest.approx(0.0)
+
+    def test_interleaved_enqueue_dequeue(self, pool):
+        queue = JiffyQueue(allocator(pool))
+        out = []
+        for round_number in range(20):
+            queue.enqueue(round_number, size_mb=1.0)
+            if round_number % 2 == 1:
+                out.append(queue.dequeue())
+                out.append(queue.dequeue())
+        assert out == list(range(20))
+
+
+class TestJiffyHashTable:
+    def test_put_get_remove(self, pool):
+        table = JiffyHashTable(allocator(pool))
+        table.put("k1", "v1", size_mb=0.5)
+        assert table.get("k1") == "v1"
+        assert "k1" in table
+        assert table.remove("k1") == "v1"
+        assert "k1" not in table
+        with pytest.raises(KeyError):
+            table.get("k1")
+        with pytest.raises(KeyError):
+            table.remove("k1")
+
+    def test_overwrite_updates_accounting(self, pool):
+        table = JiffyHashTable(allocator(pool))
+        table.put("k", "small", size_mb=1.0)
+        table.put("k", "big", size_mb=3.0)
+        assert table.used_mb == pytest.approx(3.0)
+        assert table.get("k") == "big"
+
+    def test_grows_when_partition_full(self, pool):
+        table = JiffyHashTable(allocator(pool))
+        for index in range(12):  # 12 MB over 4 MB blocks
+            table.put(f"key{index}", index, size_mb=1.0)
+        assert table.block_count >= 3
+        assert len(table) == 12
+        assert table.used_mb == pytest.approx(12.0)
+
+    def test_resize_counts_moved_bytes(self, pool):
+        table = JiffyHashTable(allocator(pool), initial_blocks=2)
+        for index in range(6):
+            table.put(f"key{index}", index, size_mb=1.0)
+        moved = table.resize(4)
+        assert moved > 0.0
+        assert table.bytes_repartitioned_mb == pytest.approx(moved)
+        # All data still reachable after the move.
+        assert sorted(table.get(f"key{i}") for i in range(6)) == list(range(6))
+
+    def test_resize_same_size_moves_nothing(self, pool):
+        table = JiffyHashTable(allocator(pool), initial_blocks=2)
+        table.put("a", 1, size_mb=1.0)
+        assert table.resize(2) == 0.0
+
+    def test_shrink_validates_capacity(self, pool):
+        table = JiffyHashTable(allocator(pool), initial_blocks=4)
+        for index in range(12):
+            table.put(f"key{index}", index, size_mb=1.0)
+        with pytest.raises(ValueError):
+            table.resize(1)  # 12 MB cannot fit one 4 MB block
+        # Failed shrink left the table intact.
+        assert len(table) == 12
+        assert table.block_count == 4
+
+    def test_shrink_releases_blocks(self, pool):
+        table = JiffyHashTable(allocator(pool), initial_blocks=4)
+        table.put("only", 1, size_mb=0.5)
+        free_before = pool.free_blocks
+        table.resize(1)
+        assert pool.free_blocks == free_before + 3
+        assert table.get("only") == 1
+
+    def test_keys_sorted(self, pool):
+        table = JiffyHashTable(allocator(pool))
+        for key in ("b", "a", "c"):
+            table.put(key, key, size_mb=0.1)
+        assert table.keys() == ["a", "b", "c"]

@@ -1,0 +1,133 @@
+"""Tests for coded straggler mitigation and hyperparameter search."""
+
+import numpy as np
+import pytest
+
+from taureau.core import FaasPlatform
+from taureau.ml import (
+    HyperparameterSearch,
+    StragglerModel,
+    coded_matvec,
+    grid,
+    uncoded_matvec,
+)
+from taureau.sim import Simulation
+
+
+def make_platform(seed=0):
+    sim = Simulation(seed=seed)
+    return sim, FaasPlatform(sim)
+
+
+class TestCodedComputation:
+    def test_uncoded_matvec_correct(self):
+        sim, platform = make_platform()
+        rng = np.random.default_rng(0)
+        a, x = rng.standard_normal((64, 32)), rng.standard_normal(32)
+        y, __ = uncoded_matvec(platform, a, x, workers=4)
+        np.testing.assert_allclose(y, a @ x, rtol=1e-10)
+
+    def test_coded_matvec_correct_without_stragglers(self):
+        sim, platform = make_platform()
+        rng = np.random.default_rng(1)
+        a, x = rng.standard_normal((60, 20)), rng.standard_normal(20)
+        y, __ = coded_matvec(platform, a, x, k=4, n=6)
+        np.testing.assert_allclose(y, a @ x, rtol=1e-8)
+
+    def test_coded_matvec_correct_with_heavy_stragglers(self):
+        sim, platform = make_platform(seed=7)
+        rng = np.random.default_rng(2)
+        a, x = rng.standard_normal((80, 16)), rng.standard_normal(16)
+        stragglers = StragglerModel(probability=0.4, slowdown=50.0)
+        y, __ = coded_matvec(platform, a, x, k=4, n=8, stragglers=stragglers)
+        np.testing.assert_allclose(y, a @ x, rtol=1e-8)
+
+    def test_coding_beats_waiting_for_stragglers(self):
+        """E20's shape: any-k-of-n finishes before all-of-k under straggling."""
+        rng = np.random.default_rng(3)
+        a, x = rng.standard_normal((80, 40)), rng.standard_normal(40)
+        stragglers = StragglerModel(probability=0.5, slowdown=20.0)
+
+        sim_u, platform_u = make_platform(seed=11)
+        __, uncoded_time = uncoded_matvec(
+            platform_u, a, x, workers=4, stragglers=stragglers
+        )
+        sim_c, platform_c = make_platform(seed=11)
+        __, coded_time = coded_matvec(
+            platform_c, a, x, k=4, n=8, stragglers=stragglers
+        )
+        assert coded_time < uncoded_time
+
+    def test_validation(self):
+        sim, platform = make_platform()
+        a = np.ones((10, 4))
+        with pytest.raises(ValueError):
+            coded_matvec(platform, a, np.ones(4), k=3, n=2)
+        with pytest.raises(ValueError):
+            coded_matvec(platform, a, np.ones(4), k=3, n=4)  # 10 % 3 != 0
+        with pytest.raises(ValueError):
+            uncoded_matvec(platform, a, np.ones(4), workers=0)
+        with pytest.raises(ValueError):
+            StragglerModel(probability=2.0)
+        with pytest.raises(ValueError):
+            StragglerModel(slowdown=0.5)
+
+
+class TestHyperparameterSearch:
+    @staticmethod
+    def score_fn(config, budget):
+        # A deterministic objective with a known optimum at lr=0.3, l2=0.01;
+        # more budget reduces the "noise" floor.
+        penalty = (config["lr"] - 0.3) ** 2 + 10 * (config["l2"] - 0.01) ** 2
+        return 1.0 - penalty / budget ** 0.1
+
+    def test_grid_builds_cross_product(self):
+        configs = grid(lr=[0.1, 0.3], l2=[0.0, 0.01, 0.1])
+        assert len(configs) == 6
+        assert {"lr": 0.3, "l2": 0.01} in configs
+
+    def test_run_all_finds_best_config(self):
+        sim, platform = make_platform()
+        search = HyperparameterSearch(platform, self.score_fn)
+        configs = grid(lr=[0.1, 0.3, 0.5], l2=[0.0, 0.01, 0.1])
+        best_config, best_score = search.run_all(configs)
+        assert best_config == {"lr": 0.3, "l2": 0.01}
+        assert len(search.trials) == 9
+
+    def test_concurrent_search_is_faster_than_sequential_cost(self):
+        """E21's shape: wall clock ~ one trial, not the sum of trials."""
+        sim, platform = make_platform()
+        search = HyperparameterSearch(
+            platform, self.score_fn, cost_fn=lambda config, budget: 10.0
+        )
+        configs = grid(lr=[0.1, 0.2, 0.3, 0.4], l2=[0.0, 0.01])
+        search.run_all(configs)
+        sequential_cost = 10.0 * len(configs)
+        assert sim.now < sequential_cost / 2
+
+    def test_successive_halving_converges_and_spends_less(self):
+        sim, platform = make_platform()
+        search = HyperparameterSearch(platform, self.score_fn)
+        configs = grid(lr=[0.1, 0.2, 0.3, 0.4], l2=[0.0, 0.01])
+        best_config, __ = search.run_successive_halving(configs, initial_budget=1)
+        assert best_config["lr"] == 0.3
+        # Trials shrink geometrically: 8 + 4 + 2 + 1 = 15.
+        assert len(search.trials) == 15
+
+    def test_halving_eta_validated(self):
+        sim, platform = make_platform()
+        search = HyperparameterSearch(platform, self.score_fn)
+        with pytest.raises(ValueError):
+            search.run_successive_halving([{"lr": 1}], eta=1)
+
+    def test_failed_trial_surfaces(self):
+        sim, platform = make_platform()
+
+        def bad(config, budget):
+            raise RuntimeError("diverged")
+
+        search = HyperparameterSearch(platform, bad)
+        done = platform.sim.process(search._drive_all([{"lr": 1}], 1))
+        done.add_callback(lambda event: event.defuse())
+        sim.run()
+        assert isinstance(done.exception, RuntimeError)

@@ -1,0 +1,92 @@
+"""Tests for federated averaging on serverless devices."""
+
+import numpy as np
+import pytest
+
+from taureau.core import FaasPlatform
+from taureau.ml import (
+    FederatedAveraging,
+    classification_dataset,
+    logistic_accuracy,
+    non_iid_shards,
+)
+from taureau.sim import Simulation
+
+
+def make_problem(devices=10, samples=1200, features=12, skew=0.8):
+    data, labels, __ = classification_dataset(samples, features, seed=3)
+    shards = non_iid_shards(data, labels, devices, skew=skew, seed=4)
+    return data, labels, shards
+
+
+class TestNonIidShards:
+    def test_shards_cover_most_data(self):
+        data, labels, shards = make_problem()
+        total = sum(len(shard_labels) for __, shard_labels in shards)
+        assert total >= 0.95 * len(labels)
+
+    def test_shards_are_label_skewed(self):
+        __, __, shards = make_problem(skew=0.9)
+        majorities = []
+        for __, shard_labels in shards:
+            if len(shard_labels) == 0:
+                continue
+            ones = float(np.mean(shard_labels))
+            majorities.append(max(ones, 1.0 - ones))
+        # Skewed shards are far from the ~50/50 global mix.
+        assert np.mean(majorities) > 0.7
+
+    def test_validation(self):
+        data, labels, __ = make_problem()
+        with pytest.raises(ValueError):
+            non_iid_shards(data, labels, devices=0)
+        with pytest.raises(ValueError):
+            non_iid_shards(data, labels, devices=2, skew=1.5)
+
+
+class TestFederatedAveraging:
+    def test_converges_despite_non_iid_devices(self):
+        sim = Simulation(seed=0)
+        data, labels, shards = make_problem()
+        job = FederatedAveraging(
+            FaasPlatform(sim), shards, learning_rate=0.5, local_epochs=5,
+            participation=0.5,
+        )
+        weights = job.run_sync(rounds=20)
+        assert logistic_accuracy(weights, data, labels) > 0.85
+        losses = [point["loss"] for point in job.history]
+        assert losses[-1] < losses[0]
+
+    def test_full_participation_converges_faster_per_round(self):
+        def final_accuracy(participation):
+            sim = Simulation(seed=0)
+            data, labels, shards = make_problem()
+            job = FederatedAveraging(
+                FaasPlatform(sim), shards, participation=participation,
+                local_epochs=3,
+            )
+            weights = job.run_sync(rounds=8)
+            return logistic_accuracy(weights, data, labels)
+
+        assert final_accuracy(1.0) >= final_accuracy(0.2) - 0.02
+
+    def test_cohort_size_respected(self):
+        sim = Simulation(seed=0)
+        __, __, shards = make_problem(devices=8)
+        platform = FaasPlatform(sim)
+        job = FederatedAveraging(platform, shards, participation=0.25)
+        job.run_sync(rounds=4)
+        # 2 devices per round x 4 rounds.
+        assert platform.metrics.counter("invocations").value == 8
+
+    def test_validation(self):
+        sim = Simulation(seed=0)
+        __, __, shards = make_problem()
+        platform = FaasPlatform(sim)
+        with pytest.raises(ValueError):
+            FederatedAveraging(platform, [])
+        with pytest.raises(ValueError):
+            FederatedAveraging(platform, shards, participation=0.0)
+        job = FederatedAveraging(platform, shards)
+        with pytest.raises(ValueError):
+            job.run_sync(rounds=0)

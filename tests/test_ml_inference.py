@@ -1,0 +1,93 @@
+"""Tests for the serverless inference service (§5.2)."""
+
+import numpy as np
+import pytest
+
+from taureau.core import FaasPlatform, PlatformConfig
+from taureau.ml import InferenceService, LogisticModel, ModelCache
+from taureau.sim import Simulation
+
+
+def make_service(cache=None, keep_alive=600.0, weights_n=1024 * 128):
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim, config=PlatformConfig(keep_alive_s=keep_alive))
+    # ~1 MB of weights so model loads are visible but not dominant.
+    model = LogisticModel(np.ones(weights_n), model_id="m1")
+    service = InferenceService(platform, model, cache=cache)
+    return sim, platform, service
+
+
+class TestInferenceService:
+    def test_prediction_correct(self):
+        sim, platform, service = make_service(weights_n=4)
+        record = sim.run(until=service.predict([[1.0, 1.0, 1.0, 1.0]]))
+        assert record.response == [1.0]
+        record = sim.run(until=service.predict([[-1.0, -1.0, -1.0, -1.0]]))
+        assert record.response == [0.0]
+
+    def test_cold_request_much_slower_than_warm(self):
+        sim, platform, service = make_service()
+        cold = sim.run(until=service.predict([[0.0]] ))
+        warm = sim.run(until=service.predict([[0.0]]))
+        assert cold.cold_start and not warm.cold_start
+        assert cold.end_to_end_latency_s > 5 * warm.end_to_end_latency_s
+
+    def test_model_cache_cuts_cold_penalty(self):
+        cache = ModelCache(capacity_mb=64.0)
+        sim_c, __, cached_service = make_service(cache=cache, keep_alive=0.0)
+        sim_n, __, plain_service = make_service(cache=None, keep_alive=0.0)
+        # Warm the cache with one request, then compare the next cold hit.
+        sim_c.run(until=cached_service.predict([[0.0]]))
+        cached_cold = sim_c.run(until=cached_service.predict([[0.0]]))
+        sim_n.run(until=plain_service.predict([[0.0]]))
+        plain_cold = sim_n.run(until=plain_service.predict([[0.0]]))
+        assert cached_cold.cold_start and plain_cold.cold_start
+        assert (
+            cached_cold.execution_duration_s < plain_cold.execution_duration_s
+        )
+        assert cache.metrics.counter("hits").value == 1
+
+    def test_cache_lru_eviction(self):
+        cache = ModelCache(capacity_mb=10.0)
+        cache.load_latency_s("a", 6.0)
+        cache.load_latency_s("b", 6.0)  # evicts a
+        cache.load_latency_s("a", 6.0)  # miss again
+        assert cache.metrics.counter("misses").value == 3
+
+    def test_cache_validation(self):
+        with pytest.raises(ValueError):
+            ModelCache(capacity_mb=0.0)
+
+    def test_prewarm_removes_cold_start_from_burst(self):
+        sim, platform, service = make_service()
+        service.prewarm(count=4)
+        # Run just past the prewarm requests (NOT to keep-alive expiry).
+        sim.run(until=sim.now + 5.0)
+        assert platform.warm_pool_size(service.endpoint) == 4
+        events = [service.predict([[0.0]]) for __ in range(4)]
+        sim.run(until=sim.now + 5.0)
+        records = [event.value for event in events]
+        assert not any(record.cold_start for record in records)
+
+    def test_forecast_prewarmer_warms_recurring_bursts(self):
+        """E22's shape: forecast pre-warming removes burst cold starts."""
+
+        def run(prewarm: bool):
+            sim, platform, service = make_service(keep_alive=8.0)
+            if prewarm:
+                service.start_forecast_prewarmer(
+                    interval_s=5.0, ewma_alpha=0.5, headroom=2.0
+                )
+            burst_events: list = []
+
+            def burst():
+                burst_events.extend(service.predict([[0.0]]) for __ in range(4))
+
+            # Bursts land 2 s after forecast ticks so warmed sandboxes are up.
+            for when in (12.0, 22.0, 32.0, 42.0, 52.0):
+                sim.schedule_at(when, burst)
+            sim.run(until=62.0)
+            late = burst_events[8:]  # bursts after the forecaster warmed up
+            return sum(1 for event in late if event.value.cold_start)
+
+        assert run(prewarm=True) < run(prewarm=False)

@@ -1,0 +1,137 @@
+"""Tests for serverless training: models, parameter server, datasets."""
+
+import numpy as np
+import pytest
+
+from taureau.baas import BlobStore
+from taureau.core import FaasPlatform
+from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+from taureau.ml import (
+    BlobParameterMedium,
+    JiffyParameterMedium,
+    ServerlessTrainingJob,
+    classification_dataset,
+    logistic_accuracy,
+    logistic_gradient,
+    logistic_loss,
+    shard,
+    sigmoid,
+)
+from taureau.sim import Simulation
+
+
+def make_platform():
+    sim = Simulation(seed=0)
+    return sim, FaasPlatform(sim)
+
+
+def jiffy_client(sim):
+    pool = BlockPool(sim, node_count=4, blocks_per_node=128, block_size_mb=8.0)
+    return JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+
+
+class TestModels:
+    def test_sigmoid_bounds_and_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert sigmoid(np.array([100.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-100.0]))[0] == pytest.approx(0.0)
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((50, 4))
+        labels = (rng.random(50) > 0.5).astype(float)
+        weights = rng.standard_normal(4)
+        analytic = logistic_gradient(weights, features, labels, l2=0.01)
+        eps = 1e-6
+        for index in range(4):
+            bumped = weights.copy()
+            bumped[index] += eps
+            numeric = (
+                logistic_loss(bumped, features, labels, 0.01)
+                - logistic_loss(weights, features, labels, 0.01)
+            ) / eps
+            assert analytic[index] == pytest.approx(numeric, abs=1e-4)
+
+    def test_accuracy_on_perfect_weights(self):
+        features, labels, true_weights = classification_dataset(500, 8, noise=0.0)
+        assert logistic_accuracy(true_weights, features, labels) == 1.0
+
+
+class TestDatasets:
+    def test_deterministic(self):
+        a = classification_dataset(100, 5, seed=3)
+        b = classification_dataset(100, 5, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_shard_partitions_everything(self):
+        features, labels, __ = classification_dataset(103, 4)
+        shards = shard(features, labels, 4)
+        assert sum(len(s_labels) for __, s_labels in shards) == 103
+        with pytest.raises(ValueError):
+            shard(features, labels, 0)
+
+
+class TestServerlessTraining:
+    def _train(self, medium_factory, epochs=15, workers=4):
+        sim, platform = make_platform()
+        features, labels, __ = classification_dataset(600, 10, seed=1)
+        shards = shard(features, labels, workers)
+        job = ServerlessTrainingJob(
+            platform,
+            medium_factory(sim),
+            shards,
+            learning_rate=1.0,
+            epochs=epochs,
+        )
+        weights = job.run_sync()
+        return sim, job, weights, (features, labels)
+
+    def test_training_reaches_high_accuracy(self):
+        __, job, weights, (features, labels) = self._train(
+            lambda sim: JiffyParameterMedium(jiffy_client(sim))
+        )
+        assert logistic_accuracy(weights, features, labels) > 0.9
+
+    def test_loss_decreases_monotonically_early(self):
+        __, job, __, __ = self._train(
+            lambda sim: JiffyParameterMedium(jiffy_client(sim))
+        )
+        losses = [point["loss"] for point in job.history]
+        assert losses[0] > losses[5] > losses[-1]
+
+    def test_blob_medium_trains_to_same_weights_but_slower(self):
+        """E19's shape: same math, memory-class exchange is faster."""
+        sim_j, job_j, weights_j, __ = self._train(
+            lambda sim: JiffyParameterMedium(jiffy_client(sim))
+        )
+        sim_b, job_b, weights_b, __ = self._train(
+            lambda sim: BlobParameterMedium(BlobStore(sim))
+        )
+        np.testing.assert_allclose(weights_j, weights_b, rtol=1e-10)
+        assert sim_j.now < sim_b.now
+
+    def test_time_to_accuracy(self):
+        __, job, __, __ = self._train(
+            lambda sim: JiffyParameterMedium(jiffy_client(sim))
+        )
+        reached = job.time_to_accuracy(0.8)
+        assert reached is not None
+        assert job.time_to_accuracy(1.01) is None
+
+    def test_worker_count_does_not_change_the_math(self):
+        """Synchronous full-batch SGD is worker-count invariant."""
+        __, __, weights_2, __ = self._train(
+            lambda sim: JiffyParameterMedium(jiffy_client(sim)), workers=2
+        )
+        __, __, weights_6, __ = self._train(
+            lambda sim: JiffyParameterMedium(jiffy_client(sim)), workers=6
+        )
+        np.testing.assert_allclose(weights_2, weights_6, rtol=1e-8)
+
+    def test_validation(self):
+        sim, platform = make_platform()
+        with pytest.raises(ValueError):
+            ServerlessTrainingJob(
+                platform, BlobParameterMedium(BlobStore(sim)), shards=[]
+            )

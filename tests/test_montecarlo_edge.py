@@ -1,0 +1,141 @@
+"""Tests for Monte Carlo jobs and the edge fabric."""
+
+import math
+
+import pytest
+
+from taureau.analytics import (
+    MonteCarloJob,
+    european_call_estimator,
+    pi_estimator,
+)
+from taureau.cluster import Cluster
+from taureau.core import FaasPlatform, FunctionSpec, PlatformConfig
+from taureau.edge import (
+    CloudOnlyPolicy,
+    EdgeFabric,
+    EdgeFirstPolicy,
+    EdgeOnlyPolicy,
+    EdgeSite,
+)
+from taureau.sim import Simulation
+
+
+class TestMonteCarlo:
+    def test_pi_estimate_converges(self):
+        sim = Simulation(seed=0)
+        job = MonteCarloJob(FaasPlatform(sim), pi_estimator,
+                            samples_per_task=50_000, seed=1)
+        estimate = job.run_sync(tasks=8)
+        assert estimate.samples == 400_000
+        assert abs(estimate.mean - math.pi) < 4 * estimate.std_error
+        low, high = estimate.confidence_interval()
+        assert low < math.pi < high
+
+    def test_error_shrinks_with_samples(self):
+        def run(tasks):
+            sim = Simulation(seed=0)
+            job = MonteCarloJob(FaasPlatform(sim), pi_estimator,
+                                samples_per_task=20_000, seed=2)
+            return job.run_sync(tasks=tasks).std_error
+
+        assert run(16) < run(1) / 2  # ~1/sqrt(16) = 1/4, allow slack
+
+    def test_parallel_tasks_beat_serial_time(self):
+        sim = Simulation(seed=0)
+        job = MonteCarloJob(FaasPlatform(sim), pi_estimator,
+                            samples_per_task=500_000, seed=3)
+        estimate = job.run_sync(tasks=16)
+        assert estimate.wall_clock_s < job.serial_time_s(16) / 4
+
+    def test_option_pricing_near_black_scholes(self):
+        sim = Simulation(seed=0)
+        estimator = european_call_estimator(
+            spot=100.0, strike=105.0, rate=0.02, volatility=0.25,
+            maturity_years=1.0,
+        )
+        job = MonteCarloJob(FaasPlatform(sim), estimator,
+                            samples_per_task=100_000, seed=4)
+        estimate = job.run_sync(tasks=8)
+        # Closed-form Black-Scholes value for these parameters is ~8.70.
+        assert estimate.mean == pytest.approx(8.70, abs=4 * estimate.std_error)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            sim = Simulation(seed=0)
+            job = MonteCarloJob(FaasPlatform(sim), pi_estimator,
+                                samples_per_task=10_000, seed=5)
+            return job.run_sync(tasks=4).mean
+
+        assert run() == run()
+
+    def test_validation(self):
+        sim = Simulation(seed=0)
+        with pytest.raises(ValueError):
+            MonteCarloJob(FaasPlatform(sim), pi_estimator, samples_per_task=0)
+        job = MonteCarloJob(FaasPlatform(sim), pi_estimator)
+        with pytest.raises(ValueError):
+            job.run_sync(tasks=0)
+
+
+def make_fabric(edge_cores=2):
+    sim = Simulation(seed=0)
+    core = FaasPlatform(sim)  # elastic
+    edge_cluster = Cluster.homogeneous(1, cpu_cores=edge_cores, memory_mb=2048)
+    edge_platform = FaasPlatform(
+        sim, cluster=edge_cluster, config=PlatformConfig(keep_alive_s=600.0)
+    )
+    site = EdgeSite(edge_platform, uplink_rtt_s=0.08, uplink_mb_s=20.0,
+                    local_rtt_s=0.002, name="edge0")
+    fabric = EdgeFabric(sim, core, [site])
+    fabric.deploy(
+        FunctionSpec(
+            name="detect",
+            handler=lambda event, ctx: ctx.charge(0.05) or "ok",
+            memory_mb=256,
+        )
+    )
+    return sim, fabric, site
+
+
+class TestEdgeFabric:
+    def test_edge_execution_beats_cloud_at_low_load(self):
+        sim, fabric, site = make_fabric()
+        edge_done = fabric.submit("edge0", "detect", {}, 1.0, EdgeOnlyPolicy())
+        edge_request = sim.run(until=edge_done)
+        cloud_done = fabric.submit("edge0", "detect", {}, 1.0, CloudOnlyPolicy())
+        cloud_request = sim.run(until=cloud_done)
+        assert edge_request.placement == "edge"
+        assert cloud_request.placement == "cloud"
+        # Both warm-ish by now is irrelevant: the WAN + 1 MB uplink bites.
+        assert cloud_request.latency_s > edge_request.latency_s
+
+    def test_edge_first_offloads_overflow(self):
+        sim, fabric, site = make_fabric()
+        policy = EdgeFirstPolicy(max_edge_inflight=2)
+        events = [
+            fabric.submit("edge0", "detect", {}, 0.1, policy) for __ in range(6)
+        ]
+        sim.run()
+        placements = [event.value.placement for event in events]
+        assert placements.count("edge") >= 1
+        assert placements.count("cloud") >= 1
+        assert fabric.metrics.counter("placed.cloud").value >= 1
+
+    def test_uplink_cost_scales_with_payload(self):
+        __, __, site = make_fabric()
+        assert site.uplink_transfer_s(10.0) > site.uplink_transfer_s(0.1)
+
+    def test_unknown_site_rejected(self):
+        sim, fabric, __ = make_fabric()
+        with pytest.raises(KeyError):
+            fabric.submit("ghost", "detect", {}, 0.1, EdgeOnlyPolicy())
+
+    def test_validation(self):
+        sim = Simulation(seed=0)
+        with pytest.raises(ValueError):
+            EdgeFabric(sim, FaasPlatform(sim), [])
+        with pytest.raises(ValueError):
+            EdgeSite(FaasPlatform(sim), uplink_mb_s=0.0)
+        with pytest.raises(ValueError):
+            EdgeFirstPolicy(max_edge_inflight=0)

@@ -1,0 +1,224 @@
+"""Tests for the composition DSL and orchestration executor."""
+
+import pytest
+
+from taureau.core import FaasPlatform, FunctionSpec, PlatformConfig
+from taureau.orchestration import (
+    Catch,
+    Choice,
+    ChoiceRule,
+    MapEach,
+    Orchestrator,
+    Parallel,
+    Retry,
+    Sequence,
+    Task,
+    TaskFailed,
+)
+from taureau.sim import Simulation
+
+
+def make_stack(seed=0):
+    sim = Simulation(seed=seed)
+    platform = FaasPlatform(sim, config=PlatformConfig())
+    orchestrator = Orchestrator(platform)
+
+    @platform.function("double")
+    def double(event, ctx):
+        ctx.charge(0.1)
+        return event * 2
+
+    @platform.function("increment")
+    def increment(event, ctx):
+        ctx.charge(0.1)
+        return event + 1
+
+    @platform.function("fail")
+    def fail(event, ctx):
+        ctx.charge(0.1)
+        raise RuntimeError("nope")
+
+    return sim, platform, orchestrator
+
+
+class TestSequence:
+    def test_pipes_values_through_steps(self):
+        __, __, orchestrator = make_stack()
+        result, __ = orchestrator.run_sync(
+            Sequence([Task("double"), Task("increment")]), 5
+        )
+        assert result == 11
+
+    def test_fluent_then(self):
+        __, __, orchestrator = make_stack()
+        composition = Task("double").then(Task("double"), Task("increment"))
+        result, __ = orchestrator.run_sync(composition, 1)
+        assert result == 5
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            Sequence([])
+
+
+class TestParallel:
+    def test_fan_out_collects_in_branch_order(self):
+        __, __, orchestrator = make_stack()
+        result, __ = orchestrator.run_sync(
+            Parallel([Task("double"), Task("increment")]), 10
+        )
+        assert result == [20, 11]
+
+    def test_parallel_faster_than_sequence(self):
+        sim_a, __, orch_a = make_stack()
+        orch_a.run_sync(Parallel([Task("double")] * 4), 1)
+        parallel_time = sim_a.now
+        sim_b, __, orch_b = make_stack()
+        orch_b.run_sync(Sequence([Task("double")] * 4), 1)
+        sequence_time = sim_b.now
+        assert parallel_time < sequence_time
+
+
+class TestChoice:
+    def _composition(self):
+        return Choice(
+            rules=[
+                ChoiceRule(lambda v: v > 10, Task("double")),
+                ChoiceRule(lambda v: v > 0, Task("increment")),
+            ],
+            default=Task("increment", transform=lambda v: 0),
+        )
+
+    def test_first_matching_rule_wins(self):
+        __, __, orchestrator = make_stack()
+        assert orchestrator.run_sync(self._composition(), 20)[0] == 40
+        __, __, orchestrator = make_stack()
+        assert orchestrator.run_sync(self._composition(), 5)[0] == 6
+
+    def test_default_branch(self):
+        __, __, orchestrator = make_stack()
+        assert orchestrator.run_sync(self._composition(), -1)[0] == 1
+
+    def test_no_match_no_default_fails(self):
+        __, __, orchestrator = make_stack()
+        composition = Choice(rules=[ChoiceRule(lambda v: False, Task("double"))])
+        done, __ = orchestrator.run(composition, 1)
+        done.add_callback(lambda event: event.defuse())
+        orchestrator.sim.run()
+        assert isinstance(done.exception, ValueError)
+
+
+class TestMapEach:
+    def test_applies_body_to_each_item(self):
+        __, __, orchestrator = make_stack()
+        result, __ = orchestrator.run_sync(MapEach(Task("double")), [1, 2, 3])
+        assert result == [2, 4, 6]
+
+    def test_respects_max_concurrency(self):
+        sim, platform, orchestrator = make_stack()
+        unlimited, __ = orchestrator.run(MapEach(Task("double")), list(range(8)))
+        sim.run(until=unlimited)
+        unlimited_time = sim.now
+
+        sim2, __, orchestrator2 = make_stack()
+        limited, __ = orchestrator2.run(
+            MapEach(Task("double"), max_concurrency=1), list(range(8))
+        )
+        sim2.run(until=limited)
+        assert sim2.now > unlimited_time
+
+    def test_empty_list(self):
+        __, __, orchestrator = make_stack()
+        assert orchestrator.run_sync(MapEach(Task("double")), [])[0] == []
+
+
+class TestFailureHandling:
+    def test_task_failure_propagates(self):
+        __, __, orchestrator = make_stack()
+        done, __ = orchestrator.run(Task("fail"), 1)
+        done.add_callback(lambda event: event.defuse())
+        orchestrator.sim.run()
+        assert isinstance(done.exception, TaskFailed)
+
+    def test_catch_routes_to_handler(self):
+        __, platform, orchestrator = make_stack()
+
+        @platform.function("recover")
+        def recover(event, ctx):
+            ctx.charge(0.05)
+            return "recovered"
+
+        result, __ = orchestrator.run_sync(Catch(Task("fail"), Task("recover")), 1)
+        assert result == "recovered"
+
+    def test_retry_until_success(self):
+        sim, platform, orchestrator = make_stack()
+        calls = {"n": 0}
+
+        @platform.function("flaky")
+        def flaky(event, ctx):
+            ctx.charge(0.05)
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "finally"
+
+        result, __ = orchestrator.run_sync(Retry(Task("flaky"), max_attempts=5), 1)
+        assert result == "finally"
+        assert calls["n"] == 3
+
+    def test_retry_exhaustion_raises_last_failure(self):
+        __, __, orchestrator = make_stack()
+        done, execution = orchestrator.run(Retry(Task("fail"), max_attempts=2), 1)
+        done.add_callback(lambda event: event.defuse())
+        orchestrator.sim.run()
+        assert isinstance(done.exception, TaskFailed)
+        assert len(execution.records) == 2
+
+
+class TestLopezProperties:
+    def test_composition_is_a_function(self):
+        """Property 2: a registered composition is invocable as a Task."""
+        __, __, orchestrator = make_stack()
+        orchestrator.register(
+            "double-twice", Sequence([Task("double"), Task("double")])
+        )
+        result, __ = orchestrator.run_sync(
+            Sequence([Task("double-twice"), Task("increment")]), 3
+        )
+        assert result == 13
+
+    def test_duplicate_registration_rejected(self):
+        __, __, orchestrator = make_stack()
+        orchestrator.register("c", Task("double"))
+        with pytest.raises(ValueError):
+            orchestrator.register("c", Task("double"))
+
+    def test_no_double_billing(self):
+        """Property 3: the bill equals the sum of leaf invocation costs."""
+        __, platform, orchestrator = make_stack()
+        composition = Sequence(
+            [Task("double"), Parallel([Task("increment"), Task("double")])]
+        )
+        __, execution = orchestrator.run_sync(composition, 1)
+        assert len(execution.records) == 3
+        assert execution.billed_cost_usd == pytest.approx(
+            sum(record.cost_usd for record in execution.records)
+        )
+        # And the platform saw exactly those three billed invocations.
+        assert platform.total_cost_usd() == pytest.approx(execution.billed_cost_usd)
+
+    def test_orchestration_overhead_is_latency_not_billing(self):
+        __, __, orchestrator = make_stack()
+        __, execution = orchestrator.run_sync(
+            Sequence([Task("double")] * 3), 1
+        )
+        # Wall clock includes transition overheads + cold start...
+        assert execution.wall_clock_s > execution.billed_duration_s - 1e-9
+        # ...but billed duration is exactly 3 x 0.1s rounded to 100 ms.
+        assert execution.billed_duration_s == pytest.approx(0.3)
+
+    def test_black_box_composition_uses_names_only(self):
+        composition = Sequence(
+            [Task("a"), Parallel([Task("b"), MapEach(Task("c"))])]
+        )
+        assert composition.leaf_names() == ["a", "b", "c"]

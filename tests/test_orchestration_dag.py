@@ -1,0 +1,130 @@
+"""Tests for DAG workflows."""
+
+import pytest
+
+from taureau.core import FaasPlatform, FunctionSpec
+from taureau.orchestration import Dag, DagCycleError, Orchestrator, Task
+from taureau.sim import Simulation
+
+
+def make_stack():
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    orchestrator = Orchestrator(platform)
+
+    @platform.function("double")
+    def double(event, ctx):
+        ctx.charge(0.1)
+        return event * 2
+
+    @platform.function("add")
+    def add(event, ctx):
+        ctx.charge(0.1)
+        return event["left"] + event["right"]
+
+    @platform.function("slow")
+    def slow(event, ctx):
+        ctx.charge(2.0)
+        return event
+
+    return sim, platform, orchestrator
+
+
+class TestDagExecution:
+    def test_diamond_dag_joins_results(self):
+        sim, __, orchestrator = make_stack()
+        dag = (
+            Dag()
+            .node("source", "double")  # 2*x
+            .node("left", "double", after=["source"])  # 4*x
+            .node("right", "double", after=["source"])  # 4*x
+            .node(
+                "join",
+                Task("add", transform=lambda deps: {
+                    "left": deps["left"], "right": deps["right"]
+                }),
+                after=["left", "right"],
+            )
+        )
+        results, execution = dag.run_sync(orchestrator, 3)
+        assert results["join"] == 24
+        assert len(execution.records) == 4
+
+    def test_single_dependency_passes_bare_value(self):
+        sim, __, orchestrator = make_stack()
+        dag = Dag().node("a", "double").node("b", "double", after=["a"])
+        results, __ = dag.run_sync(orchestrator, 5)
+        assert results == {"a": 10, "b": 20}
+
+    def test_independent_nodes_run_concurrently(self):
+        sim, __, orchestrator = make_stack()
+        dag = Dag().node("x", "slow").node("y", "slow").node("z", "slow")
+        __, execution = dag.run_sync(orchestrator, 1)
+        # Three 2 s tasks in ~one task's wall clock (plus overheads).
+        assert execution.wall_clock_s < 4.0
+
+    def test_node_starts_as_soon_as_deps_finish_no_global_barrier(self):
+        sim, platform, orchestrator = make_stack()
+        starts = {}
+
+        @platform.function("probe")
+        def probe(event, ctx):
+            ctx.charge(0.1)
+            starts[event] = ctx.start_time
+            return event
+
+        dag = (
+            Dag()
+            .node("fast", Task("probe", transform=lambda v: "fast"))
+            .node("slow_node", "slow")
+            .node(
+                "after_fast",
+                Task("probe", transform=lambda v: "after_fast"),
+                after=["fast"],
+            )
+        )
+        dag.run_sync(orchestrator, 0)
+        # after_fast ran long before the 2 s slow node finished.
+        assert starts["after_fast"] < 1.0
+
+    def test_billing_audit_covers_all_nodes(self):
+        sim, platform, orchestrator = make_stack()
+        dag = Dag().node("a", "double").node("b", "double", after=["a"])
+        __, execution = dag.run_sync(orchestrator, 1)
+        assert execution.billed_cost_usd == pytest.approx(
+            sum(record.cost_usd for record in execution.records)
+        )
+        assert platform.total_cost_usd() == pytest.approx(
+            execution.billed_cost_usd
+        )
+
+    def test_composition_bodies_allowed(self):
+        from taureau.orchestration import Sequence
+
+        sim, __, orchestrator = make_stack()
+        dag = Dag().node("pipeline", Sequence([Task("double"), Task("double")]))
+        results, __ = dag.run_sync(orchestrator, 2)
+        assert results["pipeline"] == 8
+
+
+class TestDagValidation:
+    def test_duplicate_node_rejected(self):
+        dag = Dag().node("a", "f")
+        with pytest.raises(ValueError, match="already defined"):
+            dag.node("a", "f")
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="undefined node"):
+            Dag().node("a", "f", after=["ghost"])
+
+    def test_topological_order(self):
+        dag = (
+            Dag()
+            .node("a", "f")
+            .node("b", "f", after=["a"])
+            .node("c", "f", after=["a"])
+            .node("d", "f", after=["b", "c"])
+        )
+        order = dag.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")

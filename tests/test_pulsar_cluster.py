@@ -1,0 +1,273 @@
+"""Integration tests for brokers, topics, subscriptions and the cluster."""
+
+import pytest
+
+from taureau.pulsar import PulsarCluster, SubscriptionType
+from taureau.sim import Simulation
+
+
+def make_cluster(**kwargs):
+    sim = Simulation(seed=0)
+    defaults = {"broker_count": 3, "bookie_count": 3}
+    defaults.update(kwargs)
+    return sim, PulsarCluster(sim, **defaults)
+
+
+class TestPublishSubscribe:
+    def test_message_reaches_subscriber(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("events")
+        received = []
+        cluster.subscribe(
+            "events", "sub", listener=lambda msg, consumer: received.append(msg)
+        )
+        producer = cluster.producer("events")
+        done = producer.send({"n": 1})
+        sim.run()
+        assert done.value.payload == {"n": 1}
+        assert [msg.payload for msg in received] == [{"n": 1}]
+
+    def test_pubsub_fanout_every_subscription_sees_all(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("events")
+        seen_a, seen_b = [], []
+        cluster.subscribe("events", "sub-a", listener=lambda m, c: seen_a.append(m.payload))
+        cluster.subscribe("events", "sub-b", listener=lambda m, c: seen_b.append(m.payload))
+        cluster.publish_all("events", range(5))
+        sim.run()
+        assert sorted(seen_a) == sorted(seen_b) == [0, 1, 2, 3, 4]
+
+    def test_shared_subscription_queues_across_consumers(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("work")
+        seen_1, seen_2 = [], []
+        broker = cluster.broker_of("work")
+        broker.subscribe("work", "workers", SubscriptionType.SHARED,
+                         listener=lambda m, c: seen_1.append(m.payload))
+        broker.subscribe("work", "workers", SubscriptionType.SHARED,
+                         listener=lambda m, c: seen_2.append(m.payload))
+        cluster.publish_all("work", range(10))
+        sim.run()
+        # Queuing: messages split, not duplicated.
+        assert len(seen_1) + len(seen_2) == 10
+        assert seen_1 and seen_2
+        assert sorted(seen_1 + seen_2) == list(range(10))
+
+    def test_exclusive_subscription_rejects_second_consumer(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t")
+        cluster.subscribe("t", "solo", SubscriptionType.EXCLUSIVE)
+        with pytest.raises(ValueError, match="EXCLUSIVE"):
+            cluster.subscribe("t", "solo", SubscriptionType.EXCLUSIVE)
+
+    def test_key_shared_routes_same_key_to_same_consumer(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t")
+        routes = {}
+
+        def listener_for(tag):
+            def listener(message, consumer):
+                routes.setdefault(message.key, set()).add(tag)
+            return listener
+
+        broker = cluster.broker_of("t")
+        broker.subscribe("t", "ks", SubscriptionType.KEY_SHARED, listener=listener_for("a"))
+        broker.subscribe("t", "ks", SubscriptionType.KEY_SHARED, listener=listener_for("b"))
+        producer = cluster.producer("t")
+        for index in range(30):
+            producer.send(index, key=f"key{index % 3}")
+        sim.run()
+        assert all(len(consumers) == 1 for consumers in routes.values())
+
+    def test_receive_future_api(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t")
+        (consumer,) = cluster.subscribe("t", "sub")
+        cluster.producer("t").send("hello")
+        message = sim.run(until=consumer.receive())
+        assert message.payload == "hello"
+        consumer.ack(message)
+        assert consumer.subscription.acked_count == 1
+
+    def test_backlog_replay_for_late_subscriber(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t")
+        cluster.publish_all("t", ["early-1", "early-2"])
+        sim.run()
+        late = []
+        cluster.subscribe(
+            "t", "late", listener=lambda m, c: late.append(m.payload),
+            replay_backlog=True,
+        )
+        sim.run()
+        assert late == ["early-1", "early-2"]
+
+    def test_nack_redelivers(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t")
+        attempts = []
+
+        def listener(message, consumer):
+            attempts.append(message.payload)
+            if len(attempts) == 1:
+                consumer.nack(message)
+            else:
+                consumer.ack(message)
+
+        cluster.subscribe("t", "sub", listener=listener)
+        cluster.producer("t").send("retry-me")
+        sim.run()
+        assert attempts == ["retry-me", "retry-me"]
+
+    def test_closing_consumer_redelivers_to_peer(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t")
+        received = []
+        broker = cluster.broker_of("t")
+        keeper = broker.subscribe("t", "shared", SubscriptionType.SHARED,
+                                  listener=lambda m, c: received.append(m.payload))
+        quitter = broker.subscribe("t", "shared", SubscriptionType.SHARED)
+        cluster.publish_all("t", range(6))
+        sim.run()
+        buffered = quitter.pending
+        assert buffered > 0
+        quitter.close()
+        sim.run()
+        assert sorted(received) == list(range(6))
+
+
+class TestPartitionedTopics:
+    def test_partitions_spread_across_brokers(self):
+        sim, cluster = make_cluster(broker_count=3)
+        cluster.create_topic("big", partitions=6)
+        owners = {
+            cluster.broker_of(p).broker_id for p in cluster.partitions_of("big")
+        }
+        assert len(owners) == 3
+
+    def test_keyed_messages_stay_in_one_partition(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("big", partitions=4)
+        producer = cluster.producer("big")
+        events = [producer.send(i, key="stable") for i in range(8)]
+        sim.run()
+        partitions = {event.value.topic for event in events}
+        assert len(partitions) == 1
+
+    def test_unkeyed_messages_round_robin(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("big", partitions=4)
+        producer = cluster.producer("big")
+        events = [producer.send(i) for i in range(8)]
+        sim.run()
+        partitions = {event.value.topic for event in events}
+        assert len(partitions) == 4
+
+    def test_more_partitions_more_throughput(self):
+        """E9's shape: publish time for N messages drops with partitions."""
+
+        def run(partitions):
+            sim, cluster = make_cluster(broker_count=4)
+            cluster.create_topic("t", partitions=partitions)
+            done = cluster.publish_all("t", range(200))
+            sim.run(until=done)
+            return sim.now
+
+        single = run(1)
+        quad = run(4)
+        assert quad < single / 2
+
+    def test_duplicate_topic_rejected(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t")
+        with pytest.raises(ValueError):
+            cluster.create_topic("t")
+
+    def test_unknown_topic_rejected(self):
+        sim, cluster = make_cluster()
+        with pytest.raises(KeyError):
+            cluster.producer("ghost")
+
+
+class TestBrokerFailover:
+    def test_topics_reassigned_and_publishing_continues(self):
+        sim, cluster = make_cluster(broker_count=2)
+        cluster.create_topic("t")
+        original = cluster.broker_of("t")
+        received = []
+        cluster.subscribe("t", "sub", listener=lambda m, c: received.append(m.payload))
+        cluster.producer("t").send("before")
+        sim.run()
+        cluster.fail_broker(original)
+        successor = cluster.broker_of("t")
+        assert successor is not original
+        assert successor.alive
+        # Old ledger was closed; a fresh one accepts the new message.
+        cluster.producer("t").send("after")
+        sim.run()
+        assert received == ["before", "after"]
+
+    def test_publish_to_dead_broker_raises(self):
+        sim, cluster = make_cluster(broker_count=1)
+        cluster.create_topic("t")
+        broker = cluster.broker_of("t")
+        broker.crash()
+        with pytest.raises(RuntimeError):
+            broker.publish("t", "x")
+
+    def test_backlog_survives_broker_failure(self):
+        sim, cluster = make_cluster(broker_count=2)
+        cluster.create_topic("t")
+        cluster.publish_all("t", range(3))
+        sim.run()
+        cluster.fail_broker(cluster.broker_of("t"))
+        late = []
+        cluster.subscribe(
+            "t", "late", listener=lambda m, c: late.append(m.payload),
+            replay_backlog=True,
+        )
+        sim.run()
+        assert late == [0, 1, 2]
+
+
+class TestBacklogRetention:
+    def test_expired_backlog_hidden_from_late_subscribers(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t", retention_s=30.0)
+        producer = cluster.producer("t")
+        sim.schedule_at(1.0, producer.send, "old")
+        sim.schedule_at(50.0, producer.send, "fresh")
+        sim.run()
+        late = []
+        cluster.subscribe("t", "late", listener=lambda m, c: late.append(m.payload),
+                          replay_backlog=True)
+        sim.run()
+        assert late == ["fresh"]
+
+    def test_live_delivery_unaffected_by_retention(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t", retention_s=1.0)
+        live = []
+        cluster.subscribe("t", "live", listener=lambda m, c: live.append(m.payload))
+        for index in range(3):
+            sim.schedule_at(10.0 * index + 1.0, cluster.producer("t").send, index)
+        sim.run()
+        assert live == [0, 1, 2]
+
+    def test_unbounded_retention_is_default(self):
+        sim, cluster = make_cluster()
+        cluster.create_topic("t")
+        producer = cluster.producer("t")
+        sim.schedule_at(1.0, producer.send, "ancient")
+        sim.schedule_at(100000.0, producer.send, "new")
+        sim.run()
+        late = []
+        cluster.subscribe("t", "late", listener=lambda m, c: late.append(m.payload),
+                          replay_backlog=True)
+        sim.run()
+        assert late == ["ancient", "new"]
+
+    def test_negative_retention_rejected(self):
+        sim, cluster = make_cluster()
+        with pytest.raises(ValueError):
+            cluster.create_topic("bad", retention_s=-1.0)

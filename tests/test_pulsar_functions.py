@@ -1,0 +1,163 @@
+"""Tests for the Pulsar Functions runtime (paper §4.3.1 / Figure 3)."""
+
+import pytest
+
+from taureau.pulsar import (
+    FunctionsRuntime,
+    PulsarCluster,
+    PulsarFunction,
+    SubscriptionType,
+)
+from taureau.sim import Simulation
+
+
+def make_runtime(**cluster_kwargs):
+    sim = Simulation(seed=0)
+    cluster = PulsarCluster(sim, **cluster_kwargs)
+    return sim, cluster, FunctionsRuntime(cluster)
+
+
+class TestFunctionsRuntime:
+    def test_function_transforms_input_to_output_topic(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in")
+        cluster.create_topic("out")
+        runtime.deploy(
+            PulsarFunction(
+                name="upper",
+                process=lambda payload, ctx: payload.upper(),
+                input_topics=["in"],
+                output_topic="out",
+            )
+        )
+        results = []
+        cluster.subscribe("out", "check", listener=lambda m, c: results.append(m.payload))
+        cluster.publish_all("in", ["a", "b"])
+        sim.run()
+        assert sorted(results) == ["A", "B"]
+
+    def test_none_result_publishes_nothing(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in")
+        cluster.create_topic("out")
+        runtime.deploy(
+            PulsarFunction(
+                name="filter",
+                process=lambda payload, ctx: payload if payload > 2 else None,
+                input_topics=["in"],
+                output_topic="out",
+            )
+        )
+        results = []
+        cluster.subscribe("out", "check", listener=lambda m, c: results.append(m.payload))
+        cluster.publish_all("in", [1, 2, 3, 4])
+        sim.run()
+        assert sorted(results) == [3, 4]
+
+    def test_state_and_counters_persist_across_messages(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in")
+
+        def track(payload, ctx):
+            ctx.incr_counter("seen")
+            ctx.put_state("last", payload)
+            return None
+
+        context = runtime.deploy(
+            PulsarFunction(name="tracker", process=track, input_topics=["in"])
+        )
+        cluster.publish_all("in", ["x", "y", "z"])
+        sim.run()
+        assert context.get_counter("seen") == 3
+        assert context.get_state("last") == "z"
+        assert context.get_state("missing", "default") == "default"
+
+    def test_count_min_sketch_as_function_figure_3(self):
+        """The paper's Figure 3, ported: Count-Min inside a function."""
+        from taureau.sketches import CountMinSketch
+
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("words")
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+
+        def count_min_function(word, ctx):
+            sketch.add(word, 1)
+            ctx.put_state("estimate:" + word, sketch.estimate(word))
+            return None
+
+        runtime.deploy(
+            PulsarFunction(
+                name="count-min", process=count_min_function, input_topics=["words"]
+            )
+        )
+        stream = ["cat"] * 10 + ["dog"] * 3 + ["cat"] * 5
+        cluster.publish_all("words", stream)
+        sim.run()
+        assert sketch.estimate("cat") >= 15
+        assert sketch.estimate("dog") >= 3
+
+    def test_poison_message_dead_letters_after_retries(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in")
+        attempts = []
+
+        def explode(payload, ctx):
+            attempts.append(payload)
+            raise ValueError("poison")
+
+        runtime.deploy(
+            PulsarFunction(name="boom", process=explode, input_topics=["in"])
+        )
+        cluster.producer("in").send("bad")
+        sim.run()
+        assert len(attempts) == 4  # initial + 3 redeliveries
+        assert runtime.metrics.counter("boom.dead_lettered").value == 1
+
+    def test_parallel_instances_share_the_work(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in", partitions=1)
+        processed = []
+        runtime.deploy(
+            PulsarFunction(
+                name="worker",
+                process=lambda payload, ctx: processed.append(payload),
+                input_topics=["in"],
+                parallelism=3,
+            )
+        )
+        cluster.publish_all("in", range(9))
+        sim.run()
+        assert sorted(processed) == list(range(9))  # each message exactly once
+
+    def test_side_output_via_context_publish(self):
+        sim, cluster, runtime = make_runtime()
+        for topic in ("in", "side"):
+            cluster.create_topic(topic)
+        side = []
+        cluster.subscribe("side", "check", listener=lambda m, c: side.append(m.payload))
+
+        def process(payload, ctx):
+            if payload < 0:
+                ctx.publish("side", payload)
+            return None
+
+        runtime.deploy(PulsarFunction(name="split", process=process, input_topics=["in"]))
+        cluster.publish_all("in", [1, -2, 3, -4])
+        sim.run()
+        assert sorted(side) == [-4, -2]
+
+    def test_duplicate_deploy_rejected(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in")
+        fn = PulsarFunction(name="f", process=lambda p, c: None, input_topics=["in"])
+        runtime.deploy(fn)
+        with pytest.raises(ValueError):
+            runtime.deploy(fn)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PulsarFunction(name="f", process=lambda p, c: None, input_topics=[])
+        with pytest.raises(ValueError):
+            PulsarFunction(
+                name="f", process=lambda p, c: None, input_topics=["x"], parallelism=0
+            )

@@ -1,0 +1,234 @@
+"""Tests for the serverless query engine, verified against pure Python."""
+
+import random
+
+import pytest
+
+from taureau.baas import BlobStore
+from taureau.core import FaasPlatform
+from taureau.query import (
+    ColumnarTable,
+    ServerlessQueryEngine,
+    SqlError,
+    TableCatalog,
+    parse,
+)
+from taureau.sim import Simulation
+
+
+def sales_table(n=2500, seed=0):
+    rng = random.Random(seed)
+    regions = ["emea", "apac", "amer"]
+    return ColumnarTable(
+        "sales",
+        {
+            "region": [rng.choice(regions) for __ in range(n)],
+            "amount": [round(rng.uniform(1, 500), 2) for __ in range(n)],
+            "year": [rng.choice([2018, 2019, 2020]) for __ in range(n)],
+        },
+    )
+
+
+@pytest.fixture
+def engine_and_table():
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    catalog = TableCatalog(BlobStore(sim), chunk_rows=400)
+    table = sales_table()
+    catalog.register(table)
+    return ServerlessQueryEngine(platform, catalog), table
+
+
+class TestProjection:
+    def test_select_star_equivalent_projection(self, engine_and_table):
+        engine, table = engine_and_table
+        result = engine.query_sync("SELECT region, amount, year FROM sales")
+        assert result.columns == ["region", "amount", "year"]
+        assert len(result.rows) == table.row_count
+        expected = [
+            (row["region"], row["amount"], row["year"]) for row in table.rows()
+        ]
+        assert result.rows == expected
+
+    def test_where_filters_rows(self, engine_and_table):
+        engine, table = engine_and_table
+        result = engine.query_sync(
+            "SELECT amount FROM sales WHERE region = 'emea' AND year >= 2019"
+        )
+        expected = [
+            (row["amount"],)
+            for row in table.rows()
+            if row["region"] == "emea" and row["year"] >= 2019
+        ]
+        assert result.rows == expected
+
+
+class TestAggregation:
+    def test_global_aggregates_match_reference(self, engine_and_table):
+        engine, table = engine_and_table
+        result = engine.query_sync(
+            "SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount), "
+            "AVG(amount) FROM sales"
+        )
+        amounts = [row["amount"] for row in table.rows()]
+        (row,) = result.rows
+        assert row[0] == len(amounts)
+        assert row[1] == pytest.approx(sum(amounts))
+        assert row[2] == min(amounts) and row[3] == max(amounts)
+        assert row[4] == pytest.approx(sum(amounts) / len(amounts))
+
+    def test_group_by_matches_reference(self, engine_and_table):
+        engine, table = engine_and_table
+        result = engine.query_sync(
+            "SELECT region, COUNT(*), AVG(amount) FROM sales "
+            "WHERE year = 2020 GROUP BY region"
+        )
+        reference: dict = {}
+        for row in table.rows():
+            if row["year"] != 2020:
+                continue
+            bucket = reference.setdefault(row["region"], [])
+            bucket.append(row["amount"])
+        assert len(result.rows) == len(reference)
+        for region, count, average in result.rows:
+            assert count == len(reference[region])
+            assert average == pytest.approx(
+                sum(reference[region]) / len(reference[region])
+            )
+
+    def test_empty_result_group(self, engine_and_table):
+        engine, __ = engine_and_table
+        result = engine.query_sync(
+            "SELECT region, COUNT(*) FROM sales WHERE year = 1999 "
+            "GROUP BY region"
+        )
+        assert result.rows == []
+
+
+class TestBillingModel:
+    def test_bill_tracks_bytes_scanned_not_returned(self, engine_and_table):
+        engine, __ = engine_and_table
+        broad = engine.query_sync("SELECT COUNT(*) FROM sales")
+        narrow = engine.query_sync(
+            "SELECT COUNT(*) FROM sales WHERE amount > 499.99"
+        )
+        # The narrow query returns almost nothing but scans everything:
+        # identical cost — the Athena billing model.
+        assert narrow.cost_usd == pytest.approx(broad.cost_usd)
+        assert narrow.scanned_mb == pytest.approx(broad.scanned_mb)
+        assert broad.cost_usd > 0
+
+    def test_scan_tasks_equal_chunk_count(self, engine_and_table):
+        engine, table = engine_and_table
+        result = engine.query_sync("SELECT COUNT(*) FROM sales")
+        assert result.scan_tasks == -(-table.row_count // 400)
+
+    def test_parallel_scans_beat_serial(self, engine_and_table):
+        engine, __ = engine_and_table
+        result = engine.query_sync("SELECT SUM(amount) FROM sales")
+        # 7 chunks in ~one scan's wall clock (plus cold start).
+        assert result.wall_clock_s < 1.5
+
+
+class TestValidationAndCatalog:
+    def test_unknown_table_rejected(self, engine_and_table):
+        engine, __ = engine_and_table
+        with pytest.raises(KeyError):
+            engine.query_sync("SELECT a FROM ghosts")
+
+    def test_unknown_column_rejected(self, engine_and_table):
+        engine, __ = engine_and_table
+        done = engine.platform.sim.process(
+            engine._drive(parse("SELECT nope FROM sales"))
+        )
+        done.add_callback(lambda event: event.defuse())
+        engine.platform.sim.run()
+        assert isinstance(done.exception, SqlError)
+
+    def test_catalog_validation(self):
+        sim = Simulation(seed=0)
+        catalog = TableCatalog(BlobStore(sim), chunk_rows=10)
+        with pytest.raises(ValueError):
+            TableCatalog(BlobStore(sim), chunk_rows=0)
+        with pytest.raises(ValueError):
+            ColumnarTable("t", {})
+        with pytest.raises(ValueError):
+            ColumnarTable("t", {"a": [1, 2], "b": [1]})
+        table = ColumnarTable("t", {"a": list(range(25))})
+        assert catalog.register(table) == 3
+        with pytest.raises(ValueError):
+            catalog.register(table)
+        assert catalog.describe("t")["rows"] == 25
+
+
+class TestOrderByLimitExecution:
+    def test_top_k_regions_by_count(self, engine_and_table):
+        engine, table = engine_and_table
+        result = engine.query_sync(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region "
+            "ORDER BY COUNT(*) DESC LIMIT 2"
+        )
+        assert len(result.rows) == 2
+        counts = [count for __, count in result.rows]
+        assert counts == sorted(counts, reverse=True)
+        # Matches the reference top-2.
+        reference = {}
+        for row in table.rows():
+            reference[row["region"]] = reference.get(row["region"], 0) + 1
+        expected = sorted(reference.values(), reverse=True)[:2]
+        assert counts == expected
+
+    def test_projection_order_by_limit(self, engine_and_table):
+        engine, table = engine_and_table
+        result = engine.query_sync(
+            "SELECT amount FROM sales ORDER BY amount LIMIT 5"
+        )
+        expected = sorted(row["amount"] for row in table.rows())[:5]
+        assert [amount for (amount,) in result.rows] == expected
+
+
+class TestApproxCountDistinct:
+    def test_matches_exact_distinct_within_hll_error(self, engine_and_table):
+        engine, table = engine_and_table
+        result = engine.query_sync(
+            "SELECT APPROX_COUNT_DISTINCT(amount) FROM sales"
+        )
+        exact = len({row["amount"] for row in table.rows()})
+        ((estimate,),) = result.rows
+        assert abs(estimate - exact) / exact < 0.05
+
+    def test_grouped_approx_distinct(self, engine_and_table):
+        engine, table = engine_and_table
+        result = engine.query_sync(
+            "SELECT region, APPROX_COUNT_DISTINCT(amount) FROM sales "
+            "GROUP BY region"
+        )
+        reference = {}
+        for row in table.rows():
+            reference.setdefault(row["region"], set()).add(row["amount"])
+        for region, estimate in result.rows:
+            exact = len(reference[region])
+            assert abs(estimate - exact) / exact < 0.05
+
+    def test_chunking_does_not_change_the_sketch_estimate(self):
+        sim = Simulation(seed=0)
+        platform = FaasPlatform(sim)
+        table = sales_table(n=3000, seed=9)
+        narrow = TableCatalog(BlobStore(sim), chunk_rows=100)
+        narrow.register(table)
+        fine = ServerlessQueryEngine(platform, narrow).query_sync(
+            "SELECT APPROX_COUNT_DISTINCT(amount) FROM sales"
+        )
+        sim2 = Simulation(seed=0)
+        platform2 = FaasPlatform(sim2)
+        wide = TableCatalog(BlobStore(sim2), chunk_rows=10_000)
+        wide.register(table)
+        coarse = ServerlessQueryEngine(platform2, wide).query_sync(
+            "SELECT APPROX_COUNT_DISTINCT(amount) FROM sales"
+        )
+        # HLL merges are exactly associative: fan-out cannot move the answer.
+        assert fine.rows == coarse.rows
+
+    def test_star_argument_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT APPROX_COUNT_DISTINCT(*) FROM t")

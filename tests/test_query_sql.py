@@ -1,0 +1,95 @@
+"""Unit tests for the SQL dialect parser."""
+
+import pytest
+
+from taureau.query import Condition, SelectItem, SqlError, parse
+
+
+class TestParsing:
+    def test_simple_projection(self):
+        query = parse("SELECT name, age FROM users")
+        assert query.table == "users"
+        assert query.items == (SelectItem("name"), SelectItem("age"))
+        assert query.where == ()
+        assert query.group_by is None
+        assert not query.is_aggregate
+
+    def test_keywords_case_insensitive(self):
+        query = parse("select count(*) from logs where level = 'error'")
+        assert query.items[0].aggregate == "COUNT"
+        assert query.where[0] == Condition("level", "=", "error")
+
+    def test_aggregates_and_group_by(self):
+        query = parse(
+            "SELECT region, COUNT(*), SUM(amount), AVG(amount) "
+            "FROM sales GROUP BY region"
+        )
+        assert query.group_by == "region"
+        labels = [item.label for item in query.items]
+        assert labels == ["region", "count(*)", "sum(amount)", "avg(amount)"]
+
+    def test_where_conjunction_and_literals(self):
+        query = parse(
+            "SELECT id FROM t WHERE a >= 10 AND b != 'x' AND c < 2.5"
+        )
+        assert query.where == (
+            Condition("a", ">=", 10),
+            Condition("b", "!=", "x"),
+            Condition("c", "<", 2.5),
+        )
+
+    def test_condition_semantics(self):
+        condition = Condition("a", "<=", 5)
+        assert condition.matches(5) and not condition.matches(6)
+        assert Condition("a", "!=", "x").matches("y")
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT FROM t",
+            "SELECT a",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP BY a",  # GROUP BY without aggregate
+            "SELECT a, COUNT(*) FROM t GROUP BY b",  # a not grouped
+            "SELECT SUM(*) FROM t",
+            "SELECT a FROM t WHERE a ~ 3",
+            "SELECT a FROM t trailing junk ;;;",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SqlError):
+            parse(bad)
+
+
+class TestOrderByAndLimit:
+    def test_order_by_column(self):
+        query = parse("SELECT a, b FROM t ORDER BY b DESC LIMIT 10")
+        assert query.order_by == "b"
+        assert query.descending
+        assert query.limit == 10
+
+    def test_order_by_aggregate_label(self):
+        query = parse(
+            "SELECT region, COUNT(*) FROM t GROUP BY region "
+            "ORDER BY COUNT(*) DESC"
+        )
+        assert query.order_by == "count(*)"
+
+    def test_asc_is_default_and_accepted(self):
+        assert not parse("SELECT a FROM t ORDER BY a").descending
+        assert not parse("SELECT a FROM t ORDER BY a ASC").descending
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT a FROM t ORDER BY missing",
+            "SELECT a FROM t LIMIT -1",
+            "SELECT a FROM t LIMIT 'x'",
+            "SELECT a FROM t ORDER BY",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SqlError):
+            parse(bad)

@@ -1,0 +1,127 @@
+"""Tests for Path ORAM over the blob store."""
+
+import collections
+import random
+
+import pytest
+
+from taureau.baas import BlobStore
+from taureau.core import InvocationContext
+from taureau.security import PathOram
+from taureau.sim import Simulation
+
+
+def make_oram(capacity=16, seed=1):
+    sim = Simulation(seed=0)
+    store = BlobStore(sim)
+    return PathOram(store, capacity=capacity, rng=random.Random(seed)), store
+
+
+class TestCorrectness:
+    def test_write_read_roundtrip(self):
+        oram, __ = make_oram()
+        oram.write("a", 123)
+        assert oram.read("a") == 123
+
+    def test_unwritten_block_reads_none(self):
+        oram, __ = make_oram()
+        assert oram.read("ghost") is None
+
+    def test_overwrites_visible(self):
+        oram, __ = make_oram()
+        oram.write("k", "v1")
+        oram.write("k", "v2")
+        assert oram.read("k") == "v2"
+
+    def test_many_blocks_survive_interleaved_access(self):
+        oram, __ = make_oram(capacity=32, seed=3)
+        rng = random.Random(7)
+        reference = {}
+        for step in range(400):
+            block = f"b{rng.randrange(24)}"
+            if rng.random() < 0.5:
+                value = step
+                oram.write(block, value)
+                reference[block] = value
+            else:
+                assert oram.read(block) == reference.get(block)
+        # Final sweep: everything still matches.
+        for block, value in reference.items():
+            assert oram.read(block) == value
+
+    def test_stash_stays_small(self):
+        oram, __ = make_oram(capacity=32, seed=5)
+        for step in range(300):
+            oram.write(f"b{step % 28}", step)
+        # Path ORAM's stash is O(log N) w.h.p.; generous bound here.
+        assert oram.stash_size < 30
+
+    def test_validation(self):
+        sim = Simulation(seed=0)
+        store = BlobStore(sim)
+        with pytest.raises(ValueError):
+            PathOram(store, capacity=0)
+        with pytest.raises(ValueError):
+            PathOram(store, capacity=4, bucket_size=0)
+
+
+class TestObliviousness:
+    def test_server_sees_uniformish_paths(self):
+        """Repeated access to ONE block must look like random paths."""
+        oram, __ = make_oram(capacity=16, seed=11)
+        oram.write("hot", 1)
+        for __i in range(600):
+            oram.read("hot")
+        leaves = collections.Counter(oram.server_trace)
+        # Every leaf gets touched, none dominates.
+        assert len(leaves) == oram.leaf_count
+        expected = len(oram.server_trace) / oram.leaf_count
+        assert max(leaves.values()) < 2.5 * expected
+
+    def test_no_consecutive_repeat_correlation(self):
+        """Accessing the same block twice shows unrelated leaves."""
+        oram, __ = make_oram(capacity=16, seed=13)
+        oram.write("x", 0)
+        repeats = 0
+        trials = 300
+        for __i in range(trials):
+            before = oram.server_trace[-1]
+            oram.read("x")
+            if oram.server_trace[-1] == before:
+                repeats += 1
+        # Random chance is 1/leaf_count; allow generous slack.
+        assert repeats < trials * 3 / oram.leaf_count + 10
+
+    def test_reads_and_writes_indistinguishable_in_trace_shape(self):
+        oram, store = make_oram(capacity=16, seed=17)
+        oram.write("y", 1)
+        reads_before = store.metrics.counter("gets").value
+        writes_before = store.metrics.counter("puts").value
+        oram.read("y")
+        read_io = (
+            store.metrics.counter("gets").value - reads_before,
+            store.metrics.counter("puts").value - writes_before,
+        )
+        reads_before = store.metrics.counter("gets").value
+        writes_before = store.metrics.counter("puts").value
+        oram.write("y", 2)
+        write_io = (
+            store.metrics.counter("gets").value - reads_before,
+            store.metrics.counter("puts").value - writes_before,
+        )
+        assert read_io == write_io  # same server-visible I/O either way
+
+    def test_bandwidth_overhead_is_logarithmic(self):
+        oram, __ = make_oram(capacity=16)
+        assert oram.accesses_per_operation() == 2 * (oram.height + 1)
+        big, __ = make_oram(capacity=1024)
+        assert big.accesses_per_operation() <= 2 * (11 + 1)
+
+    def test_latency_charged_to_context(self):
+        oram, store = make_oram()
+        ctx = InvocationContext("i", "f", 300.0, 0.0)
+        oram.write("k", 1, ctx=ctx)
+        # One path of bucket reads + writes, each a blob round-trip.
+        assert ctx.accrued_s > oram.accesses_per_operation() * (
+            store.calibration.blob_base_latency_s * 0.5
+        )

@@ -1,0 +1,318 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from taureau.sim import Interrupt, Simulation, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulation()
+    assert sim.now == 0.0
+
+
+def test_schedule_after_runs_in_time_order():
+    sim = Simulation()
+    seen = []
+    sim.schedule_after(2.0, seen.append, "b")
+    sim.schedule_after(1.0, seen.append, "a")
+    sim.schedule_after(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulation()
+    seen = []
+    for tag in range(5):
+        sim.schedule_after(1.0, seen.append, tag)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulation()
+    sim.schedule_after(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulation()
+    seen = []
+    sim.schedule_after(1.0, seen.append, 1)
+    sim.schedule_after(10.0, seen.append, 10)
+    sim.run(until=5.0)
+    assert seen == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == [1, 10]
+
+
+def test_timeout_event_value():
+    sim = Simulation()
+    timeout = sim.timeout(4.0, value="done")
+    result = sim.run(until=timeout)
+    assert result == "done"
+    assert sim.now == 4.0
+
+
+def test_process_advances_through_timeouts():
+    sim = Simulation()
+    trace = []
+
+    def worker():
+        trace.append(sim.now)
+        yield sim.timeout(1.5)
+        trace.append(sim.now)
+        yield sim.timeout(2.5)
+        trace.append(sim.now)
+        return "finished"
+
+    process = sim.process(worker())
+    result = sim.run(until=process)
+    assert result == "finished"
+    assert trace == [0.0, 1.5, 4.0]
+
+
+def test_process_waits_on_another_process():
+    sim = Simulation()
+
+    def child():
+        yield sim.timeout(3.0)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    assert sim.run(until=sim.process(parent())) == 43
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulation()
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    def parent():
+        try:
+            yield sim.process(failing())
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    assert sim.run(until=sim.process(parent())) == "caught boom"
+
+
+def test_unwaited_process_failure_is_raised_by_kernel():
+    sim = Simulation()
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise ValueError("unhandled")
+
+    sim.process(failing())
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_event_succeed_wakes_waiters():
+    sim = Simulation()
+    gate = sim.event()
+    woken = []
+
+    def waiter(tag):
+        value = yield gate
+        woken.append((tag, value, sim.now))
+
+    sim.process(waiter("x"))
+    sim.process(waiter("y"))
+    sim.schedule_after(7.0, gate.succeed, "open")
+    sim.run()
+    assert woken == [("x", "open", 7.0), ("y", "open", 7.0)]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulation()
+    gate = sim.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulation()
+
+    def run():
+        values = yield sim.all_of([sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")])
+        return values, sim.now
+
+    values, finished_at = sim.run(until=sim.process(run()))
+    assert values == ["slow", "fast"]
+    assert finished_at == 3.0
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulation()
+
+    def run():
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run(until=sim.process(run())) == []
+
+
+def test_any_of_returns_first_value():
+    sim = Simulation()
+
+    def run():
+        value = yield sim.any_of([sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")])
+        return value, sim.now
+
+    assert sim.run(until=sim.process(run())) == ("fast", 1.0)
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulation()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append((sim.now, interrupt.cause))
+            return "interrupted"
+
+    process = sim.process(sleeper())
+    sim.schedule_after(2.0, process.interrupt, "preempted")
+    assert sim.run(until=process) == "interrupted"
+    assert log == [(2.0, "preempted")]
+
+
+def test_yielding_non_event_fails_the_process():
+    sim = Simulation()
+
+    def bad():
+        yield 123
+
+    process = sim.process(bad())
+    process.add_callback(lambda event: event.defuse())
+    sim.run()
+    assert not process.ok
+    assert isinstance(process.exception, SimulationError)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_event_detects_deadlock():
+    sim = Simulation()
+    never = sim.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run(until=never)
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulation()
+    assert sim.peek() == float("inf")
+    sim.schedule_after(9.0, lambda: None)
+    assert sim.peek() == 9.0
+
+
+def test_named_rng_streams_are_reproducible_and_independent():
+    sim_a = Simulation(seed=7)
+    sim_b = Simulation(seed=7)
+    draws_a = [sim_a.rng.stream("arrivals").random() for _ in range(5)]
+    # Interleave another stream in sim_b; "arrivals" must be unaffected.
+    sim_b.rng.stream("other").random()
+    draws_b = [sim_b.rng.stream("arrivals").random() for _ in range(5)]
+    assert draws_a == draws_b
+
+
+def test_different_seeds_give_different_streams():
+    a = Simulation(seed=1).rng.stream("s").random()
+    b = Simulation(seed=2).rng.stream("s").random()
+    assert a != b
+
+
+def test_interrupt_carries_cause():
+    sim = Simulation()
+
+    def sleeper():
+        yield sim.timeout(10.0)
+
+    process = sim.process(sleeper())
+    process.interrupt({"reason": "shutdown"})
+    process.add_callback(lambda event: event.defuse())
+    sim.run()
+    assert not process.ok
+    assert isinstance(process.exception, Interrupt)
+    assert process.exception.cause == {"reason": "shutdown"}
+
+
+def test_interrupting_finished_process_is_noop():
+    sim = Simulation()
+
+    def quick():
+        yield sim.timeout(1.0)
+        return "done"
+
+    process = sim.process(quick())
+    assert sim.run(until=process) == "done"
+    process.interrupt("too late")  # must not raise or resurrect
+    sim.run()
+    assert process.value == "done"
+
+
+def test_run_rejects_reentrant_calls():
+    sim = Simulation()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule_after(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulation()
+    gate = sim.event()
+    with pytest.raises(TypeError):
+        gate.fail("not an exception")
+
+
+def test_callback_added_after_trigger_still_fires():
+    sim = Simulation()
+    gate = sim.event()
+    gate.succeed("v")
+    sim.run()
+    seen = []
+    gate.add_callback(lambda event: seen.append(event.value))
+    sim.run()
+    assert seen == ["v"]
+
+
+def test_any_of_propagates_first_failure():
+    sim = Simulation()
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise RuntimeError("first")
+
+    def waiter():
+        try:
+            yield sim.any_of([sim.process(failing()), sim.timeout(5.0, "slow")])
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    assert sim.run(until=sim.process(waiter())) == "caught first"

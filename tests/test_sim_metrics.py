@@ -1,0 +1,123 @@
+"""Unit tests for metric recorders."""
+
+import pytest
+
+from taureau.sim import Counter, Distribution, MetricRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+
+class TestDistribution:
+    def test_summary_statistics(self):
+        dist = Distribution("latency")
+        dist.extend([1.0, 2.0, 3.0, 4.0])
+        assert dist.count == 4
+        assert dist.mean == 2.5
+        assert dist.minimum == 1.0
+        assert dist.maximum == 4.0
+        assert dist.total == 10.0
+
+    def test_percentiles_interpolate(self):
+        dist = Distribution()
+        dist.extend(range(101))  # 0..100
+        assert dist.percentile(0) == 0
+        assert dist.percentile(100) == 100
+        assert dist.p50 == 50
+        assert dist.percentile(25) == 25
+
+    def test_percentile_single_sample(self):
+        dist = Distribution()
+        dist.observe(7.0)
+        assert dist.p99 == 7.0
+
+    def test_percentile_handles_unsorted_inserts(self):
+        dist = Distribution()
+        dist.extend([5.0, 1.0, 3.0])
+        assert dist.p50 == 3.0
+
+    def test_empty_distribution_raises(self):
+        with pytest.raises(ValueError):
+            Distribution().mean
+        with pytest.raises(ValueError):
+            Distribution().percentile(50)
+
+    def test_percentile_range_checked(self):
+        dist = Distribution()
+        dist.observe(1.0)
+        with pytest.raises(ValueError):
+            dist.percentile(101)
+
+    def test_stddev(self):
+        dist = Distribution()
+        dist.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert dist.stddev == pytest.approx(2.13808993, rel=1e-6)
+        single = Distribution()
+        single.observe(1.0)
+        assert single.stddev == 0.0
+
+
+class TestTimeSeries:
+    def test_step_lookup(self):
+        series = TimeSeries("capacity")
+        series.record(0.0, 1.0)
+        series.record(10.0, 4.0)
+        assert series.value_at(0.0) == 1.0
+        assert series.value_at(9.99) == 1.0
+        assert series.value_at(10.0) == 4.0
+        assert series.value_at(100.0) == 4.0
+
+    def test_lookup_before_first_sample_raises(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.value_at(4.0)
+
+    def test_rejects_time_regression(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 2.0)
+
+    def test_integral_is_step_function_area(self):
+        series = TimeSeries()
+        series.record(0.0, 2.0)
+        series.record(10.0, 5.0)
+        # 2*10 + 5*10
+        assert series.integral(0.0, 20.0) == pytest.approx(70.0)
+        # Partial windows.
+        assert series.integral(5.0, 15.0) == pytest.approx(2 * 5 + 5 * 5)
+        # Window before first sample contributes nothing.
+        assert series.integral(-10.0, 0.0) == 0.0
+
+    def test_time_average(self):
+        series = TimeSeries()
+        series.record(0.0, 0.0)
+        series.record(50.0, 10.0)
+        assert series.time_average(0.0, 100.0) == pytest.approx(5.0)
+
+
+class TestMetricRegistry:
+    def test_same_name_returns_same_object(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.distribution("b") is registry.distribution("b")
+        assert registry.series("c") is registry.series("c")
+
+    def test_snapshot_summarizes(self):
+        registry = MetricRegistry()
+        registry.counter("invocations").add(3)
+        registry.distribution("latency").extend([1.0, 3.0])
+        snap = registry.snapshot()
+        assert snap["invocations"] == 3
+        assert snap["latency"]["count"] == 2
+        assert snap["latency"]["mean"] == 2.0

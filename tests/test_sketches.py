@@ -1,0 +1,395 @@
+"""Unit tests for the data-sketch family."""
+
+import collections
+import random
+
+import pytest
+
+from taureau.sketches import (
+    BloomFilter,
+    CountMinSketch,
+    HyperLogLog,
+    QuantileSketch,
+    ReservoirSample,
+    SpaceSaving,
+    hash64,
+)
+
+
+def zipf_stream(rng, n, vocabulary=1000, s=1.2):
+    weights = [1.0 / (rank ** s) for rank in range(1, vocabulary + 1)]
+    return rng.choices([f"w{i}" for i in range(vocabulary)], weights=weights, k=n)
+
+
+class TestHashing:
+    def test_stable_across_calls(self):
+        assert hash64("item", seed=3) == hash64("item", seed=3)
+
+    def test_seed_changes_hash(self):
+        assert hash64("item", seed=1) != hash64("item", seed=2)
+
+
+class TestCountMin:
+    def test_never_undercounts(self):
+        rng = random.Random(0)
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        truth = collections.Counter(zipf_stream(rng, 5000))
+        for word, count in truth.items():
+            sketch.add(word, count)
+        assert all(sketch.estimate(w) >= c for w, c in truth.items())
+
+    def test_error_within_epsilon_bound(self):
+        rng = random.Random(1)
+        sketch = CountMinSketch(epsilon=0.005, delta=0.001)
+        stream = zipf_stream(rng, 20_000)
+        truth = collections.Counter(stream)
+        for word in stream:
+            sketch.add(word)
+        bound = sketch.epsilon * sketch.total
+        violations = sum(
+            1 for w, c in truth.items() if sketch.estimate(w) - c > bound
+        )
+        assert violations / len(truth) <= sketch.delta + 0.01
+
+    def test_geometry_from_accuracy_targets(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        assert sketch.width >= 272  # ceil(e / 0.01)
+        assert sketch.depth >= 5  # ceil(ln 100)
+
+    def test_merge_equals_union_stream(self):
+        a = CountMinSketch(width=200, depth=5)
+        b = CountMinSketch(width=200, depth=5)
+        a.add("x", 5)
+        b.add("x", 7)
+        b.add("y", 2)
+        merged = a.merge(b)
+        assert merged.estimate("x") == a.estimate("x") + b.estimate("x")
+        assert merged.total == 14
+
+    def test_merge_geometry_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=10, depth=2).merge(CountMinSketch(width=20, depth=2))
+
+    def test_heavy_hitters(self):
+        sketch = CountMinSketch(width=500, depth=5)
+        for __ in range(90):
+            sketch.add("hot")
+        for index in range(10):
+            sketch.add(f"cold{index}")
+        hot = sketch.heavy_hitters(["hot", "cold0", "cold5"], threshold_fraction=0.5)
+        assert hot == ["hot"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch()
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=2.0, delta=0.1)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0, depth=1)
+        sketch = CountMinSketch(width=8, depth=2)
+        with pytest.raises(ValueError):
+            sketch.add("x", -1)
+
+
+class TestHyperLogLog:
+    def test_cardinality_within_expected_error(self):
+        hll = HyperLogLog(precision=12)
+        true_n = 50_000
+        for index in range(true_n):
+            hll.add(f"user-{index}")
+        estimate = hll.cardinality()
+        assert abs(estimate - true_n) / true_n < 4 * hll.relative_error
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(precision=12)
+        for __ in range(10):
+            for index in range(1000):
+                hll.add(f"item-{index}")
+        assert abs(hll.cardinality() - 1000) / 1000 < 0.1
+
+    def test_small_range_linear_counting_is_tight(self):
+        hll = HyperLogLog(precision=12)
+        for index in range(100):
+            hll.add(index)
+        assert abs(hll.cardinality() - 100) < 5
+
+    def test_merge_is_union(self):
+        a = HyperLogLog(precision=12)
+        b = HyperLogLog(precision=12)
+        for index in range(10_000):
+            a.add(f"a{index}")
+            b.add(f"b{index}")
+        for index in range(5_000):  # overlap
+            a.add(f"shared{index}")
+            b.add(f"shared{index}")
+        union = a.merge(b)
+        assert abs(union.cardinality() - 25_000) / 25_000 < 0.05
+
+    def test_merge_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=10).merge(HyperLogLog(precision=12))
+
+    def test_precision_bounds(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=3)
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=19)
+
+    def test_higher_precision_less_error_more_memory(self):
+        small, big = HyperLogLog(precision=8), HyperLogLog(precision=14)
+        assert big.relative_error < small.relative_error
+        assert big.memory_bytes > small.memory_bytes
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=1000, fp_rate=0.01)
+        members = [f"key-{i}" for i in range(1000)]
+        for member in members:
+            bloom.add(member)
+        assert all(member in bloom for member in members)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(capacity=2000, fp_rate=0.01)
+        for index in range(2000):
+            bloom.add(f"member-{index}")
+        false_positives = sum(
+            1 for index in range(10_000) if f"outsider-{index}" in bloom
+        )
+        assert false_positives / 10_000 < 0.03
+
+    def test_merge_is_union(self):
+        a = BloomFilter(capacity=100, fp_rate=0.01)
+        b = BloomFilter(capacity=100, fp_rate=0.01)
+        a.add("only-a")
+        b.add("only-b")
+        union = a.merge(b)
+        assert "only-a" in union and "only-b" in union
+
+    def test_expected_fp_rate_grows_with_fill(self):
+        bloom = BloomFilter(capacity=100, fp_rate=0.01)
+        empty_rate = bloom.expected_fp_rate()
+        for index in range(100):
+            bloom.add(index)
+        assert bloom.expected_fp_rate() > empty_rate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, fp_rate=1.5)
+
+
+class TestReservoir:
+    def test_keeps_everything_below_k(self):
+        reservoir = ReservoirSample(10, random.Random(0))
+        for index in range(5):
+            reservoir.add(index)
+        assert sorted(reservoir.sample()) == [0, 1, 2, 3, 4]
+
+    def test_sample_size_capped_at_k(self):
+        reservoir = ReservoirSample(10, random.Random(0))
+        for index in range(1000):
+            reservoir.add(index)
+        assert len(reservoir) == 10
+        assert reservoir.seen == 1000
+
+    def test_roughly_uniform(self):
+        hits = collections.Counter()
+        for trial in range(2000):
+            reservoir = ReservoirSample(5, random.Random(trial))
+            for index in range(50):
+                reservoir.add(index)
+            hits.update(reservoir.sample())
+        # Each of 50 items should appear in ~10% of trials (5/50).
+        rates = [hits[i] / 2000 for i in range(50)]
+        assert all(0.05 < rate < 0.15 for rate in rates)
+
+    def test_merge_preserves_k_and_seen(self):
+        a = ReservoirSample(8, random.Random(1))
+        b = ReservoirSample(8, random.Random(2))
+        for index in range(100):
+            a.add(("a", index))
+            b.add(("b", index))
+        merged = a.merge(b)
+        assert len(merged) == 8
+        assert merged.seen == 200
+
+    def test_merge_small_reservoirs_concatenates(self):
+        a = ReservoirSample(10)
+        b = ReservoirSample(10)
+        a.add(1)
+        b.add(2)
+        assert sorted(a.merge(b).sample()) == [1, 2]
+
+
+class TestSpaceSaving:
+    def test_heavy_items_always_tracked(self):
+        rng = random.Random(3)
+        sketch = SpaceSaving(k=50)
+        stream = zipf_stream(rng, 20_000, vocabulary=2000)
+        truth = collections.Counter(stream)
+        for word in stream:
+            sketch.add(word)
+        guarantee = len(stream) / sketch.k
+        for word, count in truth.items():
+            if count > guarantee:
+                assert sketch.estimate(word) >= count
+
+    def test_estimates_upper_bound_truth(self):
+        sketch = SpaceSaving(k=10)
+        stream = ["a"] * 30 + ["b"] * 20 + [f"noise{i}" for i in range(50)]
+        for item in stream:
+            sketch.add(item)
+        assert sketch.estimate("a") >= 30
+        assert sketch.guaranteed_count("a") <= 30
+
+    def test_top_ranked_by_estimate(self):
+        sketch = SpaceSaving(k=5)
+        for item, count in (("x", 10), ("y", 5), ("z", 1)):
+            sketch.add(item, count)
+        assert [item for item, __ in sketch.top(2)] == ["x", "y"]
+
+    def test_bounded_memory(self):
+        sketch = SpaceSaving(k=10)
+        for index in range(10_000):
+            sketch.add(f"unique-{index}")
+        assert len(sketch) == 10
+
+    def test_merge_keeps_heaviest(self):
+        a, b = SpaceSaving(k=3), SpaceSaving(k=3)
+        a.add("x", 100)
+        a.add("q", 1)
+        b.add("x", 50)
+        b.add("y", 80)
+        merged = a.merge(b)
+        assert merged.estimate("x") == 150
+        assert merged.total == 231
+        assert len(merged) <= 3
+
+
+class TestQuantileSketch:
+    def test_exact_on_small_streams(self):
+        sketch = QuantileSketch(capacity=128)
+        sketch.extend(range(100))
+        assert sketch.quantile(0.5) == pytest.approx(50, abs=1)
+        assert sketch.quantile(0.0) == 0
+        assert sketch.quantile(1.0) == 99
+
+    def test_approximate_on_large_streams(self):
+        rng = random.Random(7)
+        sketch = QuantileSketch(capacity=256, rng=rng)
+        values = [rng.gauss(0, 1) for __ in range(50_000)]
+        sketch.extend(values)
+        values.sort()
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = values[int(q * (len(values) - 1))]
+            estimated_rank = sketch.rank(exact)
+            assert abs(estimated_rank - q) < 0.05
+
+    def test_memory_is_sublinear(self):
+        sketch = QuantileSketch(capacity=64)
+        sketch.extend(range(100_000))
+        assert sketch.stored_items < 5_000
+
+    def test_merge_matches_combined_stream(self):
+        rng = random.Random(9)
+        a, b = QuantileSketch(capacity=256), QuantileSketch(capacity=256)
+        a.extend(rng.uniform(0, 1) for __ in range(10_000))
+        b.extend(rng.uniform(1, 2) for __ in range(10_000))
+        merged = a.merge(b)
+        assert merged.count == 20_000
+        assert merged.quantile(0.5) == pytest.approx(1.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(capacity=4)
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.quantile(0.5)
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+
+class TestFrequentDirections:
+    def _low_rank_stream(self, rng, n=400, d=30, rank=3, noise=0.01):
+        basis = rng.standard_normal((rank, d))
+        weights = rng.standard_normal((n, rank))
+        return weights @ basis + noise * rng.standard_normal((n, d))
+
+    def test_covariance_error_within_guarantee(self):
+        import numpy as np
+
+        from taureau.sketches import FrequentDirections
+
+        rng = np.random.default_rng(0)
+        matrix = self._low_rank_stream(rng)
+        fd = FrequentDirections(sketch_rows=10, dimensions=30)
+        fd.extend(matrix)
+        sketch = fd.sketch()
+        gap = matrix.T @ matrix - sketch.T @ sketch
+        spectral_norm = np.linalg.norm(gap, 2)
+        assert spectral_norm <= fd.covariance_error_bound() + 1e-6
+        # PSD: the sketch never overestimates the covariance.
+        eigenvalues = np.linalg.eigvalsh(gap)
+        assert eigenvalues.min() > -1e-6
+
+    def test_captures_low_rank_structure_well(self):
+        import numpy as np
+
+        from taureau.sketches import FrequentDirections
+
+        rng = np.random.default_rng(1)
+        matrix = self._low_rank_stream(rng, rank=2, noise=0.001)
+        fd = FrequentDirections(sketch_rows=8, dimensions=30)
+        fd.extend(matrix)
+        sketch = fd.sketch()
+        # Top-2 singular values of the sketch approximate the matrix's.
+        true_singular = np.linalg.svd(matrix, compute_uv=False)[:2]
+        sketch_singular = np.linalg.svd(sketch, compute_uv=False)[:2]
+        assert np.allclose(true_singular, sketch_singular, rtol=0.1)
+
+    def test_merge_preserves_guarantee_over_union(self):
+        import numpy as np
+
+        from taureau.sketches import FrequentDirections
+
+        rng = np.random.default_rng(2)
+        left = self._low_rank_stream(rng, n=200)
+        right = self._low_rank_stream(rng, n=200)
+        fd_left = FrequentDirections(10, 30)
+        fd_left.extend(left)
+        fd_right = FrequentDirections(10, 30)
+        fd_right.extend(right)
+        merged = fd_left.merge(fd_right)
+        union = np.vstack([left, right])
+        gap = union.T @ union - merged.sketch().T @ merged.sketch()
+        # Merging twice loosens the constant, but stays within 2x/ell.
+        assert np.linalg.norm(gap, 2) <= 2 * merged.covariance_error_bound() + 1e-6
+        assert merged.rows_seen == 400
+
+    def test_memory_independent_of_stream_length(self):
+        import numpy as np
+
+        from taureau.sketches import FrequentDirections
+
+        fd = FrequentDirections(8, 16)
+        before = fd.memory_bytes
+        rng = np.random.default_rng(3)
+        fd.extend(rng.standard_normal((5000, 16)))
+        assert fd.memory_bytes == before
+        assert fd.rows_seen == 5000
+
+    def test_validation(self):
+        from taureau.sketches import FrequentDirections
+
+        with pytest.raises(ValueError):
+            FrequentDirections(1, 10)
+        with pytest.raises(ValueError):
+            FrequentDirections(4, 0)
+        fd = FrequentDirections(4, 8)
+        with pytest.raises(ValueError):
+            fd.update([1.0, 2.0])  # wrong width
+        with pytest.raises(ValueError):
+            FrequentDirections(4, 8).merge(FrequentDirections(4, 9))

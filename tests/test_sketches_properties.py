@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for sketch invariants."""
+
+import collections
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from taureau.sketches import (
+    BloomFilter,
+    CountMinSketch,
+    HyperLogLog,
+    QuantileSketch,
+    SpaceSaving,
+)
+
+items = st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=300)
+
+
+class TestCountMinProperties:
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_never_below_true_count(self, stream):
+        sketch = CountMinSketch(width=64, depth=4)
+        truth = collections.Counter(stream)
+        for item in stream:
+            sketch.add(item)
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_total_equals_stream_weight(self, stream):
+        sketch = CountMinSketch(width=64, depth=4)
+        for item in stream:
+            sketch.add(item)
+        assert sketch.total == len(stream)
+
+    @given(left=items, right=items)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_equivalent_to_single_stream(self, left, right):
+        a = CountMinSketch(width=64, depth=4)
+        b = CountMinSketch(width=64, depth=4)
+        combined = CountMinSketch(width=64, depth=4)
+        for item in left:
+            a.add(item)
+            combined.add(item)
+        for item in right:
+            b.add(item)
+            combined.add(item)
+        merged = a.merge(b)
+        for item in set(left + right):
+            assert merged.estimate(item) == combined.estimate(item)
+
+
+class TestBloomProperties:
+    @given(members=items, probes=items)
+    @settings(max_examples=50, deadline=None)
+    def test_no_false_negatives_ever(self, members, probes):
+        bloom = BloomFilter(capacity=512, fp_rate=0.01)
+        for member in members:
+            bloom.add(member)
+        for member in members:
+            assert member in bloom
+
+    @given(left=items, right=items)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_superset_of_both(self, left, right):
+        a = BloomFilter(capacity=512, fp_rate=0.01)
+        b = BloomFilter(capacity=512, fp_rate=0.01)
+        for item in left:
+            a.add(item)
+        for item in right:
+            b.add(item)
+        union = a.merge(b)
+        for item in left + right:
+            assert item in union
+
+
+class TestHllProperties:
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_cardinality_nonnegative_and_bounded_for_small_sets(self, stream):
+        hll = HyperLogLog(precision=10)
+        for item in stream:
+            hll.add(item)
+        distinct = len(set(stream))
+        estimate = hll.cardinality()
+        assert estimate >= 0
+        # Linear-counting regime on tiny sets is tight.
+        assert abs(estimate - distinct) <= max(3, 0.2 * distinct)
+
+    @given(stream=items)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_commutes(self, stream):
+        half = len(stream) // 2
+        a, b = HyperLogLog(precision=10), HyperLogLog(precision=10)
+        for item in stream[:half]:
+            a.add(item)
+        for item in stream[half:]:
+            b.add(item)
+        assert a.merge(b).cardinality() == b.merge(a).cardinality()
+
+
+class TestSpaceSavingProperties:
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_counters_bounded_and_total_exact(self, stream):
+        sketch = SpaceSaving(k=8)
+        for item in stream:
+            sketch.add(item)
+        assert len(sketch) <= 8
+        assert sketch.total == len(stream)
+
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_at_least_guaranteed(self, stream):
+        sketch = SpaceSaving(k=8)
+        for item in stream:
+            sketch.add(item)
+        for item, estimate in sketch.top():
+            assert estimate >= sketch.guaranteed_count(item) >= 0
+
+
+class TestQuantileProperties:
+    values = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=500,
+    )
+
+    @given(stream=values)
+    @settings(max_examples=50, deadline=None)
+    def test_quantiles_within_min_max(self, stream):
+        sketch = QuantileSketch(capacity=64)
+        sketch.extend(stream)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert min(stream) <= sketch.quantile(q) <= max(stream)
+
+    @given(stream=values)
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_monotone_in_q(self, stream):
+        sketch = QuantileSketch(capacity=64)
+        sketch.extend(stream)
+        quantiles = [sketch.quantile(q / 10.0) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+
+    @given(stream=values)
+    @settings(max_examples=30, deadline=None)
+    def test_count_preserved_by_merge(self, stream):
+        half = len(stream) // 2
+        a, b = QuantileSketch(capacity=64), QuantileSketch(capacity=64)
+        a.extend(stream[:half])
+        b.extend(stream[half:])
+        assert a.merge(b).count == len(stream)

@@ -1,0 +1,172 @@
+"""Tests for the Step-Functions-style state machine."""
+
+import pytest
+
+from taureau.core import FaasPlatform, FunctionSpec
+from taureau.orchestration import (
+    ChoiceState,
+    FailState,
+    Orchestrator,
+    ParallelState,
+    PassState,
+    StateMachine,
+    StateMachineFailed,
+    SucceedState,
+    TaskState,
+    WaitState,
+)
+from taureau.sim import Simulation
+
+
+def make_stack():
+    sim = Simulation(seed=0)
+    platform = FaasPlatform(sim)
+    orchestrator = Orchestrator(platform)
+
+    @platform.function("double")
+    def double(event, ctx):
+        ctx.charge(0.1)
+        return event * 2
+
+    @platform.function("validate")
+    def validate(event, ctx):
+        ctx.charge(0.05)
+        if event < 0:
+            raise ValueError("negative input")
+        return event
+
+    return sim, platform, orchestrator
+
+
+class TestStateMachine:
+    def test_linear_task_chain(self):
+        __, __, orchestrator = make_stack()
+        machine = StateMachine(
+            start_at="first",
+            states={
+                "first": TaskState("double", next="second"),
+                "second": TaskState("double", next=None),
+            },
+        )
+        result, execution = machine.run_sync(orchestrator, 3)
+        assert result == 12
+        assert len(execution.records) == 2
+
+    def test_choice_routes_by_predicate(self):
+        __, __, orchestrator = make_stack()
+        machine = StateMachine(
+            start_at="route",
+            states={
+                "route": ChoiceState(
+                    choices=[(lambda v: v >= 0, "ok")], default="bad"
+                ),
+                "ok": TaskState("double"),
+                "bad": FailState(error="NegativeInput"),
+            },
+        )
+        assert machine.run_sync(orchestrator, 4)[0] == 8
+
+    def test_fail_state_raises(self):
+        sim, __, orchestrator = make_stack()
+        machine = StateMachine(
+            start_at="bad", states={"bad": FailState(error="Boom")}
+        )
+        done, __ = machine.run(orchestrator, None)
+        done.add_callback(lambda event: event.defuse())
+        sim.run()
+        assert isinstance(done.exception, StateMachineFailed)
+
+    def test_wait_state_advances_clock(self):
+        sim, __, orchestrator = make_stack()
+        machine = StateMachine(
+            start_at="wait",
+            states={
+                "wait": WaitState(seconds=60.0, next="done"),
+                "done": SucceedState(),
+            },
+        )
+        machine.run_sync(orchestrator, "v")
+        assert sim.now >= 60.0
+
+    def test_pass_state_transforms(self):
+        __, __, orchestrator = make_stack()
+        machine = StateMachine(
+            start_at="shape",
+            states={
+                "shape": PassState(transform=lambda v: v["n"], next="double"),
+                "double": TaskState("double"),
+            },
+        )
+        assert machine.run_sync(orchestrator, {"n": 7})[0] == 14
+
+    def test_parallel_state_runs_branches(self):
+        __, __, orchestrator = make_stack()
+        branch = StateMachine(
+            start_at="t", states={"t": TaskState("double")}
+        )
+        machine = StateMachine(
+            start_at="par",
+            states={"par": ParallelState(branches=[branch, branch])},
+        )
+        result, execution = machine.run_sync(orchestrator, 5)
+        assert result == [10, 10]
+        assert len(execution.records) == 2
+
+    def test_task_retry_attempts(self):
+        sim, platform, orchestrator = make_stack()
+        calls = {"n": 0}
+
+        @platform.function("flaky")
+        def flaky(event, ctx):
+            ctx.charge(0.05)
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise RuntimeError("once")
+            return "ok"
+
+        machine = StateMachine(
+            start_at="t",
+            states={"t": TaskState("flaky", retry_attempts=3)},
+        )
+        result, execution = machine.run_sync(orchestrator, None)
+        assert result == "ok"
+        assert len(execution.records) == 2  # one failure + one success
+
+    def test_undefined_transition_rejected_at_build_time(self):
+        with pytest.raises(ValueError, match="undefined state"):
+            StateMachine(
+                start_at="a",
+                states={"a": TaskState("double", next="ghost")},
+            )
+
+    def test_undefined_start_rejected(self):
+        with pytest.raises(ValueError, match="start state"):
+            StateMachine(start_at="ghost", states={"a": SucceedState()})
+
+    def test_etl_pipeline_end_to_end(self):
+        """The §3 ETL pattern as a state machine: validate -> transform."""
+        sim, platform, orchestrator = make_stack()
+
+        @platform.function("load")
+        def load(event, ctx):
+            ctx.charge(0.05)
+            return {"loaded": event}
+
+        machine = StateMachine(
+            start_at="validate",
+            states={
+                "validate": TaskState("validate", next="check"),
+                "check": ChoiceState(
+                    choices=[(lambda v: v > 100, "big_path")], default="small_path"
+                ),
+                "big_path": TaskState("double", next="load"),
+                "small_path": PassState(next="load"),
+                "load": TaskState("load"),
+            },
+        )
+        result, execution = machine.run_sync(orchestrator, 500)
+        assert result == {"loaded": 1000}
+        # Billing audit holds for state machines too (Lopez property 3).
+        assert execution.billed_cost_usd == pytest.approx(
+            sum(record.cost_usd for record in execution.records)
+        )
