@@ -1,0 +1,259 @@
+"""E35 — Vectorized batch ingestion vs. the scalar data plane.
+
+The sketch family's ``add_many`` routes item batches through the
+fasthash kernel (one cached blake2b encode per distinct item, then a
+numpy splitmix64 mix across all rows at once) instead of re-digesting
+every item per row per call.  This bench measures items/sec for three
+Count-Min ingest paths at 10^5–10^7 items —
+
+- ``seed-scalar``: the original per-(item, row) blake2b loop;
+- ``scalar``: today's ``add()`` (one digest per item + scalar mixes);
+- ``batch``: ``add_many()`` over the whole stream —
+
+plus a scalar-vs-batch sweep across the rest of the family, and writes
+the measurements to ``BENCH_sketch_batch.json``.  Batch and scalar
+paths produce byte-identical tables (asserted here and property-tested
+in ``tests/test_sketches_batch.py``), so the speedup is free accuracy-
+wise.
+
+Run directly (``python benchmarks/bench_sketch_batch.py [--smoke]``)
+or via pytest-benchmark like the other benches.
+"""
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from tables import print_table
+
+from taureau.sketches import (
+    BloomFilter,
+    CountMinSketch,
+    HyperLogLog,
+    QuantileSketch,
+    ReservoirSample,
+    SpaceSaving,
+    hash64,
+)
+
+VOCABULARY = 50_000
+SCALAR_SAMPLE_CAP = 1_000_000  # scalar loops are timed on at most this many
+REQUIRED_SPEEDUP = 20.0  # add_many vs. the seed scalar loop at 1e6 items
+
+
+def zipf_stream(n, seed=0):
+    rng = random.Random(seed)
+    weights = [1.0 / (rank**1.1) for rank in range(1, VOCABULARY + 1)]
+    return rng.choices(
+        [f"w{index}" for index in range(VOCABULARY)], weights=weights, k=n
+    )
+
+
+def _rate(items, elapsed_s):
+    return items / elapsed_s if elapsed_s > 0 else float("inf")
+
+
+def seed_scalar_ingest(stream, width=2048, depth=4, seed=0):
+    """The growth seed's add() loop: one blake2b per (item, row)."""
+    table = np.zeros((depth, width), dtype=np.int64)
+    started = time.perf_counter()
+    for item in stream:
+        for row in range(depth):
+            column = hash64(item, seed=seed * 1024 + row) % width
+            table[row, column] += 1
+    return _rate(len(stream), time.perf_counter() - started)
+
+
+def scalar_ingest(stream, width=2048, depth=4):
+    sketch = CountMinSketch(width=width, depth=depth)
+    started = time.perf_counter()
+    for item in stream:
+        sketch.add(item)
+    return _rate(len(stream), time.perf_counter() - started), sketch
+
+
+def batch_ingest(stream, width=2048, depth=4):
+    sketch = CountMinSketch(width=width, depth=depth)
+    started = time.perf_counter()
+    sketch.add_many(stream)
+    return _rate(len(stream), time.perf_counter() - started), sketch
+
+
+def countmin_sweep(sizes):
+    """items/sec per ingest path per stream size."""
+    rows = []
+    for n in sizes:
+        stream = zipf_stream(n)
+        sample = stream[: min(n, SCALAR_SAMPLE_CAP)]
+        seed_rate = seed_scalar_ingest(sample)
+        scalar_rate, scalar_sketch = scalar_ingest(sample)
+        batch_rate, batch_sketch = batch_ingest(stream)
+        # The whole point: vectorized ingest changes nothing downstream.
+        reference = CountMinSketch(width=2048, depth=4)
+        reference.add_many(sample)
+        assert np.array_equal(reference._table, scalar_sketch._table)
+        rows.append(
+            (
+                f"1e{len(str(n)) - 1}",
+                round(seed_rate),
+                round(scalar_rate),
+                round(batch_rate),
+                round(batch_rate / seed_rate, 1),
+            )
+        )
+    return rows
+
+
+def family_sweep(n):
+    """Scalar-vs-batch items/sec for the rest of the sketch family."""
+    stream = zipf_stream(n, seed=1)
+    values = [random.Random(2).uniform(0, 1) for __ in range(n)]
+    sample_n = min(n, SCALAR_SAMPLE_CAP // 5)
+
+    def timed(fn, items):
+        started = time.perf_counter()
+        fn(items)
+        return _rate(len(items), time.perf_counter() - started)
+
+    cases = [
+        (
+            "count-min",
+            lambda: CountMinSketch(width=2048, depth=4),
+            stream,
+        ),
+        ("bloom", lambda: BloomFilter(capacity=n, fp_rate=0.01), stream),
+        ("hyperloglog", lambda: HyperLogLog(precision=12), stream),
+        ("space-saving", lambda: SpaceSaving(k=256), stream),
+        (
+            "quantiles",
+            lambda: QuantileSketch(capacity=128, rng=random.Random(3)),
+            values,
+        ),
+        ("reservoir", lambda: ReservoirSample(256, random.Random(4)), stream),
+    ]
+    rows = []
+    for name, make, items in cases:
+        scalar_sketch = make()
+        scalar_rate = timed(
+            lambda chunk: [scalar_sketch.add(item) for item in chunk],
+            items[:sample_n],
+        )
+        batch_sketch = make()
+        batch_rate = timed(batch_sketch.add_many, items)
+        rows.append(
+            (
+                name,
+                round(scalar_rate),
+                round(batch_rate),
+                round(batch_rate / scalar_rate, 1),
+            )
+        )
+    return rows
+
+
+def run_experiment(smoke=False):
+    sizes = [100_000] if smoke else [100_000, 1_000_000, 10_000_000]
+    countmin_rows = countmin_sweep(sizes)
+    family_rows = [] if smoke else family_sweep(1_000_000)
+    return countmin_rows, family_rows
+
+
+def report(countmin_rows, family_rows):
+    print_table(
+        "E35: Count-Min ingest paths, zipf stream (items/sec; scalar "
+        f"paths sampled at <= {SCALAR_SAMPLE_CAP:.0e} items)",
+        ["items", "seed_scalar", "scalar_add", "add_many", "speedup_vs_seed"],
+        countmin_rows,
+        note=f"acceptance: add_many >= {REQUIRED_SPEEDUP:.0f}x the seed "
+        "scalar loop at 1e6 items",
+    )
+    if family_rows:
+        print_table(
+            "E35b: scalar add loop vs add_many across the family, 1e6 items",
+            ["sketch", "scalar_per_s", "batch_per_s", "speedup"],
+            family_rows,
+            note="identical internal state either way "
+            "(tests/test_sketches_batch.py)",
+        )
+
+
+def write_trajectory(countmin_rows, family_rows, path):
+    payload = {
+        "experiment": "sketch_batch",
+        "unit": "items_per_second",
+        "required_speedup_at_1e6": REQUIRED_SPEEDUP,
+        "countmin": [
+            {
+                "items": row[0],
+                "seed_scalar": row[1],
+                "scalar_add": row[2],
+                "add_many": row[3],
+                "speedup_vs_seed": row[4],
+            }
+            for row in countmin_rows
+        ],
+        "family_at_1e6": [
+            {
+                "sketch": row[0],
+                "scalar_per_s": row[1],
+                "batch_per_s": row[2],
+                "speedup": row[3],
+            }
+            for row in family_rows
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="~2s run: 1e5 items, Count-Min only, no JSON",
+    )
+    parser.add_argument(
+        "--json",
+        default=str(
+            pathlib.Path(__file__).parent.parent / "BENCH_sketch_batch.json"
+        ),
+        help="trajectory output path (full runs only)",
+    )
+    options = parser.parse_args(argv)
+    countmin_rows, family_rows = run_experiment(smoke=options.smoke)
+    report(countmin_rows, family_rows)
+    at_1e6 = [row for row in countmin_rows if row[0] == "1e6"]
+    if at_1e6:
+        speedup = at_1e6[0][4]
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"add_many is only {speedup}x the seed scalar loop"
+        )
+        print(f"add_many speedup at 1e6 items: {speedup}x (>= "
+              f"{REQUIRED_SPEEDUP:.0f}x required)")
+    if not options.smoke:
+        write_trajectory(countmin_rows, family_rows, options.json)
+    return 0
+
+
+def test_e35_batch_ingest_speedup(benchmark):
+    countmin_rows, family_rows = benchmark.pedantic(
+        lambda: run_experiment(smoke=False), rounds=1, iterations=1
+    )
+    report(countmin_rows, family_rows)
+    by_size = {row[0]: row for row in countmin_rows}
+    assert by_size["1e6"][4] >= REQUIRED_SPEEDUP
+    # Vectorization should win at every size, not just the sweet spot.
+    for row in countmin_rows:
+        assert row[3] > row[1]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,7 @@ def hll_rows():
     rows = []
     for precision in (8, 10, 12, 14):
         hll = HyperLogLog(precision=precision)
-        for index in range(N):
-            hll.add(f"user-{index}")
+        hll.add_many([f"user-{index}" for index in range(N)])
         error = abs(hll.cardinality() - N) / N
         rows.append(("hyperloglog", f"p={precision}", hll.memory_bytes, error))
     return rows
@@ -39,10 +38,11 @@ def bloom_rows():
     members = [f"m{index}" for index in range(5000)]
     for fp_rate in (0.1, 0.01, 0.001):
         bloom = BloomFilter(capacity=5000, fp_rate=fp_rate)
-        for member in members:
-            bloom.add(member)
-        false_positives = sum(
-            1 for index in range(20_000) if f"outsider-{index}" in bloom
+        bloom.add_many(members)
+        false_positives = int(
+            bloom.contains_many(
+                [f"outsider-{index}" for index in range(20_000)]
+            ).sum()
         )
         rows.append(
             ("bloom", f"target_fp={fp_rate}", bloom.memory_bytes,
@@ -59,10 +59,12 @@ def countmin_rows():
     rows = []
     for width in (128, 512, 2048):
         sketch = CountMinSketch(width=width, depth=4)
-        for word in stream:
-            sketch.add(word)
+        sketch.add_many(stream)
+        words = list(truth)
+        estimates = sketch.estimate_many(words)
         mean_error = sum(
-            sketch.estimate(word) - count for word, count in truth.items()
+            estimate - truth[word]
+            for word, estimate in zip(words, estimates.tolist())
         ) / len(truth)
         rows.append(("count-min", f"w={width},d=4", sketch.memory_bytes,
                      mean_error / N))
@@ -97,8 +99,7 @@ def spacesaving_rows():
     rows = []
     for k in (20, 100, 500):
         sketch = SpaceSaving(k=k)
-        for word in stream:
-            sketch.add(word)
+        sketch.add_many(stream)
         found_top = {word for word, __ in sketch.top(10)}
         recall = len(found_top & true_top) / len(true_top)
         rows.append(("space-saving", f"k={k}", k * 16, 1.0 - recall))

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: lint (when available), the full test suite, and a
+# 2-second smoke of the batch data-plane bench. Run from the repo root:
+#
+#   scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== pytest (tier-1) =="
+python -m pytest -x -q
+
+echo "== bench smoke: batch data plane =="
+python benchmarks/bench_sketch_batch.py --smoke
+
+echo "check.sh: all gates passed"

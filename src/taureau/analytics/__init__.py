@@ -14,6 +14,8 @@ from taureau.analytics.graph import (
 )
 from taureau.analytics.mapreduce import (
     MapReduceJob,
+    heavy_hitter_reduce,
+    make_heavy_hitter_map,
     word_count_map,
     word_count_reduce,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "sssp_program",
     "MapReduceJob",
     "ServerlessSort",
+    "heavy_hitter_reduce",
+    "make_heavy_hitter_map",
     "word_count_map",
     "word_count_reduce",
     "MonteCarloEstimate",

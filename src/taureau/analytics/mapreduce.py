@@ -16,13 +16,19 @@ from __future__ import annotations
 import itertools
 import typing
 
-from taureau.analytics.shuffle import ShuffleMedium
+from taureau.analytics.shuffle import ShuffleMedium, partition_pairs
 from taureau.core.function import FunctionSpec
 from taureau.core.platform import FaasPlatform
 from taureau.sim import Event
-from taureau.sketches.hashing import hash64
+from taureau.sketches.spacesaving import SpaceSaving
 
-__all__ = ["MapReduceJob", "word_count_map", "word_count_reduce"]
+__all__ = [
+    "MapReduceJob",
+    "word_count_map",
+    "word_count_reduce",
+    "make_heavy_hitter_map",
+    "heavy_hitter_reduce",
+]
 
 
 def word_count_map(chunk: str) -> list:
@@ -33,6 +39,32 @@ def word_count_map(chunk: str) -> list:
 def word_count_reduce(key: str, values: list) -> int:
     """The canonical reducer: sum the counts."""
     return sum(values)
+
+
+def make_heavy_hitter_map(k: int = 64) -> typing.Callable[[str], list]:
+    """A mapper that sketches its chunk instead of emitting raw pairs.
+
+    Each map task folds its whole token stream into one SpaceSaving
+    summary through the vectorized ``add_many`` path and emits a single
+    ``("heavy-hitters", sketch)`` pair, so the shuffle carries ``k``
+    counters per chunk rather than one pair per token — the serverless
+    heavy-hitter pattern from paper §5.1.
+    """
+
+    def heavy_hitter_map(chunk: str) -> list:
+        sketch = SpaceSaving(k=k)
+        sketch.add_many([word.lower() for word in chunk.split()])
+        return [("heavy-hitters", sketch)]
+
+    return heavy_hitter_map
+
+
+def heavy_hitter_reduce(key: str, sketches: list) -> list:
+    """Merge per-chunk SpaceSaving summaries; returns (item, estimate)s."""
+    merged = sketches[0]
+    for sketch in sketches[1:]:
+        merged = merged.merge(sketch)
+    return merged.top()
 
 
 class MapReduceJob:
@@ -90,12 +122,9 @@ class MapReduceJob:
         def mapper(event, ctx):
             ctx.charge(map_compute_s)
             chunk_id, chunk = event["chunk_id"], event["chunk"]
-            buckets: dict = {p: [] for p in range(job.partitions)}
-            for key, value in job.map_fn(chunk):
-                buckets[hash64(key) % job.partitions].append((key, value))
+            buckets = partition_pairs(job.map_fn(chunk), job.partitions)
             for partition, pairs in buckets.items():
-                if pairs:
-                    job.medium.write(job.job_id, chunk_id, partition, pairs, ctx)
+                job.medium.write(job.job_id, chunk_id, partition, pairs, ctx)
             return len(buckets)
 
         def reducer(event, ctx):

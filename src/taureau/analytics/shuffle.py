@@ -15,12 +15,47 @@ from __future__ import annotations
 
 import typing
 
+import numpy as np
+
 from taureau.baas.blobstore import BlobStore
 from taureau.baas.kvstore import KvStore
 from taureau.baas.sizing import estimate_size_mb
 from taureau.jiffy.client import JiffyClient
+from taureau.sketches.fasthash import encode_items, mix64
 
-__all__ = ["ShuffleMedium", "BlobShuffle", "KvShuffle", "JiffyShuffle"]
+__all__ = [
+    "ShuffleMedium",
+    "BlobShuffle",
+    "KvShuffle",
+    "JiffyShuffle",
+    "partition_pairs",
+]
+
+
+def partition_pairs(
+    pairs: typing.Sequence[typing.Tuple[object, object]], partitions: int
+) -> dict:
+    """Bucket ``(key, value)`` pairs by a stable hash of the key.
+
+    The partition assignment hashes every key in one vectorized pass
+    through the fasthash kernel — the map-side half of the shuffle no
+    longer pays one digest per emitted pair.  Returns only non-empty
+    buckets: ``{partition: [(key, value), ...]}``.
+    """
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    if not pairs:
+        return {}
+    codes = encode_items([key for key, __ in pairs])
+    assigned = (mix64(codes) % np.uint64(partitions)).astype(np.int64)
+    buckets: dict = {}
+    for pair, partition in zip(pairs, assigned.tolist()):
+        bucket = buckets.get(partition)
+        if bucket is None:
+            buckets[partition] = [pair]
+        else:
+            bucket.append(pair)
+    return buckets
 
 
 class ShuffleMedium:

@@ -96,6 +96,8 @@ class Simulation:
 
     def step(self) -> None:
         """Pop and execute the single next scheduled item."""
+        if not self._heap:
+            raise SimulationError("step() with no scheduled work")
         when, _tie, callback, args = heapq.heappop(self._heap)
         self.now = when
         callback(*args)

@@ -1,7 +1,21 @@
-"""Mergeable data sketches for serverless analytics (paper §5.1, Fig. 3)."""
+"""Mergeable data sketches for serverless analytics (paper §5.1, Fig. 3).
+
+Every family member ingests one item at a time through ``add``/``update``
+and whole batches through ``add_many`` (plus ``estimate_many`` /
+``contains_many`` / ``rank_many`` query twins where meaningful); both
+paths run the same :mod:`taureau.sketches.fasthash` kernel, so they
+produce byte-identical sketch state.
+"""
 
 from taureau.sketches.bloom import BloomFilter
 from taureau.sketches.countmin import CountMinSketch
+from taureau.sketches.fasthash import (
+    bit_length_u64,
+    encode_item,
+    encode_items,
+    mix64,
+    mix64_one,
+)
 from taureau.sketches.frequentdirections import FrequentDirections
 from taureau.sketches.hashing import hash64, hash_to_unit
 from taureau.sketches.hyperloglog import HyperLogLog
@@ -17,6 +31,11 @@ __all__ = [
     "QuantileSketch",
     "ReservoirSample",
     "SpaceSaving",
+    "bit_length_u64",
+    "encode_item",
+    "encode_items",
     "hash64",
     "hash_to_unit",
+    "mix64",
+    "mix64_one",
 ]

@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 import math
+import typing
 
-from taureau.sketches.hashing import hash64
+import numpy as np
+
+from taureau.sketches.fasthash import encode_item, encode_items, mix64, mix64_one
 
 __all__ = ["BloomFilter"]
+
+_MASK64 = (1 << 64) - 1
 
 
 class BloomFilter:
@@ -14,6 +19,9 @@ class BloomFilter:
 
     Sized from ``capacity`` expected insertions and a target
     ``fp_rate``; the standard ``m = -n ln p / (ln 2)^2`` geometry.
+    Probing uses Kirsch-Mitzenmacher double hashing over the fasthash
+    kernel: two mixed hashes generate all ``k`` positions, identically
+    in the scalar and the vectorized batch paths.
     """
 
     def __init__(self, capacity: int, fp_rate: float = 0.01, seed: int = 0):
@@ -30,19 +38,52 @@ class BloomFilter:
         self.hash_count = max(
             1, int(round((self.bit_count / capacity) * math.log(2)))
         )
-        self._bits = bytearray((self.bit_count + 7) // 8)
+        self._bits = np.zeros((self.bit_count + 7) // 8, dtype=np.uint8)
         self.inserted = 0
 
     def add(self, item: object) -> None:
+        bits = self._bits
         for position in self._positions(item):
-            self._bits[position >> 3] |= 1 << (position & 7)
+            bits[position >> 3] |= 1 << (position & 7)
         self.inserted += 1
 
+    def add_many(self, items: typing.Iterable[object]) -> None:
+        """Batch insert: ``k`` vectorized probe passes over the batch.
+
+        Setting a bit is idempotent, so duplicates are dropped at C
+        speed before hashing; ``inserted`` still counts every stream
+        item, exactly like a loop of :meth:`add`.
+        """
+        if isinstance(items, np.ndarray):
+            total = int(items.size)
+        else:
+            items = list(items)
+            total = len(items)
+            try:
+                items = list(set(items))
+            except TypeError:  # unhashable items: hash the raw stream
+                pass
+        codes = encode_items(items)
+        if total == 0:
+            return
+        for byte_index, bit in self._probes(codes):
+            np.bitwise_or.at(self._bits, byte_index, bit)
+        self.inserted += total
+
     def __contains__(self, item: object) -> bool:
+        bits = self._bits
         return all(
-            self._bits[position >> 3] & (1 << (position & 7))
+            bits[position >> 3] & (1 << (position & 7))
             for position in self._positions(item)
         )
+
+    def contains_many(self, items: typing.Iterable[object]) -> np.ndarray:
+        """Vectorized membership tests, aligned with ``items`` (bool array)."""
+        codes = encode_items(items)
+        present = np.ones(codes.size, dtype=bool)
+        for byte_index, bit in self._probes(codes):
+            present &= (self._bits[byte_index] & bit) != 0
+        return present
 
     def merge(self, other: "BloomFilter") -> "BloomFilter":
         """Bitwise OR — the union of the two sets."""
@@ -53,7 +94,7 @@ class BloomFilter:
         ):
             raise ValueError("can only merge filters with identical geometry")
         merged = BloomFilter(self.capacity, self.fp_rate, self.seed)
-        merged._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
+        merged._bits = self._bits | other._bits
         merged.inserted = self.inserted + other.inserted
         return merged
 
@@ -64,11 +105,23 @@ class BloomFilter:
 
     @property
     def memory_bytes(self) -> int:
-        return len(self._bits)
+        return int(self._bits.nbytes)
 
     def _positions(self, item: object):
         # Kirsch-Mitzenmacher double hashing: two base hashes generate k.
-        h1 = hash64(item, seed=self.seed)
-        h2 = hash64(item, seed=self.seed + 1) | 1
+        code = encode_item(item)
+        h1 = mix64_one(code, self.seed)
+        h2 = mix64_one(code, self.seed + 1) | 1
         for i in range(self.hash_count):
-            yield (h1 + i * h2) % self.bit_count
+            yield ((h1 + i * h2) & _MASK64) % self.bit_count
+
+    def _probes(self, codes: np.ndarray):
+        """Yield ``(byte_index, bit_mask)`` arrays for each of the k probes."""
+        h1 = mix64(codes, self.seed)
+        h2 = mix64(codes, self.seed + 1) | np.uint64(1)
+        bit_count = np.uint64(self.bit_count)
+        for i in range(self.hash_count):
+            position = (h1 + np.uint64(i) * h2) % bit_count
+            byte_index = (position >> np.uint64(3)).astype(np.int64)
+            bit = np.left_shift(1, (position & np.uint64(7)).astype(np.int64))
+            yield byte_index, bit.astype(np.uint8)

@@ -43,16 +43,37 @@ class FrequentDirections:
             raise ValueError(
                 f"expected a row of {self.dimensions} values, got {vector.shape}"
             )
-        if self._filled >= 2 * self.ell:
-            self._shrink()
-        self._buffer[self._filled] = vector
-        self._filled += 1
-        self.rows_seen += 1
-        self.squared_frobenius += float(vector @ vector)
+        self.add_many(vector[None, :])
+
+    def add_many(self, rows: np.ndarray) -> None:
+        """Batch ingest, state-identical to a loop of :meth:`update`.
+
+        Rows are copied into the insert area in blocks; the SVD shrink
+        fires at exactly the same fill points — on the same buffer
+        contents — as one-row-at-a-time ingestion, and the Frobenius
+        mass accumulates row by row so the float sum order matches too.
+        """
+        block = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if block.ndim != 2 or block.shape[1] != self.dimensions:
+            raise ValueError(
+                f"expected rows of {self.dimensions} values, got {block.shape}"
+            )
+        cursor, total = 0, block.shape[0]
+        while cursor < total:
+            if self._filled >= 2 * self.ell:
+                self._shrink()
+            room = 2 * self.ell - self._filled
+            chunk = block[cursor : cursor + room]
+            took = chunk.shape[0]
+            self._buffer[self._filled : self._filled + took] = chunk
+            self._filled += took
+            self.rows_seen += took
+            cursor += took
+            for mass in np.einsum("ij,ij->i", chunk, chunk):
+                self.squared_frobenius += float(mass)
 
     def extend(self, rows: np.ndarray) -> None:
-        for row in np.atleast_2d(rows):
-            self.update(row)
+        self.add_many(rows)
 
     def sketch(self) -> np.ndarray:
         """The current ``ell x d`` sketch matrix ``B``."""

@@ -4,6 +4,12 @@ Python's builtin ``hash`` is randomized per interpreter run, which would
 make sketches irreproducible; everything here goes through blake2b with
 an explicit seed so estimates are identical across runs and mergeable
 across sketch instances built with the same parameters.
+
+``str``/``bytes``/``int`` inputs take a fast path straight to their
+byte form (no ``repr`` round-trip), and the packed per-seed key is
+memoized, so scalar callers like the MapReduce partitioner pay one
+digest per call and nothing else.  Batch callers should prefer the
+vectorized kernels in :mod:`taureau.sketches.fasthash`.
 """
 
 from __future__ import annotations
@@ -15,13 +21,34 @@ __all__ = ["hash64", "hash_to_unit"]
 
 _MASK64 = (1 << 64) - 1
 
+_SEED_KEY_CACHE_MAX = 4096
+_seed_key_cache: dict = {}
+
+
+def _seed_key(seed: int) -> bytes:
+    key = _seed_key_cache.get(seed)
+    if key is None:
+        if len(_seed_key_cache) >= _SEED_KEY_CACHE_MAX:
+            _seed_key_cache.clear()
+        key = struct.pack("<Q", seed & _MASK64)
+        _seed_key_cache[seed] = key
+    return key
+
 
 def hash64(item: object, seed: int = 0) -> int:
     """A stable 64-bit hash of ``item`` under ``seed``."""
-    payload = repr(item).encode("utf-8") if not isinstance(item, bytes) else item
-    digest = hashlib.blake2b(
-        payload, digest_size=8, key=struct.pack("<Q", seed & _MASK64)
-    ).digest()
+    kind = type(item)
+    if kind is bytes:
+        payload = item
+    elif kind is str:
+        payload = item.encode("utf-8")
+    elif kind is int:
+        payload = item.to_bytes((item.bit_length() + 8) // 8, "little", signed=True)
+    else:
+        payload = (
+            item if isinstance(item, bytes) else repr(item).encode("utf-8")
+        )
+    digest = hashlib.blake2b(payload, digest_size=8, key=_seed_key(seed)).digest()
     return int.from_bytes(digest, "big")
 
 

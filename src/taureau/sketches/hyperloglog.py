@@ -3,13 +3,26 @@
 One of the "rich family of data sketches — sampling, filtering,
 quantiles, cardinality ..." the paper points at serverless analytics
 (§5.1).  Standard-error ≈ 1.04 / sqrt(2^p) with 2^p one-byte registers.
+
+Hashing goes through the fasthash kernel; ``add_many`` computes the
+register index and rank for a whole batch with numpy and folds it in
+with ``np.maximum.at``, byte-identically to a loop of ``add``.
 """
 
 from __future__ import annotations
 
 import math
+import typing
 
-from taureau.sketches.hashing import hash64
+import numpy as np
+
+from taureau.sketches.fasthash import (
+    bit_length_u64,
+    encode_item,
+    encode_items,
+    mix64,
+    mix64_one,
+)
 
 __all__ = ["HyperLogLog"]
 
@@ -33,10 +46,10 @@ class HyperLogLog:
         self.precision = precision
         self.seed = seed
         self.register_count = 1 << precision
-        self._registers = bytearray(self.register_count)
+        self._registers = np.zeros(self.register_count, dtype=np.uint8)
 
     def add(self, item: object) -> None:
-        hashed = hash64(item, seed=self.seed)
+        hashed = mix64_one(encode_item(item), self.seed)
         index = hashed >> (64 - self.precision)
         remaining = hashed & ((1 << (64 - self.precision)) - 1)
         # Rank: position of the leftmost 1-bit in the remaining bits.
@@ -44,13 +57,37 @@ class HyperLogLog:
         if rank > self._registers[index]:
             self._registers[index] = rank
 
+    def add_many(self, items: typing.Iterable[object]) -> None:
+        """Batch insert: vectorized index/rank, scatter via maximum.at.
+
+        Register maxima are idempotent, so duplicates are dropped at C
+        speed before hashing — repeated-item streams hash once per
+        distinct item, with registers byte-identical to a loop of add.
+        """
+        if not isinstance(items, np.ndarray):
+            try:
+                items = list(set(items))
+            except TypeError:  # unhashable items: hash the raw stream
+                items = list(items)
+        codes = encode_items(items)
+        if codes.size == 0:
+            return
+        hashed = mix64(codes, self.seed)
+        tail_bits = 64 - self.precision
+        index = (hashed >> np.uint64(tail_bits)).astype(np.int64)
+        remaining = hashed & np.uint64((1 << tail_bits) - 1)
+        rank = (tail_bits - bit_length_u64(remaining) + 1).astype(np.uint8)
+        np.maximum.at(self._registers, index, rank)
+
     def cardinality(self) -> float:
         """The estimated number of distinct items added."""
         m = self.register_count
-        harmonic = sum(2.0 ** -register for register in self._registers)
+        harmonic = float(
+            np.ldexp(1.0, -self._registers.astype(np.int64)).sum()
+        )
         raw = _alpha(m) * m * m / harmonic
         if raw <= 2.5 * m:
-            zeros = self._registers.count(0)
+            zeros = int(np.count_nonzero(self._registers == 0))
             if zeros:
                 return m * math.log(m / zeros)  # linear counting
         return raw
@@ -60,9 +97,7 @@ class HyperLogLog:
         if (self.precision, self.seed) != (other.precision, other.seed):
             raise ValueError("can only merge HLLs with identical parameters")
         merged = HyperLogLog(self.precision, self.seed)
-        merged._registers = bytearray(
-            max(a, b) for a, b in zip(self._registers, other._registers)
-        )
+        merged._registers = np.maximum(self._registers, other._registers)
         return merged
 
     @property

@@ -12,6 +12,8 @@ from __future__ import annotations
 import random
 import typing
 
+import numpy as np
+
 __all__ = ["QuantileSketch"]
 
 
@@ -31,31 +33,63 @@ class QuantileSketch:
         self.count += 1
         self._compact()
 
+    def add_many(self, values: typing.Iterable[float]) -> None:
+        """Batch ingest, state-identical to a loop of :meth:`add`.
+
+        The level-0 buffer is filled in chunks up to the compaction
+        trigger point (``capacity + 1`` items), so compactions fire on
+        exactly the same buffer contents — and draw the same promotion
+        parities — as sequential ingestion.
+        """
+        if isinstance(values, np.ndarray):
+            batch = values.astype(float).ravel().tolist()
+        else:
+            batch = [float(value) for value in values]
+        cursor, total = 0, len(batch)
+        while cursor < total:
+            buffer = self._levels[0]
+            room = self.capacity + 1 - len(buffer)
+            chunk = batch[cursor : cursor + room]
+            buffer.extend(chunk)
+            self.count += len(chunk)
+            cursor += len(chunk)
+            if len(buffer) > self.capacity:
+                self._compact()
+
     def extend(self, values: typing.Iterable[float]) -> None:
-        for value in values:
-            self.add(value)
+        self.add_many(values)
 
     def quantile(self, q: float) -> float:
         """The value at rank fraction ``q`` in [0, 1]."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
+        return float(self.quantile_many([q])[0])
+
+    def quantile_many(self, qs: typing.Iterable[float]) -> np.ndarray:
+        """Vectorized :meth:`quantile` over an array of rank fractions."""
+        qs = np.asarray(list(qs) if not isinstance(qs, np.ndarray) else qs, float)
+        if np.any((qs < 0.0) | (qs > 1.0)):
+            raise ValueError("q must be in [0, 1]")
         if self.count == 0:
             raise ValueError("quantile of an empty sketch")
-        weighted = self._weighted_items()
-        weighted.sort(key=lambda pair: pair[0])
-        target = q * self.count
-        running = 0.0
-        for value, weight in weighted:
-            running += weight
-            if running >= target:
-                return value
-        return weighted[-1][0]
+        values, cumulative = self._sorted_cumulative()
+        indices = np.searchsorted(cumulative, qs * self.count, side="left")
+        return values[np.minimum(indices, len(values) - 1)]
 
     def rank(self, value: float) -> float:
         """The approximate fraction of items <= ``value``."""
+        return float(self.rank_many([value])[0])
+
+    def rank_many(self, probes: typing.Iterable[float]) -> np.ndarray:
+        """Vectorized :meth:`rank` over an array of probe values."""
         if self.count == 0:
             raise ValueError("rank of an empty sketch")
-        below = sum(w for v, w in self._weighted_items() if v <= value)
+        probes = np.asarray(
+            list(probes) if not isinstance(probes, np.ndarray) else probes, float
+        )
+        values, cumulative = self._sorted_cumulative()
+        indices = np.searchsorted(values, probes, side="right")
+        below = np.where(indices > 0, cumulative[np.maximum(indices - 1, 0)], 0.0)
         return below / self.count
 
     def merge(self, other: "QuantileSketch") -> "QuantileSketch":
@@ -102,3 +136,21 @@ class QuantileSketch:
             for level, buffer in enumerate(self._levels)
             for value in buffer
         ]
+
+    def _sorted_cumulative(self) -> typing.Tuple[np.ndarray, np.ndarray]:
+        """Stored values sorted ascending, with cumulative weights."""
+        values = np.concatenate(
+            [np.asarray(buffer, float) for buffer in self._levels if buffer]
+            or [np.zeros(0)]
+        )
+        weights = np.concatenate(
+            [
+                np.full(len(buffer), float(1 << level))
+                for level, buffer in enumerate(self._levels)
+                if buffer
+            ]
+            or [np.zeros(0)]
+        )
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        return values, np.cumsum(weights[order])

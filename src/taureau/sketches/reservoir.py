@@ -32,6 +32,28 @@ class ReservoirSample:
         if index < self.k:
             self._items[index] = item
 
+    def add_many(self, items: typing.Iterable[object]) -> None:
+        """Batch ingest, state- and RNG-identical to a loop of :meth:`add`.
+
+        Vitter's R consumes one random draw per post-fill item, so the
+        draw sequence is part of the determinism contract; this inlines
+        the per-item logic with hoisted locals rather than re-deriving
+        acceptance probabilities.
+        """
+        rng = self.rng
+        bucket = self._items
+        k = self.k
+        seen = self.seen
+        for item in items:
+            seen += 1
+            if len(bucket) < k:
+                bucket.append(item)
+            else:
+                index = rng.randrange(seen)
+                if index < k:
+                    bucket[index] = item
+        self.seen = seen
+
     def sample(self) -> list:
         return list(self._items)
 

@@ -41,9 +41,60 @@ class SpaceSaving:
         self._counts[item] = floor + count
         self._errors[item] = floor
 
+    def add_many(
+        self,
+        items: typing.Iterable[object],
+        counts: typing.Optional[typing.Iterable[int]] = None,
+    ) -> None:
+        """Batch ingest, state-identical to a loop of :meth:`add`.
+
+        When the batch introduces no evictions (every distinct new item
+        fits in a free counter) the updates commute, so they are applied
+        pre-aggregated in first-occurrence order — one dict operation
+        per distinct item instead of one min-scan per stream item.
+        Otherwise the order-dependent eviction semantics are preserved
+        by falling back to the sequential path.
+        """
+        items = list(items)
+        if counts is None:
+            aggregated: dict = {}
+            for item in items:
+                aggregated[item] = aggregated.get(item, 0) + 1
+        else:
+            counts = [int(count) for count in counts]
+            if len(counts) != len(items):
+                raise ValueError("counts must align one-to-one with items")
+            aggregated = {}
+            for item, count in zip(items, counts):
+                if count <= 0:
+                    raise ValueError("count must be positive")
+                aggregated[item] = aggregated.get(item, 0) + count
+        tracked = self._counts
+        fresh = sum(1 for item in aggregated if item not in tracked)
+        if len(tracked) + fresh <= self.k:
+            for item, count in aggregated.items():
+                if item in tracked:
+                    tracked[item] += count
+                else:
+                    tracked[item] = count
+                    self._errors[item] = 0
+            self.total += sum(aggregated.values())
+            return
+        if counts is None:
+            for item in items:
+                self.add(item)
+        else:
+            for item, count in zip(items, counts):
+                self.add(item, count)
+
     def estimate(self, item: object) -> int:
         """Estimated count (upper bound; 0 if not tracked)."""
         return self._counts.get(item, 0)
+
+    def estimate_many(self, items: typing.Iterable[object]) -> list:
+        """Estimates aligned with ``items`` (0 for untracked items)."""
+        counts = self._counts
+        return [counts.get(item, 0) for item in items]
 
     def guaranteed_count(self, item: object) -> int:
         """A lower bound on the item's true count."""

@@ -134,3 +134,43 @@ class TestShufflePerformance:
         blob_time = run(lambda sim: BlobShuffle(BlobStore(sim)))
         jiffy_time = run(lambda sim: JiffyShuffle(jiffy_client(sim)))
         assert jiffy_time < blob_time
+
+
+class TestPartitioning:
+    def test_partition_pairs_covers_all_pairs_and_is_stable(self):
+        from taureau.analytics.shuffle import partition_pairs
+
+        pairs = [(f"k{i}", i) for i in range(200)]
+        buckets = partition_pairs(pairs, 7)
+        assert sorted(p for bucket in buckets.values() for p in bucket) == sorted(pairs)
+        assert set(buckets) <= set(range(7))
+        assert buckets == partition_pairs(pairs, 7)  # deterministic
+
+    def test_partition_pairs_validation_and_empty(self):
+        from taureau.analytics.shuffle import partition_pairs
+
+        assert partition_pairs([], 4) == {}
+        with pytest.raises(ValueError):
+            partition_pairs([("k", 1)], 0)
+
+
+class TestHeavyHitters:
+    def test_sketched_mapper_finds_the_heavy_hitter(self):
+        from taureau.analytics import heavy_hitter_reduce, make_heavy_hitter_map
+
+        sim, platform = make_platform()
+        corpus = [
+            " ".join(["hot"] * 50 + [f"cold{i}" for i in range(10)]),
+            " ".join(["hot"] * 30 + [f"rare{i}" for i in range(10)]),
+        ]
+        job = MapReduceJob(
+            platform,
+            BlobShuffle(BlobStore(sim)),
+            make_heavy_hitter_map(k=16),
+            heavy_hitter_reduce,
+            partitions=2,
+        )
+        result = job.run_sync(corpus)
+        top = result["heavy-hitters"]
+        assert top[0][0] == "hot"
+        assert top[0][1] >= 80

@@ -161,3 +161,117 @@ class TestFunctionsRuntime:
             PulsarFunction(
                 name="f", process=lambda p, c: None, input_topics=["x"], parallelism=0
             )
+
+
+class TestBatchFunctions:
+    def test_same_instant_messages_coalesce_into_one_batch(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in")
+        batches = []
+        runtime.deploy(
+            PulsarFunction(
+                name="batched",
+                process_batch=lambda payloads, ctx: batches.append(list(payloads)),
+                input_topics=["in"],
+            )
+        )
+        cluster.publish_all("in", ["a", "b", "c"])
+        sim.run()
+        assert sorted(sum(batches, [])) == ["a", "b", "c"]
+        # Everything published at one simulated instant arrives together.
+        assert len(batches) < 3
+        assert runtime.metrics.counter("batched.processed").value == 3
+        assert runtime.metrics.counter("batched.batches").value == len(batches)
+
+    def test_batch_results_fan_out_to_output_topic(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in")
+        cluster.create_topic("out")
+        runtime.deploy(
+            PulsarFunction(
+                name="upper",
+                process_batch=lambda payloads, ctx: [p.upper() for p in payloads],
+                input_topics=["in"],
+                output_topic="out",
+            )
+        )
+        results = []
+        cluster.subscribe("out", "check", listener=lambda m, c: results.append(m.payload))
+        cluster.publish_all("in", ["a", "b"])
+        sim.run()
+        assert sorted(results) == ["A", "B"]
+
+    def test_max_batch_caps_delivery_size(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in")
+        batches = []
+        runtime.deploy(
+            PulsarFunction(
+                name="capped",
+                process_batch=lambda payloads, ctx: batches.append(len(payloads)),
+                input_topics=["in"],
+                max_batch=4,
+            )
+        )
+        cluster.publish_all("in", range(10))
+        sim.run()
+        assert sum(batches) == 10
+        assert max(batches) <= 4
+
+    def test_poison_message_does_not_dead_letter_batchmates(self):
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("in")
+        good = []
+
+        def process_batch(payloads, ctx):
+            if "bad" in payloads:
+                raise ValueError("poison")
+            good.extend(payloads)
+
+        runtime.deploy(
+            PulsarFunction(
+                name="boom", process_batch=process_batch, input_topics=["in"]
+            )
+        )
+        cluster.publish_all("in", ["ok1", "bad", "ok2"])
+        sim.run()
+        # The batch fails once, splits, and the innocent messages succeed.
+        assert sorted(good) == ["ok1", "ok2"]
+        assert runtime.metrics.counter("boom.dead_lettered").value == 1
+
+    def test_count_min_ingests_batches_via_add_many(self):
+        from taureau.sketches import CountMinSketch
+
+        sim, cluster, runtime = make_runtime()
+        cluster.create_topic("words")
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        runtime.deploy(
+            PulsarFunction(
+                name="count-min",
+                process_batch=lambda payloads, ctx: sketch.add_many(payloads),
+                input_topics=["words"],
+            )
+        )
+        stream = ["cat"] * 10 + ["dog"] * 3 + ["cat"] * 5
+        cluster.publish_all("words", stream)
+        sim.run()
+        assert sketch.estimate("cat") >= 15
+        assert sketch.estimate("dog") >= 3
+        # Batch ingestion leaves the exact same table a scalar loop would.
+        scalar = CountMinSketch(epsilon=0.01, delta=0.01)
+        for word in stream:
+            scalar.add(word)
+        assert sketch.estimate_many(stream).tolist() == [
+            scalar.estimate(word) for word in stream
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PulsarFunction(name="f", input_topics=["x"])  # no process at all
+        with pytest.raises(ValueError):
+            PulsarFunction(
+                name="f",
+                process_batch=lambda p, c: None,
+                input_topics=["x"],
+                max_batch=0,
+            )

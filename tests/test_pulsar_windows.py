@@ -112,3 +112,72 @@ class TestSlidingWindows:
             WindowedAggregator(
                 runtime, "bad2", ["in"], "out", window_s=5.0, slide_s=10.0
             )
+
+
+class TestBatchWindows:
+    def test_add_many_aggregator_matches_scalar_counts(self):
+        sim, cluster, runtime, results = make_stack()
+        WindowedAggregator(
+            runtime,
+            "batch-counter",
+            ["in"],
+            "out",
+            window_s=10.0,
+            add_many=lambda acc, payloads: acc + len(payloads),
+        )
+        publish_at(sim, cluster, [(1.0, "a"), (1.0, "b"), (12.0, "c")])
+        sim.run(until=25.0)
+        assert [(r.window_start, r.value, r.count) for r in results] == [
+            (0.0, 2, 2),
+            (10.0, 1, 1),
+        ]
+
+    def test_sketch_add_many_as_batch_aggregate(self):
+        from taureau.sketches import CountMinSketch
+
+        sim, cluster, runtime, results = make_stack()
+
+        def fold(sketch, payloads):
+            sketch.add_many(payloads)
+            return sketch
+
+        WindowedAggregator(
+            runtime,
+            "window-cm",
+            ["in"],
+            "out",
+            window_s=10.0,
+            initial=lambda: CountMinSketch(width=256, depth=4),
+            add_many=fold,
+            finalize=lambda sketch: sketch.estimate("cat"),
+        )
+        publish_at(
+            sim,
+            cluster,
+            [(1.0, "cat"), (1.0, "cat"), (1.0, "dog"), (12.0, "cat")],
+        )
+        sim.run(until=25.0)
+        assert [(r.window_start, r.value) for r in results] == [
+            (0.0, 2),
+            (10.0, 1),
+        ]
+
+    def test_keyed_batch_windows_emit_per_key(self):
+        sim, cluster, runtime, results = make_stack()
+        WindowedAggregator(
+            runtime,
+            "keyed-batch",
+            ["in"],
+            "out",
+            window_s=10.0,
+            key_fn=lambda payload: payload[0],
+            add_many=lambda acc, payloads: acc + len(payloads),
+        )
+        publish_at(
+            sim, cluster, [(1.0, "x1"), (1.0, "x2"), (1.0, "y1")]
+        )
+        sim.run(until=15.0)
+        assert sorted((r.key, r.value) for r in results) == [
+            ("x", 2),
+            ("y", 1),
+        ]

@@ -316,3 +316,15 @@ def test_any_of_propagates_first_failure():
             return f"caught {exc}"
 
     assert sim.run(until=sim.process(waiter())) == "caught first"
+
+
+def test_step_with_empty_heap_raises_simulation_error():
+    sim = Simulation()
+    with pytest.raises(SimulationError, match="no scheduled work"):
+        sim.step()
+    # The error must be our domain error, not a bare heap IndexError.
+    sim.schedule_after(1.0, lambda: None)
+    sim.step()
+    assert sim.now == 1.0
+    with pytest.raises(SimulationError):
+        sim.step()

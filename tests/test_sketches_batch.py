@@ -1,0 +1,369 @@
+"""Batch-vs-scalar equivalence for the whole sketch family.
+
+The fasthash kernel contract: ``add_many`` must leave every sketch in a
+state *identical* to a loop of scalar ``add`` — same tables, same dict
+orders, same RNG draws — and sketches filled by batch must merge exactly
+like sketches filled item by item.  These are the tests the vectorized
+data plane leans on.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from taureau.sketches import (
+    BloomFilter,
+    CountMinSketch,
+    FrequentDirections,
+    HyperLogLog,
+    QuantileSketch,
+    ReservoirSample,
+    SpaceSaving,
+    encode_item,
+    encode_items,
+    mix64,
+    mix64_one,
+)
+
+items = st.lists(
+    st.one_of(
+        st.text(min_size=1, max_size=8),
+        st.integers(min_value=-(2**70), max_value=2**70),
+        st.binary(min_size=1, max_size=8),
+    ),
+    min_size=0,
+    max_size=300,
+)
+
+
+def zipf_stream(seed, n, vocabulary=500):
+    rng = random.Random(seed)
+    weights = [1.0 / (rank**1.2) for rank in range(1, vocabulary + 1)]
+    return rng.choices(
+        [f"w{i}" for i in range(vocabulary)], weights=weights, k=n
+    )
+
+
+class TestKernel:
+    @given(stream=items, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_mix64_matches_scalar_twin(self, stream, seed):
+        codes = encode_items(stream)
+        mixed = mix64(codes, seed)
+        for code, value in zip(codes.tolist(), mixed.tolist()):
+            assert value == mix64_one(code, seed)
+
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_encode_items_matches_encode_item(self, stream):
+        codes = encode_items(stream)
+        assert codes.dtype == np.uint64
+        for item, code in zip(stream, codes.tolist()):
+            assert code == encode_item(item)
+
+    def test_int_array_encoding_matches_python_ints(self):
+        values = [-5, 0, 7, 2**63, -(2**63)]
+        from_array = encode_items(np.array(values[:3], dtype=np.int64))
+        from_list = encode_items(values[:3])
+        assert np.array_equal(from_array, from_list)
+        assert encode_item(-5) == (-5) % (1 << 64)
+
+
+class TestCountMinBatch:
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_add_many_equals_add_loop(self, stream):
+        scalar = CountMinSketch(width=64, depth=4)
+        batch = CountMinSketch(width=64, depth=4)
+        for item in stream:
+            scalar.add(item)
+        batch.add_many(stream)
+        assert np.array_equal(scalar._table, batch._table)
+        assert scalar.total == batch.total
+        estimates = batch.estimate_many(stream)
+        for item, estimate in zip(stream, estimates.tolist()):
+            assert estimate == scalar.estimate(item)
+
+    @given(stream=items)
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_add_many_equals_add_loop(self, stream):
+        counts = [(index % 5) + 1 for index in range(len(stream))]
+        scalar = CountMinSketch(width=64, depth=4)
+        batch = CountMinSketch(width=64, depth=4)
+        for item, count in zip(stream, counts):
+            scalar.add(item, count)
+        batch.add_many(stream, counts)
+        assert np.array_equal(scalar._table, batch._table)
+        assert scalar.total == batch.total
+
+    @given(left=items, right=items)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_after_batch_equals_merge_after_loop(self, left, right):
+        batch_a = CountMinSketch(width=64, depth=4)
+        batch_b = CountMinSketch(width=64, depth=4)
+        batch_a.add_many(left)
+        batch_b.add_many(right)
+        scalar = CountMinSketch(width=64, depth=4)
+        for item in left + right:
+            scalar.add(item)
+        merged = batch_a.merge(batch_b)
+        assert np.array_equal(merged._table, scalar._table)
+        assert merged.total == scalar.total
+
+    def test_heavy_hitters_uses_batch_estimates(self):
+        sketch = CountMinSketch(width=500, depth=5)
+        sketch.add_many(["hot"] * 90 + [f"cold{i}" for i in range(10)])
+        hot = sketch.heavy_hitters(
+            ["hot", "cold0", "cold5"], threshold_fraction=0.5
+        )
+        assert hot == ["hot"]
+
+    def test_weighted_validation(self):
+        sketch = CountMinSketch(width=64, depth=4)
+        with pytest.raises(ValueError):
+            sketch.add_many(["a", "b"], [1])
+        with pytest.raises(ValueError):
+            sketch.add_many(["a"], [-1])
+
+
+class TestBloomBatch:
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_add_many_equals_add_loop(self, stream):
+        scalar = BloomFilter(capacity=256, fp_rate=0.01)
+        batch = BloomFilter(capacity=256, fp_rate=0.01)
+        for item in stream:
+            scalar.add(item)
+        batch.add_many(stream)
+        assert np.array_equal(scalar._bits, batch._bits)
+        assert scalar.inserted == batch.inserted
+        membership = batch.contains_many(stream)
+        assert membership.all()
+        for item, present in zip(stream, membership.tolist()):
+            assert present == (item in scalar)
+
+    @given(left=items, right=items)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_after_batch_equals_merge_after_loop(self, left, right):
+        batch_a = BloomFilter(capacity=256, fp_rate=0.01)
+        batch_b = BloomFilter(capacity=256, fp_rate=0.01)
+        batch_a.add_many(left)
+        batch_b.add_many(right)
+        scalar = BloomFilter(capacity=256, fp_rate=0.01)
+        for item in left + right:
+            scalar.add(item)
+        merged = batch_a.merge(batch_b)
+        assert np.array_equal(merged._bits, scalar._bits)
+        assert merged.inserted == scalar.inserted
+
+
+class TestHllBatch:
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_add_many_equals_add_loop(self, stream):
+        scalar = HyperLogLog(precision=10)
+        batch = HyperLogLog(precision=10)
+        for item in stream:
+            scalar.add(item)
+        batch.add_many(stream)
+        assert np.array_equal(scalar._registers, batch._registers)
+        assert scalar.cardinality() == batch.cardinality()
+
+    @given(left=items, right=items)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_after_batch_equals_merge_after_loop(self, left, right):
+        batch_a, batch_b = HyperLogLog(precision=10), HyperLogLog(precision=10)
+        batch_a.add_many(left)
+        batch_b.add_many(right)
+        scalar = HyperLogLog(precision=10)
+        for item in left + right:
+            scalar.add(item)
+        assert np.array_equal(
+            batch_a.merge(batch_b)._registers, scalar._registers
+        )
+
+
+class TestSpaceSavingBatch:
+    @given(stream=items)
+    @settings(max_examples=50, deadline=None)
+    def test_add_many_equals_add_loop(self, stream):
+        scalar, batch = SpaceSaving(k=8), SpaceSaving(k=8)
+        for item in stream:
+            scalar.add(item)
+        batch.add_many(stream)
+        # Dict *order* matters: it breaks eviction ties on later adds.
+        assert list(scalar._counts.items()) == list(batch._counts.items())
+        assert scalar._errors == batch._errors
+        assert scalar.total == batch.total
+        assert batch.estimate_many(stream) == [
+            scalar.estimate(item) for item in stream
+        ]
+
+    def test_fast_path_and_eviction_path_agree_with_loop(self):
+        stream = zipf_stream(3, 4000, vocabulary=300)
+        for k in (8, 1000):  # k=1000 exercises the no-eviction fast path
+            scalar, batch = SpaceSaving(k=k), SpaceSaving(k=k)
+            for item in stream:
+                scalar.add(item)
+            batch.add_many(stream)
+            assert list(scalar._counts.items()) == list(batch._counts.items())
+            assert scalar._errors == batch._errors
+
+    @given(stream=items)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_after_batch_equals_merge_after_loop(self, stream):
+        half = len(stream) // 2
+        batch_a, batch_b = SpaceSaving(k=8), SpaceSaving(k=8)
+        batch_a.add_many(stream[:half])
+        batch_b.add_many(stream[half:])
+        scalar_a, scalar_b = SpaceSaving(k=8), SpaceSaving(k=8)
+        for item in stream[:half]:
+            scalar_a.add(item)
+        for item in stream[half:]:
+            scalar_b.add(item)
+        merged_batch = batch_a.merge(batch_b)
+        merged_scalar = scalar_a.merge(scalar_b)
+        assert merged_batch._counts == merged_scalar._counts
+        assert merged_batch._errors == merged_scalar._errors
+
+    def test_weighted_add_many_validation(self):
+        sketch = SpaceSaving(k=4)
+        with pytest.raises(ValueError):
+            sketch.add_many(["a"], [0])
+        with pytest.raises(ValueError):
+            sketch.add_many(["a", "b"], [1])
+
+
+class TestQuantileBatch:
+    values = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=0,
+        max_size=500,
+    )
+
+    @given(stream=values, seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_add_many_equals_add_loop(self, stream, seed):
+        scalar = QuantileSketch(capacity=32, rng=random.Random(seed))
+        batch = QuantileSketch(capacity=32, rng=random.Random(seed))
+        for value in stream:
+            scalar.add(value)
+        batch.add_many(stream)
+        assert scalar._levels == batch._levels
+        assert scalar.count == batch.count
+
+    def test_batched_compactions_match_sequential_rng_draws(self):
+        rng = random.Random(11)
+        stream = [rng.gauss(0, 1) for __ in range(20_000)]
+        scalar = QuantileSketch(capacity=64, rng=random.Random(4))
+        batch = QuantileSketch(capacity=64, rng=random.Random(4))
+        for value in stream:
+            scalar.add(value)
+        batch.add_many(np.asarray(stream))
+        assert scalar._levels == batch._levels
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert scalar.quantile(q) == batch.quantile(q)
+
+    def test_vectorized_queries_match_scalar(self):
+        rng = random.Random(5)
+        sketch = QuantileSketch(capacity=64, rng=random.Random(6))
+        sketch.add_many([rng.uniform(0, 1) for __ in range(5000)])
+        qs = [0.0, 0.1, 0.5, 0.9, 1.0]
+        assert sketch.quantile_many(qs).tolist() == [
+            sketch.quantile(q) for q in qs
+        ]
+        probes = [0.1, 0.5, 0.9]
+        assert sketch.rank_many(probes).tolist() == [
+            sketch.rank(p) for p in probes
+        ]
+
+    @given(stream=values)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_after_batch_equals_merge_after_loop(self, stream):
+        half = len(stream) // 2
+        batch_a = QuantileSketch(capacity=32, rng=random.Random(1))
+        batch_b = QuantileSketch(capacity=32, rng=random.Random(2))
+        batch_a.add_many(stream[:half])
+        batch_b.add_many(stream[half:])
+        scalar_a = QuantileSketch(capacity=32, rng=random.Random(1))
+        scalar_b = QuantileSketch(capacity=32, rng=random.Random(2))
+        for value in stream[:half]:
+            scalar_a.add(value)
+        for value in stream[half:]:
+            scalar_b.add(value)
+        merged_batch = batch_a.merge(batch_b)
+        merged_scalar = scalar_a.merge(scalar_b)
+        assert merged_batch.count == merged_scalar.count
+
+
+class TestReservoirBatch:
+    @given(stream=items, seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_add_many_equals_add_loop(self, stream, seed):
+        scalar = ReservoirSample(8, random.Random(seed))
+        batch = ReservoirSample(8, random.Random(seed))
+        for item in stream:
+            scalar.add(item)
+        batch.add_many(stream)
+        assert scalar._items == batch._items
+        assert scalar.seen == batch.seen
+
+    def test_merge_after_batch_equals_merge_after_loop(self):
+        stream = list(range(500))
+        batch_a = ReservoirSample(8, random.Random(1))
+        batch_b = ReservoirSample(8, random.Random(2))
+        batch_a.add_many(stream[:250])
+        batch_b.add_many(stream[250:])
+        scalar_a = ReservoirSample(8, random.Random(1))
+        scalar_b = ReservoirSample(8, random.Random(2))
+        for item in stream[:250]:
+            scalar_a.add(item)
+        for item in stream[250:]:
+            scalar_b.add(item)
+        assert batch_a._items == scalar_a._items
+        assert batch_b._items == scalar_b._items
+        merged_batch = batch_a.merge(batch_b)
+        assert merged_batch.seen == 500
+        assert len(merged_batch) == 8
+
+
+class TestFrequentDirectionsBatch:
+    def test_add_many_equals_update_loop(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((700, 24))
+        scalar = FrequentDirections(sketch_rows=10, dimensions=24)
+        batch = FrequentDirections(sketch_rows=10, dimensions=24)
+        for row in matrix:
+            scalar.update(row)
+        batch.add_many(matrix)
+        assert np.array_equal(scalar._buffer, batch._buffer)
+        assert scalar._filled == batch._filled
+        assert scalar.rows_seen == batch.rows_seen
+        assert scalar.squared_frobenius == batch.squared_frobenius
+
+    def test_merge_after_batch_equals_merge_after_loop(self):
+        rng = np.random.default_rng(1)
+        left = rng.standard_normal((300, 16))
+        right = rng.standard_normal((300, 16))
+        batch_a = FrequentDirections(8, 16)
+        batch_b = FrequentDirections(8, 16)
+        batch_a.add_many(left)
+        batch_b.add_many(right)
+        scalar_a = FrequentDirections(8, 16)
+        scalar_b = FrequentDirections(8, 16)
+        for row in left:
+            scalar_a.update(row)
+        for row in right:
+            scalar_b.update(row)
+        merged_batch = batch_a.merge(batch_b)
+        merged_scalar = scalar_a.merge(scalar_b)
+        assert np.array_equal(merged_batch._buffer, merged_scalar._buffer)
+        assert merged_batch.rows_seen == merged_scalar.rows_seen
+
+    def test_shape_validation(self):
+        fd = FrequentDirections(4, 8)
+        with pytest.raises(ValueError):
+            fd.add_many(np.zeros((3, 5)))
