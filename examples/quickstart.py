@@ -4,37 +4,34 @@ Run with::
 
     python examples/quickstart.py
 
-Covers the §2 definitional basics in ~60 lines: register a handler,
-invoke it, watch the cold-start penalty disappear on the second call,
-and read the fine-grained bill.
+Covers the §2 definitional basics in ~60 lines: stand up the platform
+through the :class:`taureau.Platform` facade, register a handler, invoke
+it, watch the cold-start penalty disappear on the second call, read the
+fine-grained bill — and see exactly *where* the latency went via the
+built-in distributed trace and its critical-path decomposition.
 """
 
-from taureau.core import FaasPlatform, FunctionSpec
-from taureau.sim import Simulation
+import taureau
 
 
 def main():
-    # One shared simulated timeline drives everything.
-    sim = Simulation(seed=42)
-    platform = FaasPlatform(sim)
+    # The facade wires the simulation, FaaS platform, and tracer together.
+    app = taureau.Platform(seed=42)
 
     # A handler is plain Python; ctx.charge() declares simulated compute.
+    @app.function("greet", memory_mb=256, timeout_s=30)
     def greet(event, ctx):
         ctx.charge(0.120)  # 120 ms of "work"
         return f"Hello, {event['name']}! (invocation {ctx.invocation_id})"
 
-    platform.register(
-        FunctionSpec(name="greet", handler=greet, memory_mb=256, timeout_s=30)
-    )
-
     print("== first call (cold) ==")
-    first = platform.invoke_sync("greet", {"name": "Picasso"})
+    first = app.invoke_sync("greet", {"name": "Picasso"})
     print(f"  response : {first.response}")
     print(f"  cold     : {first.cold_start}")
     print(f"  latency  : {first.end_to_end_latency_s * 1000:.1f} ms")
 
     print("== second call (warm) ==")
-    second = platform.invoke_sync("greet", {"name": "Le Taureau"})
+    second = app.invoke_sync("greet", {"name": "Le Taureau"})
     print(f"  response : {second.response}")
     print(f"  cold     : {second.cold_start}")
     print(f"  latency  : {second.end_to_end_latency_s * 1000:.1f} ms")
@@ -48,8 +45,17 @@ def main():
             f"  {record.invocation_id}: billed {record.billed_duration_s:.1f}s "
             f"-> ${record.cost_usd:.9f}"
         )
-    print(f"  total: ${platform.total_cost_usd():.9f}")
+    print(f"  total: ${app.total_cost_usd():.9f}")
 
+    print("== where did the cold latency go? (the trace) ==")
+    trace = app.trace(first.trace_id)
+    print(trace.render())
+    path = trace.critical_path()
+    print(path.render())
+
+    # The decomposition is exact: critical-path self-times sum to the
+    # recorded end-to-end latency, so nothing hides off the books.
+    assert abs(path.total_s - first.end_to_end_latency_s) < 1e-9
     assert not second.cold_start and speedup > 2
     print("quickstart OK")
 

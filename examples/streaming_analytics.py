@@ -5,27 +5,30 @@ Run with::
     python examples/streaming_analytics.py
 
 Builds the full Figure 1 stack (brokers over replicated bookie ledgers)
-and deploys the Figure 3 Count-Min function plus a SpaceSaving top-k
-function over a zipfian click stream, then kills a bookie mid-stream to
-show replicated delivery carrying on.
+through the :class:`taureau.Platform` facade and deploys the Figure 3
+Count-Min function plus a SpaceSaving top-k function over a zipfian
+click stream, then kills a bookie mid-stream to show replicated delivery
+carrying on.  The built-in tracer follows one click end to end —
+publish → ledger persist → dispatch → stream function — and prints the
+rendered tree.
 """
 
 import collections
 import random
 
-from taureau.pulsar import FunctionsRuntime, PulsarCluster, PulsarFunction
-from taureau.sim import Simulation
+import taureau
+from taureau.pulsar import PulsarFunction
 from taureau.sketches import CountMinSketch, SpaceSaving
 
 
 def main():
-    sim = Simulation(seed=7)
-    cluster = PulsarCluster(
-        sim, broker_count=3, bookie_count=3, write_quorum=2, ack_quorum=2
+    app = taureau.Platform(seed=7)
+    runtime = app.with_pulsar(
+        broker_count=3, bookie_count=3, write_quorum=2, ack_quorum=2
     )
+    cluster = runtime.cluster
     cluster.create_topic("clicks", partitions=3)
     cluster.create_topic("alerts")
-    runtime = FunctionsRuntime(cluster)
 
     # --- Figure 3: Count-Min sketch inside a Pulsar function -------------
     sketch = CountMinSketch(epsilon=0.005, delta=0.01)
@@ -61,12 +64,17 @@ def main():
     truth = collections.Counter(stream)
 
     producer = cluster.producer("clicks")
-    for index, page in enumerate(stream):
+    first_send = None
+    for page in stream[:2000]:
+        send = producer.send(page, key=page)
+        if first_send is None:
+            first_send = send
+    app.run()  # drain the first half before the fault...
+    # Mid-stream bookie failure: replication keeps delivery whole.
+    cluster.fail_bookie(cluster.bookies[0])
+    for page in stream[2000:]:
         producer.send(page, key=page)
-        if index == 2000:
-            # Mid-stream bookie failure: replication keeps delivery whole.
-            cluster.fail_bookie(cluster.bookies[0])
-    sim.run()
+    app.run()
 
     print("== stream processed ==")
     print(f"  events        : {len(stream)}")
@@ -81,6 +89,14 @@ def main():
     for alert in alerts:
         print(f"  {alert}")
     assert sketch.estimate(hottest) >= truth[hottest]  # CM never undercounts
+
+    # --- one click, end to end, through the trace -------------------------
+    print("== one click's journey (publish -> persist -> dispatch "
+          "-> function) ==")
+    first_message = first_send.value
+    trace = app.trace(first_message.trace.trace_id)
+    print(trace.render())
+    assert trace.span_named("pulsar.fn.count-min") is not None
     print("streaming analytics OK (survived a bookie crash mid-stream)")
 
 

@@ -21,4 +21,7 @@ python -m pytest -x -q
 echo "== bench smoke: batch data plane =="
 python benchmarks/bench_sketch_batch.py --smoke
 
+echo "== trace smoke: end-to-end tracing =="
+python scripts/trace_smoke.py
+
 echo "check.sh: all gates passed"

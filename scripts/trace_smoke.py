@@ -1,0 +1,95 @@
+"""Trace smoke gate: a traced end-to-end workflow must export cleanly.
+
+Run from the repo root (check.sh does)::
+
+    PYTHONPATH=src python scripts/trace_smoke.py
+
+Drives a full FaaS → Jiffy → Pulsar workflow through the
+:class:`taureau.Platform` facade, then asserts the three observability
+contracts the tier-1 gate cares about:
+
+1. the exported Chrome ``trace_event`` document is schema-valid and
+   JSON-serializable;
+2. the critical-path self-times sum exactly to the recorded end-to-end
+   latency;
+3. two same-seed runs export byte-identical trace documents.
+"""
+
+import json
+import sys
+
+import taureau
+from taureau.obs import validate_chrome_trace
+from taureau.pulsar import PulsarFunction
+
+
+def run_workflow(seed: int):
+    """One traced end-to-end workflow; returns (record, trace)."""
+    app = taureau.Platform(seed=seed)
+    app.with_jiffy()
+    runtime = app.with_pulsar()
+    runtime.cluster.create_topic("events")
+    runtime.deploy(
+        PulsarFunction(
+            name="sink",
+            process=lambda payload, ctx: None,
+            input_topics=["events"],
+        )
+    )
+
+    @app.function("workflow")
+    def workflow(event, ctx):
+        scratch = ctx.service("jiffy")
+        scratch.create("/stage", ctx=ctx)
+        scratch.append("/stage", event, ctx=ctx)
+        ctx.service("pulsar").producer("events").send(
+            event, parent=ctx.span_context()
+        )
+        return "done"
+
+    record = app.invoke_sync("workflow", {"payload": "smoke"})
+    app.run()
+    return record, app.trace(record.trace_id)
+
+
+def main() -> int:
+    record, trace = run_workflow(seed=2026)
+
+    document = trace.to_chrome_trace()
+    problems = validate_chrome_trace(document)
+    if problems:
+        print("trace_smoke: exported trace_event document is INVALID:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    encoded = json.dumps(document, sort_keys=True)
+    reparsed_problems = validate_chrome_trace(json.loads(encoded))
+    if reparsed_problems:
+        print("trace_smoke: document broke across a JSON round-trip")
+        return 1
+
+    path = trace.critical_path()
+    if abs(path.total_s - record.end_to_end_latency_s) > 1e-9:
+        print(
+            "trace_smoke: critical-path self-times "
+            f"({path.total_s}) != end-to-end latency "
+            f"({record.end_to_end_latency_s})"
+        )
+        return 1
+
+    _record2, trace2 = run_workflow(seed=2026)
+    encoded2 = json.dumps(trace2.to_chrome_trace(), sort_keys=True)
+    if encoded != encoded2:
+        print("trace_smoke: same-seed runs exported different traces")
+        return 1
+
+    print(
+        f"trace_smoke OK: {len(trace)} spans, "
+        f"{len(document['traceEvents'])} events, "
+        f"critical path {path.total_s * 1000:.3f} ms, deterministic"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,48 @@ A Look Forward" (SIGMOD 2020).  The library provides:
 - :mod:`taureau.jiffy` — an ephemeral-state virtual-memory layer;
 - :mod:`taureau.sketches` — mergeable data sketches;
 - :mod:`taureau.analytics` — serverless analytics workloads;
-- :mod:`taureau.ml` — serverless machine-learning workloads.
+- :mod:`taureau.ml` — serverless machine-learning workloads;
+- :mod:`taureau.obs` — distributed tracing and critical-path analysis.
+
+The stable entry point is :class:`taureau.Platform`, which wires a
+simulation, a tracer, and a FaaS platform together::
+
+    import taureau
+
+    app = taureau.Platform(seed=42)
+
+    @app.function("hello")
+    def hello(event, ctx):
+        ctx.charge(0.01)
+        return "hi"
+
+    record = app.invoke_sync("hello")
+    print(app.trace(record.trace_id).render())
 """
 
+from taureau.facade import Platform
+from taureau.obs import (
+    Span,
+    Trace,
+    Tracer,
+    TraceStore,
+    critical_path,
+    render_tree,
+    to_chrome_trace,
+)
 from taureau.sim import Simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Simulation", "__version__"]
+__all__ = [
+    "Platform",
+    "Simulation",
+    "Span",
+    "Trace",
+    "Tracer",
+    "TraceStore",
+    "critical_path",
+    "render_tree",
+    "to_chrome_trace",
+    "__version__",
+]

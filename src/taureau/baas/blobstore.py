@@ -52,7 +52,7 @@ class BlobStore:
         self.sim = sim
         self.name = name
         self.calibration = calibration
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="baas.blob")
         self._blobs: dict = {}
         self._stored_mb = 0.0
 
@@ -76,7 +76,7 @@ class BlobStore:
             self._stored_mb -= previous.size_mb
         self._blobs[key] = _Blob(value, size, self.sim.now)
         self._stored_mb += size
-        self._charge(ctx, size)
+        self._charge(ctx, size, op="put", key=key)
         self.metrics.counter("puts").add()
         self.metrics.counter("bytes_in_mb").add(size)
         self.metrics.series("stored_mb").record(self.sim.now, self._stored_mb)
@@ -86,13 +86,13 @@ class BlobStore:
         blob = self._blobs.get(key)
         if blob is None:
             raise BlobNotFound(key)
-        self._charge(ctx, blob.size_mb)
+        self._charge(ctx, blob.size_mb, op="get", key=key)
         self.metrics.counter("gets").add()
         self.metrics.counter("bytes_out_mb").add(blob.size_mb)
         return blob.value
 
     def exists(self, key: str, ctx=None) -> bool:
-        self._charge(ctx, 0.0)
+        self._charge(ctx, 0.0, op="exists", key=key)
         return key in self._blobs
 
     def delete(self, key: str, ctx=None) -> None:
@@ -100,13 +100,13 @@ class BlobStore:
         if blob is None:
             raise BlobNotFound(key)
         self._stored_mb -= blob.size_mb
-        self._charge(ctx, 0.0)
+        self._charge(ctx, 0.0, op="delete", key=key)
         self.metrics.counter("deletes").add()
         self.metrics.series("stored_mb").record(self.sim.now, self._stored_mb)
 
     def list_keys(self, prefix: str = "", ctx=None) -> list:
         """All keys with ``prefix``, sorted (one LIST round-trip)."""
-        self._charge(ctx, 0.0)
+        self._charge(ctx, 0.0, op="list", key=prefix)
         return sorted(key for key in self._blobs if key.startswith(prefix))
 
     def size_mb(self, key: str) -> float:
@@ -147,6 +147,12 @@ class BlobStore:
         gb_months = (mb_seconds / 1024.0) / (30 * 24 * 3600.0)
         return gb_months * self.calibration.blob_price_per_gb_month
 
-    def _charge(self, ctx, size_mb: float) -> None:
-        if ctx is not None:
-            ctx.add_io(self.operation_latency_s(size_mb))
+    def _charge(self, ctx, size_mb: float, op: str = "io", key: str = "") -> None:
+        if ctx is None:
+            return
+        latency = self.operation_latency_s(size_mb)
+        charge_io = getattr(ctx, "charge_io", None)
+        if charge_io is not None:
+            charge_io(latency, f"baas.blob.{op}", store=self.name, key=key)
+        else:
+            ctx.add_io(latency)

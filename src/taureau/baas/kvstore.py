@@ -43,7 +43,7 @@ class KvStore:
         self.sim = sim
         self.name = name
         self.calibration = calibration
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="baas.kv")
         self._items: typing.Dict[str, KvItem] = {}
 
     def put(self, key: str, value: object, ctx=None, size_mb=None) -> int:
@@ -52,7 +52,7 @@ class KvStore:
         current = self._items.get(key)
         version = (current.version + 1) if current else 1
         self._items[key] = KvItem(value, version, size)
-        self._charge(ctx, size)
+        self._charge(ctx, size, op="put", key=key)
         self.metrics.counter("puts").add()
         return version
 
@@ -67,7 +67,7 @@ class KvStore:
         """
         current = self._items.get(key)
         current_version = current.version if current else 0
-        self._charge(ctx, 0.0)
+        self._charge(ctx, 0.0, op="put_if_version", key=key)
         if current_version != expected_version:
             self.metrics.counter("condition_failures").add()
             raise ConditionFailed(
@@ -79,7 +79,7 @@ class KvStore:
         item = self._items.get(key)
         if item is None:
             raise KeyError(key)
-        self._charge(ctx, item.size_mb)
+        self._charge(ctx, item.size_mb, op="get", key=key)
         self.metrics.counter("gets").add()
         return item.value
 
@@ -88,7 +88,7 @@ class KvStore:
         item = self._items.get(key)
         if item is None:
             raise KeyError(key)
-        self._charge(ctx, item.size_mb)
+        self._charge(ctx, item.size_mb, op="get", key=key)
         self.metrics.counter("gets").add()
         return item
 
@@ -96,7 +96,7 @@ class KvStore:
         if key not in self._items:
             raise KeyError(key)
         del self._items[key]
-        self._charge(ctx, 0.0)
+        self._charge(ctx, 0.0, op="delete", key=key)
         self.metrics.counter("deletes").add()
 
     def counter_add(self, key: str, delta: float = 1.0, ctx=None) -> float:
@@ -115,6 +115,12 @@ class KvStore:
     def __len__(self) -> int:
         return len(self._items)
 
-    def _charge(self, ctx, size_mb: float) -> None:
-        if ctx is not None:
-            ctx.add_io(self.calibration.kv_transfer_latency(size_mb))
+    def _charge(self, ctx, size_mb: float, op: str = "io", key: str = "") -> None:
+        if ctx is None:
+            return
+        latency = self.calibration.kv_transfer_latency(size_mb)
+        charge_io = getattr(ctx, "charge_io", None)
+        if charge_io is not None:
+            charge_io(latency, f"baas.kv.{op}", store=self.name, key=key)
+        else:
+            ctx.add_io(latency)

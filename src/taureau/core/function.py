@@ -18,6 +18,7 @@ time, transparent retry) are enforced on top of that.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import itertools
@@ -121,6 +122,8 @@ class InvocationContext:
         base_duration: float = 0.0,
         cold_start: bool = False,
         sandbox_id: str = "",
+        tracer=None,
+        span=None,
     ):
         self.invocation_id = invocation_id
         self.function_name = function_name
@@ -134,6 +137,13 @@ class InvocationContext:
         #: handlers must not rely on it for correctness, but caching
         #: layers (Cloudburst-style) key their per-sandbox caches on it.
         self.sandbox_id = sandbox_id
+        #: Tracing: the platform's tracer and this attempt's execution
+        #: span (both ``None`` when tracing is off).  Service clients use
+        #: :meth:`charge_io` to attach child spans; handlers propagate the
+        #: trace downstream explicitly via :meth:`span_context`.
+        self.tracer = tracer
+        self.span = span
+        self._span_stack: list = []
         self._accrued = base_duration
 
     @property
@@ -149,6 +159,62 @@ class InvocationContext:
 
     # Service clients call this; handlers normally never need to.
     add_io = charge
+
+    # ------------------------------------------------------------------
+    # Tracing: the handler-side half of the obs subsystem.  Simulated
+    # time inside a handler is ``start_time + accrued``, so spans opened
+    # here are positioned purely from accrual — deterministic, no wall
+    # clock, replayable under the virtual clock.
+    # ------------------------------------------------------------------
+
+    @property
+    def trace_id(self) -> typing.Optional[str]:
+        return self.span.trace_id if self.span is not None else None
+
+    def span_context(self):
+        """The active span's portable context (or ``None``, untraced).
+
+        Pass this explicitly on payloads/messages to stitch downstream
+        work (Pulsar publishes, nested invokes) into the caller's trace.
+        """
+        active = self._span_stack[-1] if self._span_stack else self.span
+        return active.context() if active is not None else None
+
+    def charge_io(self, seconds: float, name: typing.Optional[str] = None,
+                  **attributes) -> None:
+        """Charge I/O time and record it as a child span when traced."""
+        if self.tracer is None or self.span is None or name is None:
+            self.charge(seconds)
+            return
+        start = self.start_time + self._accrued
+        self.charge(seconds)
+        parent = self._span_stack[-1] if self._span_stack else self.span
+        self.tracer.record(
+            name, parent=parent, start=start,
+            end=self.start_time + self._accrued, **attributes,
+        )
+
+    @contextlib.contextmanager
+    def trace_span(self, name: str, **attributes):
+        """Group handler work under a named child span (no time charged).
+
+        >>> with ctx.trace_span("preprocess"):
+        ...     ctx.charge(0.010)
+        """
+        if self.tracer is None or self.span is None:
+            yield None
+            return
+        parent = self._span_stack[-1] if self._span_stack else self.span
+        span = self.tracer.start_span(
+            name, parent=parent,
+            start=self.start_time + self._accrued, **attributes,
+        )
+        self._span_stack.append(span)
+        try:
+            yield span
+        finally:
+            self._span_stack.pop()
+            span.finish(self.start_time + self._accrued)
 
     def remaining_time_s(self) -> float:
         """Simulated seconds left before the platform kills this run."""
@@ -186,6 +252,10 @@ class InvocationRecord:
     billed_duration_s: float = 0.0
     cost_usd: float = 0.0
     machine_id: str = ""
+    #: The trace this invocation belongs to ("" when tracing is off).
+    #: Carried on both the async event's record and the ``invoke_sync``
+    #: return value — the two paths resolve to the same record object.
+    trace_id: str = ""
 
     @classmethod
     def fresh_id(cls) -> str:

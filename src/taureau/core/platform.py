@@ -91,8 +91,12 @@ class Sandbox:
         machine: typing.Optional[Machine],
         allocation,
         created_at: float,
+        sandbox_id: typing.Optional[str] = None,
     ):
-        self.sandbox_id = f"sb{next(Sandbox._ids)}"
+        # Platforms pass their own per-instance id so that two same-seed
+        # platforms in one process mint identical (replayable) ids; the
+        # global counter is only the standalone-construction fallback.
+        self.sandbox_id = sandbox_id or f"sb{next(Sandbox._ids)}"
         self.spec = spec
         self.machine = machine
         self.allocation = allocation
@@ -153,6 +157,8 @@ class _Attempt:
         self.attempts_left = spec.max_retries
         self.dispatched_once = False
         self.last_dispatch_cold = False
+        #: Root span of the invocation's trace (None when tracing is off).
+        self.span = None
         #: Bumped per execution start; lets a forced (machine-failure)
         #: completion supersede the normally scheduled one.
         self.execution_epoch = 0
@@ -174,6 +180,11 @@ class FaasPlatform:
     services:
         Name → client objects wired into every handler context (e.g.
         ``{"blob": BlobStore(...), "jiffy": JiffyClient(...)}``).
+
+    .. note:: For new code prefer the unified :class:`taureau.Platform`
+       facade, which wires the simulation, cluster, tracer and platform
+       together; constructing ``FaasPlatform`` directly remains fully
+       supported.
     """
 
     def __init__(
@@ -187,7 +198,7 @@ class FaasPlatform:
         self.cluster = cluster
         self.config = config or PlatformConfig()
         self.services = dict(services or {})
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="faas")
         self._functions: dict = {}
         self._idle: dict = collections.defaultdict(list)
         self._pending: collections.deque = collections.deque()
@@ -200,6 +211,10 @@ class FaasPlatform:
         self._sandbox_memory_mb = 0.0
         self._provisioned_memory_mb = 0.0
         self._cold_rng = sim.rng.stream("platform.cold_start")
+        # Per-platform id mints keep invocation/sandbox ids replayable
+        # across same-seed platforms within one process.
+        self._invocation_ids = itertools.count()
+        self._sandbox_ids = itertools.count()
 
     # ------------------------------------------------------------------
     # Deployment API
@@ -237,17 +252,24 @@ class FaasPlatform:
     # Invocation API
     # ------------------------------------------------------------------
 
-    def invoke(self, name: str, payload: object = None) -> Event:
+    def invoke(self, name: str, payload: object = None, parent=None) -> Event:
         """Asynchronously invoke ``name``.
 
         Returns an event that *always succeeds* with the final
         :class:`InvocationRecord`; inspect ``record.status`` for the
         outcome.  (Failures are data, not kernel crashes: the platform
         retries transparently and reports what happened.)
+
+        When a tracer is installed the invocation opens a root span
+        (``faas.invoke.<name>``) with children for queueing, cold start,
+        sandbox execution and billing; ``record.trace_id`` names the
+        trace.  Pass ``parent`` (a span or :class:`~taureau.obs.SpanContext`)
+        to stitch the invocation into an existing trace — propagation is
+        always explicit, carried on calls and payloads.
         """
         spec = self.spec(name)
         record = InvocationRecord(
-            invocation_id=InvocationRecord.fresh_id(),
+            invocation_id=f"inv{next(self._invocation_ids)}",
             function_name=name,
             payload=payload,
             arrival_time=self.sim.now,
@@ -255,12 +277,27 @@ class FaasPlatform:
         self.metrics.counter("invocations").add()
         done = self.sim.event()
         attempt = _Attempt(spec, record, done)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            attempt.span = tracer.start_span(
+                f"faas.invoke.{name}",
+                parent=parent,
+                function=name,
+                invocation_id=record.invocation_id,
+            )
+            record.trace_id = attempt.span.trace_id
         self._dispatch(attempt)
         return done
 
-    def invoke_sync(self, name: str, payload: object = None) -> InvocationRecord:
-        """Invoke and run the simulation until the record is final."""
-        return self.sim.run(until=self.invoke(name, payload))
+    def invoke_sync(self, name: str, payload: object = None,
+                    parent=None) -> InvocationRecord:
+        """Invoke and run the simulation until the record is final.
+
+        Returns the exact :class:`InvocationRecord` object the
+        :meth:`invoke` event resolves to — one result shape for both
+        paths, ``trace_id`` included.
+        """
+        return self.sim.run(until=self.invoke(name, payload, parent=parent))
 
     def schedule_periodic(
         self,
@@ -412,6 +449,13 @@ class FaasPlatform:
             self.metrics.distribution("queue_delay_s").observe(
                 attempt.record.queue_delay_s
             )
+            if attempt.span is not None and attempt.record.queue_delay_s > 0:
+                self.sim.tracer.record(
+                    "faas.queue",
+                    parent=attempt.span,
+                    start=attempt.record.arrival_time,
+                    end=self.sim.now,
+                )
         self._running += 1
         self._running_per_function[attempt.spec.name] += 1
         self.metrics.series("running").record(self.sim.now, self._running)
@@ -425,6 +469,14 @@ class FaasPlatform:
             attempt.record.cold_start_latency_s = cold_latency
             self.metrics.counter("cold_starts").add()
             self.metrics.distribution("cold_start_latency_s").observe(cold_latency)
+            if attempt.span is not None:
+                self.sim.tracer.record(
+                    "faas.cold_start",
+                    parent=attempt.span,
+                    start=self.sim.now + start_delay,
+                    end=self.sim.now + start_delay + cold_latency,
+                    memory_mb=attempt.spec.memory_mb,
+                )
             start_delay += cold_latency
         else:
             start_delay += config.calibration.warm_start_s
@@ -437,9 +489,19 @@ class FaasPlatform:
         else:
             record = attempt.record
             record.status = InvocationStatus.THROTTLED
-            record.error = ThrottledError(record.function_name)
+            limit = self.config.concurrency_limit
+            reserved = attempt.spec.reserved_concurrency
+            record.error = ThrottledError(
+                f"{record.function_name}: throttled at {self._running} "
+                f"running invocations (platform limit "
+                f"{'none' if limit is None else limit}, function running "
+                f"{self._running_per_function[record.function_name]}, "
+                f"reserved {'none' if reserved is None else reserved})"
+            )
             record.start_time = record.end_time = self.sim.now
             self.metrics.counter("throttles").add()
+            if attempt.span is not None:
+                attempt.span.finish(self.sim.now, status="throttled")
             attempt.done.succeed(record)
 
     def _drain_pending(self) -> None:
@@ -476,7 +538,10 @@ class FaasPlatform:
 
     def _create_sandbox(self, spec: FunctionSpec) -> typing.Optional[Sandbox]:
         if self.cluster is None:
-            return Sandbox(spec, None, None, self.sim.now)
+            return Sandbox(
+                spec, None, None, self.sim.now,
+                sandbox_id=f"sb{next(self._sandbox_ids)}",
+            )
         machine = self._place_with_eviction(spec)
         if machine is None:
             return None
@@ -486,7 +551,10 @@ class FaasPlatform:
         )
         self._account_sandbox_memory(spec.memory_mb)
         self._tenants_on[machine.machine_id][spec.tenant] += 1
-        sandbox = Sandbox(spec, machine, allocation, self.sim.now)
+        sandbox = Sandbox(
+            spec, machine, allocation, self.sim.now,
+            sandbox_id=f"sb{next(self._sandbox_ids)}",
+        )
         self._sandboxes_on[machine.machine_id].add(sandbox)
         return sandbox
 
@@ -589,6 +657,15 @@ class FaasPlatform:
             base_duration = spec.duration_model(
                 record.payload, self.sim.rng.stream(f"fn.{spec.name}.duration")
             )
+        execute_span = None
+        if attempt.span is not None:
+            execute_span = self.sim.tracer.start_span(
+                "faas.execute",
+                parent=attempt.span,
+                sandbox_id=sandbox.sandbox_id,
+                machine_id=sandbox.machine_id,
+                attempt=record.attempts,
+            )
         ctx = InvocationContext(
             invocation_id=record.invocation_id,
             function_name=spec.name,
@@ -598,6 +675,8 @@ class FaasPlatform:
             base_duration=base_duration,
             cold_start=attempt.last_dispatch_cold,
             sandbox_id=sandbox.sandbox_id,
+            tracer=self.sim.tracer if execute_span is not None else None,
+            span=execute_span,
         )
         response: object = None
         error: typing.Optional[BaseException] = None
@@ -615,6 +694,8 @@ class FaasPlatform:
         else:
             status = InvocationStatus.OK
             exec_duration = effective
+        if execute_span is not None:
+            execute_span.finish(self.sim.now + exec_duration, status=status.value)
         self.sim.schedule_after(
             exec_duration,
             self._finish,
@@ -661,7 +742,7 @@ class FaasPlatform:
         self._running -= 1
         self._running_per_function[spec.name] -= 1
         self.metrics.series("running").record(self.sim.now, self._running)
-        self._bill(record, spec, exec_duration)
+        self._bill(record, spec, exec_duration, span=attempt.span)
         self._return_to_pool(sandbox)
 
         if status is not InvocationStatus.OK and attempt.attempts_left > 0:
@@ -682,6 +763,8 @@ class FaasPlatform:
             self.metrics.counter("timeouts").add()
         elif status is InvocationStatus.ERROR:
             self.metrics.counter("errors").add()
+        if attempt.span is not None:
+            attempt.span.finish(self.sim.now, status=status.value)
         attempt.done.succeed(record)
         self._drain_pending()
 
@@ -689,7 +772,8 @@ class FaasPlatform:
     # Billing (paper §2: cost efficiency via fine-grained billing)
     # ------------------------------------------------------------------
 
-    def _bill(self, record: InvocationRecord, spec: FunctionSpec, duration: float):
+    def _bill(self, record: InvocationRecord, spec: FunctionSpec, duration: float,
+              span=None):
         calibration = self.config.calibration
         granularity = calibration.billing_granularity_s
         billed = math.ceil(max(duration, 1e-12) / granularity) * granularity
@@ -697,6 +781,17 @@ class FaasPlatform:
         cost = gb_s * calibration.price_per_gb_s + calibration.price_per_request
         record.billed_duration_s += billed
         record.cost_usd += cost
+        if span is not None:
+            self.sim.tracer.record(
+                "faas.billing",
+                parent=span,
+                start=self.sim.now,
+                end=self.sim.now,
+                gb_s=gb_s,
+                cost_usd=cost,
+                billed_duration_s=billed,
+                attempt=record.attempts,
+            )
         self.metrics.counter("billing.gb_s").add(gb_s)
         self.metrics.counter("billing.cost_usd").add(cost)
         # Per-function line items feed CostReport.

@@ -1,0 +1,233 @@
+"""The unified platform facade: one object wiring the whole stack.
+
+Before this module, every example hand-assembled five objects — a
+``Simulation``, an optional ``Cluster``, a ``FaasPlatform``, service
+clients, and (now) a tracer.  :class:`Platform` is the stable public
+entry point that wires them together:
+
+>>> import taureau
+>>> app = taureau.Platform(seed=42)
+>>> @app.function("hello")
+... def hello(event, ctx):
+...     ctx.charge(0.1)
+...     return f"hi {event}"
+>>> record = app.invoke_sync("hello", "there")
+>>> print(app.trace(record.trace_id).render())   # doctest: +SKIP
+
+Tracing is on by default (pass ``tracing=False`` for a bare platform);
+subsystems attach through ``with_jiffy`` / ``with_pulsar`` /
+``with_kvstore`` / ``with_blobstore`` and are wired both as handler
+services and into the shared trace/metric surface.  The old
+constructors remain supported — the facade only composes them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.cluster import Cluster
+from taureau.core.function import FunctionSpec, InvocationRecord
+from taureau.core.platform import FaasPlatform, PlatformConfig
+from taureau.obs import Trace, Tracer, TraceStore
+from taureau.sim import Event, Simulation
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """Simulation + cluster + FaaS platform + tracer, pre-wired.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the shared :class:`Simulation`.
+    machines / machine_cores / machine_memory_mb:
+        Build a homogeneous provider cluster; ``machines=0`` (default)
+        keeps the idealized elastic backend.
+    config:
+        Provider policy knobs, as for :class:`FaasPlatform`.
+    services:
+        Extra name → client objects for handler contexts.
+    tracing:
+        Install a :class:`~taureau.obs.Tracer` on the simulation
+        (default).  With ``tracing=False`` every hook degrades to one
+        attribute check.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        machines: int = 0,
+        machine_cores: float = 16.0,
+        machine_memory_mb: float = 65536.0,
+        config: typing.Optional[PlatformConfig] = None,
+        services: typing.Optional[dict] = None,
+        tracing: bool = True,
+    ):
+        self.sim = Simulation(seed=seed)
+        self.tracer: typing.Optional[Tracer] = None
+        if tracing:
+            self.tracer = Tracer(self.sim, TraceStore())
+            self.sim.tracer = self.tracer
+        self.cluster = (
+            Cluster.homogeneous(
+                machines, cpu_cores=machine_cores, memory_mb=machine_memory_mb
+            )
+            if machines
+            else None
+        )
+        self.faas = FaasPlatform(
+            self.sim, cluster=self.cluster, config=config, services=services
+        )
+        #: Attached subsystem handles (name -> object), for snapshot().
+        self._subsystems: dict = {}
+
+    # ------------------------------------------------------------------
+    # FaaS surface (delegation)
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self):
+        return self.faas.metrics
+
+    @property
+    def config(self) -> PlatformConfig:
+        return self.faas.config
+
+    def register(self, spec: FunctionSpec) -> FunctionSpec:
+        return self.faas.register(spec)
+
+    def function(self, name: str, **spec_kwargs):
+        """Decorator form of :meth:`register` (see FaasPlatform.function)."""
+        return self.faas.function(name, **spec_kwargs)
+
+    def wire_service(self, name: str, client) -> None:
+        self.faas.wire_service(name, client)
+
+    def invoke(self, name: str, payload: object = None, parent=None) -> Event:
+        return self.faas.invoke(name, payload, parent=parent)
+
+    def invoke_sync(self, name: str, payload: object = None,
+                    parent=None) -> InvocationRecord:
+        return self.faas.invoke_sync(name, payload, parent=parent)
+
+    def schedule_periodic(self, name: str, interval_s: float, payload_fn=None,
+                          start_after_s=None):
+        return self.faas.schedule_periodic(
+            name, interval_s, payload_fn=payload_fn, start_after_s=start_after_s
+        )
+
+    def run(self, until=None):
+        """Advance the shared simulation (see :meth:`Simulation.run`)."""
+        return self.sim.run(until=until)
+
+    def total_cost_usd(self) -> float:
+        return self.faas.total_cost_usd()
+
+    # ------------------------------------------------------------------
+    # Subsystem attachment
+    # ------------------------------------------------------------------
+
+    def with_jiffy(self, **controller_kwargs):
+        """Attach a Jiffy ephemeral-state layer; returns the client.
+
+        The client is wired as the ``"jiffy"`` handler service, so
+        handlers reach it via ``ctx.service("jiffy")`` and its I/O shows
+        up as ``jiffy.*`` child spans on traced invocations.
+        """
+        from taureau.jiffy import JiffyClient, JiffyController
+
+        controller = JiffyController(self.sim, **controller_kwargs)
+        client = JiffyClient(controller)
+        self.wire_service("jiffy", client)
+        self._subsystems["jiffy"] = controller
+        return client
+
+    def with_pulsar(self, broker_count: int = 3, bookie_count: int = 3,
+                    **cluster_kwargs):
+        """Attach a Pulsar cluster + functions runtime; returns the runtime.
+
+        The cluster is wired as the ``"pulsar"`` handler service; the
+        returned runtime exposes ``.cluster`` for topic administration.
+        """
+        from taureau.pulsar import FunctionsRuntime, PulsarCluster
+
+        cluster = PulsarCluster(
+            self.sim, broker_count=broker_count, bookie_count=bookie_count,
+            **cluster_kwargs,
+        )
+        runtime = FunctionsRuntime(cluster)
+        self.wire_service("pulsar", cluster)
+        self._subsystems["pulsar"] = runtime
+        return runtime
+
+    def with_kvstore(self, name: str = "kv", **kwargs):
+        from taureau.baas import KvStore
+
+        store = KvStore(self.sim, name=name, **kwargs)
+        self.wire_service(name, store)
+        self._subsystems[name] = store
+        return store
+
+    def with_blobstore(self, name: str = "blob", **kwargs):
+        from taureau.baas import BlobStore
+
+        store = BlobStore(self.sim, name=name, **kwargs)
+        self.wire_service(name, store)
+        self._subsystems[name] = store
+        return store
+
+    def orchestrator(self, **kwargs):
+        """An :class:`~taureau.orchestration.Orchestrator` over this platform."""
+        from taureau.orchestration import Orchestrator
+
+        return Orchestrator(self.faas, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+
+    def trace(self, trace_id: typing.Optional[str] = None) -> Trace:
+        """A recorded trace by id, or the most recent one."""
+        if self.tracer is None:
+            raise RuntimeError("tracing is disabled on this Platform")
+        if trace_id is None:
+            return self.tracer.last_trace()
+        return self.tracer.trace(trace_id)
+
+    def last_trace(self) -> Trace:
+        return self.trace(None)
+
+    def snapshot(self) -> dict:
+        """Merged metric snapshot across the platform and attached subsystems.
+
+        Keys are canonical dotted names (``faas.*``, ``pulsar.*``,
+        ``jiffy.*``, ``baas.*``), so one dict describes the whole stack.
+        """
+        merged = dict(self.faas.metrics.snapshot())
+        for subsystem in self._subsystems.values():
+            for registry in self._registries_of(subsystem):
+                merged.update(registry.snapshot())
+        return merged
+
+    @staticmethod
+    def _registries_of(subsystem) -> list:
+        registries = []
+        direct = getattr(subsystem, "metrics", None)
+        if direct is not None:
+            registries.append(direct)
+        # One hop of well-known children (FunctionsRuntime.cluster's
+        # brokers/bookies, JiffyController.pool, ...).
+        for attr in ("pool", "cluster"):
+            child = getattr(subsystem, attr, None)
+            if child is None:
+                continue
+            child_metrics = getattr(child, "metrics", None)
+            if child_metrics is not None:
+                registries.append(child_metrics)
+            for group in ("brokers", "bookies"):
+                for node in getattr(child, group, []) or []:
+                    node_metrics = getattr(node, "metrics", None)
+                    if node_metrics is not None:
+                        registries.append(node_metrics)
+        return registries

@@ -99,7 +99,7 @@ class BlockPool:
         self.nodes = [
             MemoryNode(blocks_per_node, block_size_mb) for _ in range(node_count)
         ]
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="jiffy.pool")
         # Interleave nodes so consecutive allocations round-robin across
         # them (allocate pops from the end of the free list).
         self._free: list = [

@@ -29,19 +29,19 @@ class JiffyClient:
     # ------------------------------------------------------------------
 
     def create(self, path: str, structure: str = "file", ctx=None, **kwargs):
-        self._charge(ctx, 0.0, control_plane=True)
+        self._charge(ctx, 0.0, control_plane=True, op="create", path=path)
         return self.controller.create(path, structure, **kwargs)
 
     def remove(self, path: str, ctx=None) -> None:
-        self._charge(ctx, 0.0, control_plane=True)
+        self._charge(ctx, 0.0, control_plane=True, op="remove", path=path)
         self.controller.remove(path)
 
     def renew_lease(self, path: str, ttl_s=None, ctx=None) -> None:
-        self._charge(ctx, 0.0, control_plane=True)
+        self._charge(ctx, 0.0, control_plane=True, op="renew_lease", path=path)
         self.controller.renew_lease(path, ttl_s)
 
     def exists(self, path: str, ctx=None) -> bool:
-        self._charge(ctx, 0.0, control_plane=True)
+        self._charge(ctx, 0.0, control_plane=True, op="exists", path=path)
         return self.controller.exists(path)
 
     def subscribe(self, path: str, callback) -> typing.Callable:
@@ -75,12 +75,12 @@ class JiffyClient:
     def append(self, path: str, value: object, ctx=None, size_mb=None) -> None:
         size = estimate_size_mb(value) if size_mb is None else size_mb
         self.controller.open(path).append(value, size_mb=size)
-        self._charge(ctx, size)
+        self._charge(ctx, size, op="append", path=path)
         self.controller.notify(path, "write", size)
 
     def read_all(self, path: str, ctx=None) -> list:
         structure = self.controller.open(path)
-        self._charge(ctx, structure.used_mb)
+        self._charge(ctx, structure.used_mb, op="read_all", path=path)
         return structure.read_all()
 
     # ------------------------------------------------------------------
@@ -90,16 +90,16 @@ class JiffyClient:
     def enqueue(self, path: str, value: object, ctx=None, size_mb=None) -> None:
         size = estimate_size_mb(value) if size_mb is None else size_mb
         self.controller.open(path).enqueue(value, size_mb=size)
-        self._charge(ctx, size)
+        self._charge(ctx, size, op="enqueue", path=path)
         self.controller.notify(path, "write", size)
 
     def dequeue(self, path: str, ctx=None) -> object:
         value = self.controller.open(path).dequeue()
-        self._charge(ctx, estimate_size_mb(value))
+        self._charge(ctx, estimate_size_mb(value), op="dequeue", path=path)
         return value
 
     def queue_length(self, path: str, ctx=None) -> int:
-        self._charge(ctx, 0.0)
+        self._charge(ctx, 0.0, op="queue_length", path=path)
         return len(self.controller.open(path))
 
     # ------------------------------------------------------------------
@@ -109,24 +109,30 @@ class JiffyClient:
     def put(self, path: str, key: str, value: object, ctx=None, size_mb=None):
         size = estimate_size_mb(value) if size_mb is None else size_mb
         self.controller.open(path).put(key, value, size_mb=size)
-        self._charge(ctx, size)
+        self._charge(ctx, size, op="put", path=path)
         self.controller.notify(path, "write", key)
 
     def get(self, path: str, key: str, ctx=None) -> object:
         value = self.controller.open(path).get(key)
-        self._charge(ctx, estimate_size_mb(value))
+        self._charge(ctx, estimate_size_mb(value), op="get", path=path)
         return value
 
     def keys(self, path: str, ctx=None) -> list:
-        self._charge(ctx, 0.0)
+        self._charge(ctx, 0.0, op="keys", path=path)
         return self.controller.open(path).keys()
 
     # ------------------------------------------------------------------
 
-    def _charge(self, ctx, size_mb: float, control_plane: bool = False) -> None:
+    def _charge(self, ctx, size_mb: float, control_plane: bool = False,
+                op: str = "io", path: str = "") -> None:
         if ctx is None:
             return
         if control_plane:
-            ctx.add_io(self._calibration.zookeeper_op_s)
+            latency = self._calibration.zookeeper_op_s
         else:
-            ctx.add_io(self._calibration.memory_transfer_latency(size_mb))
+            latency = self._calibration.memory_transfer_latency(size_mb)
+        charge_io = getattr(ctx, "charge_io", None)
+        if charge_io is not None:
+            charge_io(latency, f"jiffy.{op}", path=path, size_mb=size_mb)
+        else:
+            ctx.add_io(latency)

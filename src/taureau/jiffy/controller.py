@@ -55,7 +55,7 @@ class JiffyController:
         self.leases = LeaseManager(
             sim, default_ttl_s=default_ttl_s, on_expire=self._reclaim
         )
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="jiffy")
         #: Optional persistent tier (e.g. a BlobStore).  When set, pool
         #: exhaustion spills the oldest unpinned namespaces instead of
         #: failing, and spilled namespaces hydrate transparently on open().

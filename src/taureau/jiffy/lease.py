@@ -33,7 +33,7 @@ class LeaseManager:
         self.sim = sim
         self.default_ttl_s = default_ttl_s
         self.on_expire = on_expire
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="jiffy.lease")
 
     def grant(self, node: NamespaceNode, ttl_s: typing.Optional[float] = None):
         """Start a lease on ``node``; schedules the expiry check."""

@@ -37,7 +37,7 @@ class NotificationBus:
     ):
         self.sim = sim
         self.calibration = calibration
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="jiffy.notifications")
         self._subscribers: dict = collections.defaultdict(list)
 
     def subscribe(

@@ -1,0 +1,37 @@
+"""Observability: end-to-end distributed tracing for the simulated stack.
+
+The paper's central complaint (§3, §5) is that serverless developers
+cannot see *where* latency and cost go — cold starts, broker hops and
+ephemeral-state I/O are hidden inside the provider.  This package is the
+missing layer: every subsystem that already emits metrics can attach
+:class:`Span` records to a shared :class:`Tracer`, so one invocation —
+or a whole workflow — renders as a single trace tree.
+
+Design rules (so traces stay deterministic and replayable):
+
+- all timestamps come from the virtual clock, never the wall clock;
+- context propagation is explicit — a parent :class:`SpanContext` rides
+  on payloads, messages and ``ctx`` objects, never on thread-locals;
+- when no tracer is installed (``sim.tracer is None``) every hook is a
+  single attribute check, so the untraced hot path stays hot.
+"""
+
+from taureau.obs.analysis import CriticalPath, CriticalPathEntry, cost_attribution, critical_path
+from taureau.obs.export import render_tree, to_chrome_trace, validate_chrome_trace
+from taureau.obs.trace import NULL_CONTEXT, Span, SpanContext, Trace, Tracer, TraceStore
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "NULL_CONTEXT",
+    "Trace",
+    "Tracer",
+    "TraceStore",
+    "CriticalPath",
+    "CriticalPathEntry",
+    "critical_path",
+    "cost_attribution",
+    "render_tree",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

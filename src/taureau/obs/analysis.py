@@ -1,0 +1,184 @@
+"""Trace analysis: critical-path extraction and cost attribution.
+
+``critical_path`` answers the question the paper says providers hide
+(§3, §5): *which* chain of operations actually bounded the end-to-end
+latency.  The decomposition is exact — the per-span self-times along the
+path sum to the root span's duration — so a regression shows up as a
+shifted line item, not a vibe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from taureau.obs.trace import Span, Trace
+
+__all__ = ["CriticalPathEntry", "CriticalPath", "critical_path", "cost_attribution"]
+
+
+@dataclasses.dataclass
+class CriticalPathEntry:
+    """One span on the blocking chain and the time only it accounts for."""
+
+    span: Span
+    self_time_s: float
+
+    @property
+    def name(self) -> str:
+        return self.span.name
+
+
+class CriticalPath:
+    """The blocking chain through a trace, root to leaf."""
+
+    def __init__(self, entries: typing.List[CriticalPathEntry]):
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def total_s(self) -> float:
+        """Sum of self-times; equals the root span's duration exactly."""
+        return sum(entry.self_time_s for entry in self.entries)
+
+    def self_time_of(self, name: str) -> float:
+        """Total self-time attributed to spans named ``name`` on the path."""
+        return sum(e.self_time_s for e in self.entries if e.span.name == name)
+
+    def render(self) -> str:
+        """A fixed-width accounting table of the blocking chain."""
+        lines = ["critical path (self-time accounting):"]
+        for entry in self.entries:
+            lines.append(
+                f"  {entry.self_time_s * 1000.0:>10.3f} ms  {entry.span.name}"
+            )
+        lines.append(f"  {self.total_s * 1000.0:>10.3f} ms  TOTAL")
+        return "\n".join(lines)
+
+
+def _chain(trace: Trace, span: Span) -> typing.List[Span]:
+    """The children of ``span`` that form its backwards blocking chain.
+
+    Walk from ``span.end`` towards ``span.start``: the blocking child is
+    the last-finishing child at or before the cursor; the cursor then
+    jumps to that child's start.  Children overlapping the cursor from
+    the "future" (they finished after the blocker started) cannot have
+    been blocking and are skipped.  Returned in start order.
+    """
+    finished = [c for c in trace.children(span) if c.finished]
+    # Latest end first; creation order breaks ties deterministically.
+    finished.sort(key=lambda c: (c.end, c._seq), reverse=True)
+    cursor = span.end
+    chain: typing.List[Span] = []
+    for child in finished:
+        if child.end is None or child.end > cursor:
+            continue
+        if min(child.end, span.end) <= max(child.start, span.start):
+            continue  # zero overlap with the parent window
+        chain.append(child)
+        cursor = max(child.start, span.start)
+        if cursor <= span.start:
+            break
+    chain.reverse()
+    return chain
+
+
+def _walk(trace: Trace, span: Span, out: typing.List[CriticalPathEntry]) -> None:
+    chain = _chain(trace, span)
+    covered = sum(
+        min(c.end, span.end) - max(c.start, span.start) for c in chain
+    )
+    out.append(CriticalPathEntry(span, max(0.0, span.duration_s - covered)))
+    for child in chain:
+        _walk(trace, child, out)
+
+
+def critical_path(trace: Trace) -> CriticalPath:
+    """The exact latency decomposition of a trace.
+
+    Every span on the blocking chain contributes its *self-time* (its
+    duration minus the windows covered by its own blocking children);
+    the self-times sum to the root duration, so nothing is double- or
+    un-counted.
+    """
+    root = trace.root
+    if not root.finished:
+        raise ValueError(f"trace {trace.trace_id!r}: root span is unfinished")
+    entries: typing.List[CriticalPathEntry] = []
+    _walk(trace, root, entries)
+    entries.sort(key=lambda e: (e.span.start, e.span._seq))
+    return CriticalPath(entries)
+
+
+def cost_attribution(trace: Trace) -> dict:
+    """Split each invocation's billed GB-seconds across its trace spans.
+
+    Billing spans (``faas.billing``, carrying ``gb_s``/``cost_usd``
+    attributes) are emitted per billed attempt as siblings of the
+    attempt's ``faas.execute`` span.  Each bill is distributed over the
+    execute subtree proportionally to self-time, so ephemeral-state I/O
+    and broker calls show up as the cost they induce, not just latency.
+    Returns ``{span_name: {"gb_s": ..., "cost_usd": ...}}``.
+    """
+    attribution: dict = {}
+
+    def credit(name: str, gb_s: float, cost: float) -> None:
+        bucket = attribution.setdefault(name, {"gb_s": 0.0, "cost_usd": 0.0})
+        bucket["gb_s"] += gb_s
+        bucket["cost_usd"] += cost
+
+    for bill in trace.spans_named("faas.billing"):
+        gb_s = float(bill.attributes.get("gb_s", 0.0))
+        cost = float(bill.attributes.get("cost_usd", 0.0))
+        execute = _sibling_execute(trace, bill)
+        if execute is None:
+            credit("faas.billing", gb_s, cost)
+            continue
+        weights = _self_time_weights(trace, execute)
+        total = sum(weights.values())
+        if total <= 0.0:
+            credit(execute.name, gb_s, cost)
+            continue
+        for span, weight in weights.items():
+            share = weight / total
+            credit(span.name, gb_s * share, cost * share)
+    return attribution
+
+
+def _sibling_execute(trace: Trace, bill: Span) -> typing.Optional[Span]:
+    parent = next(
+        (s for s in trace.spans if s.span_id == bill.parent_id), None
+    )
+    if parent is None:
+        return None
+    attempt = bill.attributes.get("attempt")
+    candidates = [
+        c
+        for c in trace.children(parent)
+        if c.name == "faas.execute" and c.finished
+        and (attempt is None or c.attributes.get("attempt") == attempt)
+    ]
+    return candidates[-1] if candidates else None
+
+
+def _self_time_weights(trace: Trace, span: Span) -> typing.Dict[Span, float]:
+    """Self-time (duration minus child-covered time) for a whole subtree."""
+    weights: typing.Dict[Span, float] = {}
+
+    def visit(node: Span) -> None:
+        children = [c for c in trace.children(node) if c.finished]
+        covered = sum(
+            max(0.0, min(c.end, node.end) - max(c.start, node.start))
+            for c in children
+        )
+        weights[node] = max(0.0, node.duration_s - covered)
+        for child in children:
+            visit(child)
+
+    visit(span)
+    return weights

@@ -1,0 +1,115 @@
+"""Trace exporters: a text tree and Chrome ``trace_event`` JSON.
+
+Both exports are deterministic: spans are emitted in (start, creation)
+order with fixed-width timestamps, so two runs of the same seeded
+program produce byte-identical output — the property the replayability
+tests pin down.
+
+The JSON format is the Chrome/Perfetto *trace event* format (load the
+file at ``chrome://tracing`` or https://ui.perfetto.dev): one complete
+``"ph": "X"`` event per span, timestamps in microseconds.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.obs.trace import Trace
+
+__all__ = ["render_tree", "to_chrome_trace", "validate_chrome_trace"]
+
+
+def render_tree(trace: Trace) -> str:
+    """The trace as an indented tree with per-span timing."""
+    lines = [f"trace {trace.trace_id} ({len(trace.spans)} spans)"]
+
+    def visit(span, prefix: str, is_last: bool) -> None:
+        connector = "`-" if is_last else "|-"
+        if span.finished:
+            timing = (
+                f"[{span.start:.6f}s +{span.duration_s * 1000.0:.3f}ms]"
+            )
+        else:
+            timing = f"[{span.start:.6f}s ...open]"
+        flag = "" if span.status == "ok" else f" !{span.status}"
+        lines.append(f"{prefix}{connector} {span.name} {timing}{flag}")
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        children = trace.children(span)
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1)
+
+    root = trace.root
+    visit(root, "", True)
+    return "\n".join(lines)
+
+
+def to_chrome_trace(trace: Trace) -> dict:
+    """The trace as a Chrome ``trace_event`` document (a JSON-able dict)."""
+    events: typing.List[dict] = []
+    for span in trace.spans:
+        if not span.finished:
+            continue
+        args = {"span_id": span.span_id, "status": span.status}
+        for key in sorted(span.attributes):
+            args[key] = _jsonable(span.attributes[key])
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace.trace_id, "source": "taureau"},
+    }
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def validate_chrome_trace(document: dict) -> typing.List[str]:
+    """Schema-check a trace_event document; returns a list of problems.
+
+    An empty list means the document is structurally valid: a
+    ``traceEvents`` array of complete-duration events with numeric,
+    nonnegative timestamps and string names.
+    """
+    problems: typing.List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: name must be a nonempty string")
+        if event.get("ph") != "X":
+            problems.append(f"{where}: ph must be 'X' (complete event)")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{where}: {key} must be a nonnegative number")
+        if not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: args must be an object")
+    return problems

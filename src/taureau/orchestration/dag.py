@@ -86,30 +86,43 @@ class Dag:
     # ------------------------------------------------------------------
 
     def run(
-        self, orchestrator: Orchestrator, value: object = None
+        self, orchestrator: Orchestrator, value: object = None, parent=None
     ) -> typing.Tuple[Event, Execution]:
-        """Execute the DAG; the event fires with {node: output}."""
+        """Execute the DAG; the event fires with {node: output}.
+
+        Traced runs open a ``dag.run`` root span with one ``dag.node.*``
+        child per node, so the whole workflow renders as one trace tree
+        and ``critical_path()`` names the blocking chain of nodes.
+        """
         self.topological_order()  # validate before spending anything
         execution = Execution()
         execution.started_at = orchestrator.sim.now
+        if orchestrator.sim.tracer is not None:
+            execution.span = orchestrator.sim.tracer.start_span(
+                "dag.run", parent=parent, nodes=len(self._nodes)
+            )
         process = orchestrator.sim.process(
             self._drive(orchestrator, value, execution)
         )
 
         def stamp(event):
             execution.finished_at = orchestrator.sim.now
+            if execution.span is not None:
+                execution.span.finish(orchestrator.sim.now)
 
         process.add_callback(stamp)
         return process, execution
 
-    def run_sync(self, orchestrator: Orchestrator, value: object = None):
-        done, execution = self.run(orchestrator, value)
+    def run_sync(self, orchestrator: Orchestrator, value: object = None,
+                 parent=None):
+        done, execution = self.run(orchestrator, value, parent=parent)
         return orchestrator.sim.run(until=done), execution
 
     def _drive(self, orchestrator: Orchestrator, value, execution: Execution):
         sim = orchestrator.sim
         results: dict = {}
         in_flight: dict = {}  # name -> Process
+        node_spans: dict = {}  # name -> Span
         remaining = dict(self._nodes)
 
         def launch_ready():
@@ -118,8 +131,16 @@ class Dag:
                     continue
                 if all(dependency in results for dependency in node.after):
                     node_input = self._input_for(node, value, results)
+                    node_span = None
+                    if execution.span is not None:
+                        node_span = sim.tracer.start_span(
+                            f"dag.node.{name}", parent=execution.span
+                        )
+                        node_spans[name] = node_span
                     in_flight[name] = sim.process(
-                        orchestrator._execute(node.body, node_input, execution)
+                        orchestrator._execute(
+                            node.body, node_input, execution, node_span
+                        )
                     )
 
         launch_ready()
@@ -130,6 +151,8 @@ class Dag:
             for name, process in list(in_flight.items()):
                 if process.triggered:
                     results[name] = process.value
+                    if name in node_spans:
+                        node_spans.pop(name).finish(sim.now)
                     del in_flight[name]
                     del remaining[name]
             launch_ready()

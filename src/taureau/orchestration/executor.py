@@ -44,6 +44,13 @@ class Execution:
         self.transitions = 0
         self.started_at = 0.0
         self.finished_at = 0.0
+        #: Workflow root span (None when tracing is off); leaf invocations
+        #: are stitched under it so the whole run renders as one tree.
+        self.span = None
+
+    @property
+    def trace_id(self) -> str:
+        return self.span.trace_id if self.span is not None else ""
 
     @property
     def billed_cost_usd(self) -> float:
@@ -86,28 +93,37 @@ class Orchestrator:
     # ------------------------------------------------------------------
 
     def run(
-        self, composition: Composition, value: object = None
+        self, composition: Composition, value: object = None, parent=None
     ) -> typing.Tuple[Event, Execution]:
         """Start the composition; returns ``(done_event, execution)``.
 
         ``done_event`` fires with the composition's output value, or
         fails with :class:`TaskFailed` if an unhandled task failure
-        propagates to the top.
+        propagates to the top.  With a tracer installed the run opens an
+        ``orchestration.run`` span (child of ``parent`` when given) and
+        every leaf invocation joins that trace.
         """
         execution = Execution()
         execution.started_at = self.sim.now
+        if self.sim.tracer is not None:
+            execution.span = self.sim.tracer.start_span(
+                "orchestration.run", parent=parent
+            )
         process = self.sim.process(self._execute(composition, value, execution))
 
         def stamp(event):
             execution.finished_at = self.sim.now
+            if execution.span is not None:
+                execution.span.finish(self.sim.now)
 
         process.add_callback(stamp)
         self.metrics.counter("executions").add()
         return process, execution
 
-    def run_sync(self, composition: Composition, value: object = None):
+    def run_sync(self, composition: Composition, value: object = None,
+                 parent=None):
         """Run to completion; returns ``(output, execution)``."""
-        done, execution = self.run(composition, value)
+        done, execution = self.run(composition, value, parent=parent)
         output = self.sim.run(until=done)
         return output, execution
 
@@ -115,24 +131,25 @@ class Orchestrator:
     # Interpreter (a simulated process per composition run)
     # ------------------------------------------------------------------
 
-    def _execute(self, node: Composition, value: object, execution: Execution):
+    def _execute(self, node: Composition, value: object, execution: Execution,
+                 parent=None):
         execution.transitions += 1
         self.metrics.counter("transitions").add()
         if self.transition_overhead_s > 0:
             yield self.sim.timeout(self.transition_overhead_s)
 
         if isinstance(node, Task):
-            result = yield from self._run_task(node, value, execution)
+            result = yield from self._run_task(node, value, execution, parent)
             return result
 
         if isinstance(node, Sequence):
             for step in node.steps:
-                value = yield from self._execute(step, value, execution)
+                value = yield from self._execute(step, value, execution, parent)
             return value
 
         if isinstance(node, Parallel):
             branches = [
-                self.sim.process(self._execute(branch, value, execution))
+                self.sim.process(self._execute(branch, value, execution, parent))
                 for branch in node.branches
             ]
             results = yield self.sim.all_of(branches)
@@ -141,11 +158,13 @@ class Orchestrator:
         if isinstance(node, Choice):
             for rule in node.rules:
                 if rule.predicate(value):
-                    result = yield from self._execute(rule.branch, value, execution)
+                    result = yield from self._execute(
+                        rule.branch, value, execution, parent
+                    )
                     return result
             if node.default is None:
                 raise ValueError(f"no Choice rule matched value {value!r}")
-            result = yield from self._execute(node.default, value, execution)
+            result = yield from self._execute(node.default, value, execution, parent)
             return result
 
         if isinstance(node, MapEach):
@@ -157,7 +176,7 @@ class Orchestrator:
             while index < len(items) or in_flight:
                 while index < len(items) and len(in_flight) < limit:
                     process = self.sim.process(
-                        self._execute(node.body, items[index], execution)
+                        self._execute(node.body, items[index], execution, parent)
                     )
                     in_flight.append((index, process))
                     index += 1
@@ -177,7 +196,9 @@ class Orchestrator:
             last_error: typing.Optional[BaseException] = None
             for _attempt in range(node.max_attempts):
                 try:
-                    result = yield from self._execute(node.body, value, execution)
+                    result = yield from self._execute(
+                        node.body, value, execution, parent
+                    )
                     return result
                 except TaskFailed as exc:
                     last_error = exc
@@ -186,27 +207,30 @@ class Orchestrator:
 
         if isinstance(node, Catch):
             try:
-                result = yield from self._execute(node.body, value, execution)
+                result = yield from self._execute(node.body, value, execution, parent)
                 return result
             except TaskFailed as exc:
                 self.metrics.counter("catches").add()
                 result = yield from self._execute(
-                    node.handler, exc.record, execution
+                    node.handler, exc.record, execution, parent
                 )
                 return result
 
         raise TypeError(f"unknown composition node: {node!r}")
 
-    def _run_task(self, task: Task, value: object, execution: Execution):
+    def _run_task(self, task: Task, value: object, execution: Execution,
+                  parent=None):
         payload = task.transform(value) if task.transform else value
         if task.name in self._compositions:
             # Nested composition: runs in-line, billing flows into the
             # same execution (still only leaf functions are billed).
             result = yield from self._execute(
-                self._compositions[task.name], payload, execution
+                self._compositions[task.name], payload, execution, parent
             )
             return result
-        record = yield self.platform.invoke(task.name, payload)
+        record = yield self.platform.invoke(
+            task.name, payload, parent=parent or execution.span
+        )
         execution.records.append(record)
         if not record.succeeded:
             raise TaskFailed(record)

@@ -111,29 +111,42 @@ class StateMachine:
                     )
 
     def run(
-        self, orchestrator: Orchestrator, value: object = None
+        self, orchestrator: Orchestrator, value: object = None, parent=None
     ) -> typing.Tuple[Event, Execution]:
-        """Execute on the orchestrator's platform; see Orchestrator.run."""
+        """Execute on the orchestrator's platform; see Orchestrator.run.
+
+        Traced runs open a ``statemachine.run`` root span with one
+        ``sm.state.*`` child per visited Task/Wait/Parallel state.
+        """
         execution = Execution()
         execution.started_at = orchestrator.sim.now
+        if orchestrator.sim.tracer is not None:
+            execution.span = orchestrator.sim.tracer.start_span(
+                "statemachine.run", parent=parent, start_at=self.start_at
+            )
         process = orchestrator.sim.process(
-            self._interpret(orchestrator, value, execution)
+            self._interpret(orchestrator, value, execution, execution.span)
         )
 
         def stamp(event):
             execution.finished_at = orchestrator.sim.now
+            if execution.span is not None:
+                execution.span.finish(orchestrator.sim.now)
 
         process.add_callback(stamp)
         return process, execution
 
-    def run_sync(self, orchestrator: Orchestrator, value: object = None):
-        done, execution = self.run(orchestrator, value)
+    def run_sync(self, orchestrator: Orchestrator, value: object = None,
+                 parent=None):
+        done, execution = self.run(orchestrator, value, parent=parent)
         return orchestrator.sim.run(until=done), execution
 
     # ------------------------------------------------------------------
 
-    def _interpret(self, orchestrator: Orchestrator, value, execution: Execution):
+    def _interpret(self, orchestrator: Orchestrator, value, execution: Execution,
+                   parent=None):
         sim = orchestrator.sim
+        tracer = sim.tracer if parent is not None else None
         current: typing.Optional[str] = self.start_at
         while current is not None:
             state = self.states[current]
@@ -142,11 +155,25 @@ class StateMachine:
                 yield sim.timeout(orchestrator.transition_overhead_s)
 
             if isinstance(state, TaskState):
-                value = yield from self._run_task(orchestrator, state, value, execution)
+                state_span = None
+                if tracer is not None:
+                    state_span = tracer.start_span(
+                        f"sm.state.{current}", parent=parent, kind="task"
+                    )
+                value = yield from self._run_task(
+                    orchestrator, state, value, execution, state_span
+                )
+                if state_span is not None:
+                    state_span.finish(sim.now)
                 current = state.next
             elif isinstance(state, ChoiceState):
                 current = self._choose(state, value)
             elif isinstance(state, WaitState):
+                if tracer is not None:
+                    tracer.record(
+                        f"sm.state.{current}", parent=parent,
+                        start=sim.now, end=sim.now + state.seconds, kind="wait",
+                    )
                 yield sim.timeout(state.seconds)
                 current = state.next
             elif isinstance(state, PassState):
@@ -154,11 +181,20 @@ class StateMachine:
                     value = state.transform(value)
                 current = state.next
             elif isinstance(state, ParallelState):
+                state_span = None
+                if tracer is not None:
+                    state_span = tracer.start_span(
+                        f"sm.state.{current}", parent=parent, kind="parallel"
+                    )
                 branches = [
-                    sim.process(branch._interpret(orchestrator, value, execution))
+                    sim.process(
+                        branch._interpret(orchestrator, value, execution, state_span)
+                    )
                     for branch in state.branches
                 ]
                 value = yield sim.all_of(branches)
+                if state_span is not None:
+                    state_span.finish(sim.now)
                 current = state.next
             elif isinstance(state, SucceedState):
                 return value
@@ -178,10 +214,13 @@ class StateMachine:
         return state.default
 
     @staticmethod
-    def _run_task(orchestrator, state: TaskState, value, execution: Execution):
+    def _run_task(orchestrator, state: TaskState, value, execution: Execution,
+                  parent=None):
         last_record = None
         for _attempt in range(state.retry_attempts):
-            record = yield orchestrator.platform.invoke(state.resource, value)
+            record = yield orchestrator.platform.invoke(
+                state.resource, value, parent=parent
+            )
             execution.records.append(record)
             if record.succeeded:
                 return record.response

@@ -64,15 +64,18 @@ class Bookie:
         sim: Simulation,
         append_latency_s: float = 0.002,
         max_throughput_eps: float = 50_000.0,
+        bookie_id: typing.Optional[str] = None,
     ):
         if max_throughput_eps <= 0:
             raise ValueError("max_throughput_eps must be positive")
-        self.bookie_id = f"bk{next(Bookie._ids)}"
+        # Clusters pass a per-cluster id so same-seed runs replay with
+        # identical ids; the global counter is the standalone fallback.
+        self.bookie_id = bookie_id or f"bk{next(Bookie._ids)}"
         self.sim = sim
         self.append_latency_s = append_latency_s
         self.admission_interval_s = 1.0 / max_throughput_eps
         self.alive = True
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="pulsar.bookie")
         self._next_free = 0.0
         self._entries: set = set()  # (ledger_id, entry_id)
 
@@ -107,6 +110,7 @@ class Ledger:
         bookies: typing.Sequence[Bookie],
         write_quorum: int = 2,
         ack_quorum: int = 2,
+        ledger_id: typing.Optional[int] = None,
     ):
         if not bookies:
             raise ValueError("a ledger needs at least one bookie")
@@ -115,7 +119,7 @@ class Ledger:
                 f"need 1 <= ack_quorum({ack_quorum}) <= write_quorum"
                 f"({write_quorum}) <= ensemble({len(bookies)})"
             )
-        self.ledger_id = next(Ledger._ids)
+        self.ledger_id = ledger_id if ledger_id is not None else next(Ledger._ids)
         self.sim = sim
         self.ensemble = list(bookies)
         self.write_quorum = write_quorum

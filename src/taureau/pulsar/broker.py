@@ -81,8 +81,12 @@ class Broker:
         write_quorum: int = 2,
         ack_quorum: int = 2,
         calibration: Calibration = DEFAULT_CALIBRATION,
+        broker_id: typing.Optional[str] = None,
+        ledger_ids: typing.Optional[typing.Iterator[int]] = None,
     ):
-        self.broker_id = f"broker{next(Broker._ids)}"
+        # Clusters pass a per-cluster id so same-seed runs replay with
+        # identical ids; the global counter is the standalone fallback.
+        self.broker_id = broker_id or f"broker{next(Broker._ids)}"
         self.sim = sim
         self.bookies = list(bookies)
         self.write_quorum = min(write_quorum, len(self.bookies))
@@ -90,8 +94,12 @@ class Broker:
         self.calibration = calibration
         self.alive = True
         self.topics: typing.Dict[str, BrokerTopic] = {}
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="pulsar")
         self._next_free = 0.0
+        # Clusters share one counter across their brokers so ledger ids
+        # stay unique and replayable; standalone brokers fall back to
+        # the global Ledger counter.
+        self._ledger_ids = ledger_ids
 
     # ------------------------------------------------------------------
     # Topic ownership
@@ -119,6 +127,9 @@ class Broker:
             self.bookies,
             write_quorum=self.write_quorum,
             ack_quorum=self.ack_quorum,
+            ledger_id=(
+                next(self._ledger_ids) if self._ledger_ids is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -131,25 +142,41 @@ class Broker:
         payload: object,
         key: typing.Optional[str] = None,
         size_mb: float = 0.0,
+        parent=None,
     ) -> Event:
         """Receive → persist → dispatch; the event fires with the Message.
 
         The broker pipeline is serial: a publish waits for the broker to
         be free (``dispatch`` latency each), which is what makes
         partitioned topics spread across brokers scale throughput (E9).
+
+        When a tracer is installed the publish records a span tree
+        (``pulsar.publish`` → ``pulsar.persist`` / ``pulsar.dispatch``)
+        and stamps the publish span's context on the persisted
+        :class:`Message`, so consumers continue the trace.  ``parent``
+        stitches the publish into the producer's existing trace.
         """
         if not self.alive:
             raise RuntimeError(f"{self.broker_id} is down")
         topic = self._topic(topic_name)
         done = self.sim.event()
+        span = None
+        tracer = self.sim.tracer
+        if tracer is not None:
+            span = tracer.start_span(
+                f"pulsar.publish.{topic_name}",
+                parent=parent,
+                broker=self.broker_id,
+                size_mb=size_mb,
+            )
         start = max(self.sim.now, self._next_free)
         self._next_free = start + self.calibration.broker_dispatch_s
         self.sim.schedule_at(
-            self._next_free, self._persist, topic, payload, key, size_mb, done
+            self._next_free, self._persist, topic, payload, key, size_mb, done, span
         )
         return done
 
-    def _persist(self, topic, payload, key, size_mb, done: Event) -> None:
+    def _persist(self, topic, payload, key, size_mb, done: Event, span=None) -> None:
         entry_id, ack_time = topic.current_ledger.append(payload, size_mb)
         message = Message(
             message_id=MessageId(topic.current_ledger.ledger_id, entry_id),
@@ -158,10 +185,23 @@ class Broker:
             key=key,
             size_mb=size_mb,
             publish_time=self.sim.now,
+            trace=span.context() if span is not None else None,
         )
-        self.sim.schedule_at(max(ack_time, self.sim.now), self._acked, topic, message, done)
+        if span is not None:
+            self.sim.tracer.record(
+                "pulsar.persist",
+                parent=span,
+                start=self.sim.now,
+                end=max(ack_time, self.sim.now),
+                ledger=topic.current_ledger.ledger_id,
+                entry=entry_id,
+            )
+        self.sim.schedule_at(
+            max(ack_time, self.sim.now), self._acked, topic, message, done, span
+        )
 
-    def _acked(self, topic: BrokerTopic, message: Message, done: Event) -> None:
+    def _acked(self, topic: BrokerTopic, message: Message, done: Event,
+               span=None) -> None:
         topic.backlog.append(message)
         dropped = topic.prune_backlog(self.sim.now)
         if dropped:
@@ -169,7 +209,17 @@ class Broker:
         self.metrics.counter("messages_persisted").add()
         self.metrics.counter("bytes_persisted_mb").add(message.size_mb)
         for subscription in topic.subscriptions.values():
+            if span is not None:
+                self.sim.tracer.record(
+                    "pulsar.dispatch",
+                    parent=span,
+                    start=self.sim.now,
+                    end=self.sim.now + subscription.dispatch_latency_s,
+                    subscription=subscription.name,
+                )
             subscription.dispatch(message)
+        if span is not None:
+            span.finish(self.sim.now)
         done.succeed(message)
 
     # ------------------------------------------------------------------

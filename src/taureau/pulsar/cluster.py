@@ -45,8 +45,13 @@ class Producer:
         payload: object,
         key: typing.Optional[str] = None,
         size_mb: float = 0.0,
+        parent=None,
     ) -> Event:
-        """Publish; the event fires with the persisted Message."""
+        """Publish; the event fires with the persisted Message.
+
+        ``parent`` (a span or span context) stitches the publish into an
+        existing trace — e.g. a FaaS handler passes ``ctx.span_context()``.
+        """
         partitions = self.cluster.partitions_of(self.topic)
         if key is not None:
             index = _route_hash(key) % len(partitions)
@@ -54,7 +59,9 @@ class Producer:
             index = next(self._rr) % len(partitions)
         partition_name = partitions[index]
         broker = self.cluster.broker_of(partition_name)
-        return broker.publish(partition_name, payload, key=key, size_mb=size_mb)
+        return broker.publish(
+            partition_name, payload, key=key, size_mb=size_mb, parent=parent
+        )
 
 
 class PulsarCluster:
@@ -75,9 +82,14 @@ class PulsarCluster:
         self.calibration = calibration
         self.metadata = MetadataStore(sim, calibration)
         self.bookies = [
-            Bookie(sim, append_latency_s=calibration.bookie_append_s)
-            for _ in range(bookie_count)
+            Bookie(
+                sim,
+                append_latency_s=calibration.bookie_append_s,
+                bookie_id=f"bk{index}",
+            )
+            for index in range(bookie_count)
         ]
+        ledger_ids = itertools.count()
         self.brokers = [
             Broker(
                 sim,
@@ -85,8 +97,10 @@ class PulsarCluster:
                 write_quorum=write_quorum,
                 ack_quorum=ack_quorum,
                 calibration=calibration,
+                broker_id=f"broker{index}",
+                ledger_ids=ledger_ids,
             )
-            for _ in range(broker_count)
+            for index in range(broker_count)
         ]
         self._assignment_rr = itertools.count()
 

@@ -68,8 +68,15 @@ class FunctionContext:
     # -- output ----------------------------------------------------------------
 
     def publish(self, topic: str, payload: object, key=None):
-        """Side output to an arbitrary topic."""
-        return self._runtime.cluster.producer(topic).send(payload, key=key)
+        """Side output to an arbitrary topic.
+
+        The publish is stitched into the current message's trace (when
+        one rides on it), so fan-out chains stay one tree.
+        """
+        parent = self._message.trace if self._message is not None else None
+        return self._runtime.cluster.producer(topic).send(
+            payload, key=key, parent=parent
+        )
 
 
 class PulsarFunction:
@@ -125,7 +132,7 @@ class FunctionsRuntime:
 
     def __init__(self, cluster: PulsarCluster):
         self.cluster = cluster
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="pulsar.functions")
         self._deployed: typing.Dict[str, FunctionContext] = {}
 
     def deploy(self, function: PulsarFunction) -> FunctionContext:
@@ -159,9 +166,17 @@ class FunctionsRuntime:
 
         def listener(message: Message, consumer) -> None:
             context._message = message
+            tracer = self.cluster.sim.tracer
+            fn_span = None
+            if tracer is not None and message.trace is not None:
+                fn_span = tracer.start_span(
+                    f"pulsar.fn.{function.name}", parent=message.trace
+                )
             try:
                 result = function.process(message.payload, context)
             except Exception:
+                if fn_span is not None:
+                    fn_span.finish(self.cluster.sim.now, status="error")
                 self.metrics.counter(f"{function.name}.process_errors").add()
                 count = failures.get(message.message_id, 0) + 1
                 failures[message.message_id] = count
@@ -177,8 +192,11 @@ class FunctionsRuntime:
             self.metrics.counter(f"{function.name}.processed").add()
             if result is not None and function.output_topic is not None:
                 self.cluster.producer(function.output_topic).send(
-                    result, key=message.key
+                    result, key=message.key,
+                    parent=fn_span if fn_span is not None else None,
                 )
+            if fn_span is not None:
+                fn_span.finish(self.cluster.sim.now)
             consumer.ack(message)
 
         for topic in function.input_topics:
@@ -216,6 +234,16 @@ class FunctionsRuntime:
         def run_batch(batch: list) -> None:
             payloads = [message.payload for message, __ in batch]
             context._message = batch[-1][0]
+            tracer = sim.tracer
+            first_trace = batch[0][0].trace
+            if tracer is not None and first_trace is not None:
+                tracer.record(
+                    f"pulsar.fn.{function.name}",
+                    parent=first_trace,
+                    start=sim.now,
+                    end=sim.now,
+                    batch_size=len(batch),
+                )
             try:
                 results = function.process_batch(payloads, context)
             except Exception:
@@ -286,7 +314,8 @@ class FunctionsRuntime:
         subscription = subscription_name or f"trigger-{function_name}"
 
         def listener(message: Message, consumer) -> None:
-            platform.invoke(function_name, message.payload)
+            # Explicit propagation: the invocation joins the message's trace.
+            platform.invoke(function_name, message.payload, parent=message.trace)
             consumer.ack(message)
             self.metrics.counter(f"trigger.{function_name}.fired").add()
 

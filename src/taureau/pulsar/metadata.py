@@ -27,7 +27,7 @@ class MetadataStore:
     ):
         self.sim = sim
         self.calibration = calibration
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="pulsar.metadata")
         self._data: dict = {}
         self._sequences = itertools.count(1)
 

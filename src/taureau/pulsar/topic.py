@@ -50,6 +50,10 @@ class Message:
     key: typing.Optional[str]
     size_mb: float
     publish_time: float
+    #: Explicit trace propagation: the publish span's context rides on
+    #: the message, so consumers parent their work onto the producer's
+    #: trace.  ``None`` when the publish was untraced.
+    trace: typing.Optional[object] = None
 
 
 def _key_hash(key: str) -> int:

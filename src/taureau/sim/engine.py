@@ -36,6 +36,10 @@ class Simulation:
         self._heap: list = []
         self._counter = itertools.count()
         self._running = False
+        #: Optional :class:`taureau.obs.Tracer`.  ``None`` (the default)
+        #: keeps every tracing hook down to one attribute check; install
+        #: one (or use ``taureau.Platform``) to record span trees.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives

@@ -181,30 +181,56 @@ class TimeSeries:
 
 
 class MetricRegistry:
-    """A namespace of metrics, created on first reference."""
+    """A namespace of metrics, created on first reference.
 
-    def __init__(self):
+    ``namespace`` normalizes metric names to dotted canonical form: a
+    registry built with ``MetricRegistry(namespace="faas")`` files
+    ``counter("invocations")`` under ``faas.invocations`` while keeping
+    the short name readable as an alias — ``counter("invocations")`` and
+    ``counter("faas.invocations")`` return the same object, so existing
+    callers keep working and :meth:`snapshot` exports one uniform
+    ``faas.*`` / ``pulsar.*`` / ``jiffy.*`` naming scheme across
+    subsystems.
+    """
+
+    def __init__(self, namespace: str = ""):
+        self.namespace = namespace
         self._counters: dict = {}
         self._distributions: dict = {}
         self._series: dict = {}
 
+    def canonical(self, name: str) -> str:
+        """The fully-qualified dotted name for ``name`` in this registry."""
+        if not self.namespace or name.startswith(self.namespace + "."):
+            return name
+        return f"{self.namespace}.{name}"
+
     def counter(self, name: str) -> Counter:
+        name = self.canonical(name)
         if name not in self._counters:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
     def distribution(self, name: str) -> Distribution:
+        name = self.canonical(name)
         if name not in self._distributions:
             self._distributions[name] = Distribution(name)
         return self._distributions[name]
 
     def series(self, name: str) -> TimeSeries:
+        name = self.canonical(name)
         if name not in self._series:
             self._series[name] = TimeSeries(name)
         return self._series[name]
 
     def snapshot(self) -> dict:
-        """A plain-dict summary, handy for bench output."""
+        """A plain-dict export under canonical dotted names.
+
+        Counters export their value, distributions a summary dict, and
+        time series their point count and last value — enough for bench
+        output and cross-subsystem dashboards without touching the
+        underlying objects.
+        """
         summary: dict = {}
         for name, counter in self._counters.items():
             summary[name] = counter.value
@@ -215,5 +241,11 @@ class MetricRegistry:
                     "mean": dist.mean,
                     "p50": dist.p50,
                     "p99": dist.p99,
+                }
+        for name, series in self._series.items():
+            if len(series):
+                summary[name] = {
+                    "points": len(series),
+                    "last": series.values[-1],
                 }
         return summary

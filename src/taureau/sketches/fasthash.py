@@ -85,13 +85,15 @@ def encode_items(items: typing.Iterable[object]) -> np.ndarray:
     elif not isinstance(items, (list, tuple)):
         items = list(items)
     count = len(items)
-    if count and type(items[0]) is int:
+    if count and all(type(item) is int for item in items):
+        # Every element must really be int: np.array(..., int64) silently
+        # coerces '0'/True to 0/1, which would diverge from scalar add().
         try:
             # All-int streams skip the per-item Python dispatch entirely;
             # int64 -> uint64 casts wrap exactly like ``item & 2^64-1``.
             return np.array(items, dtype=np.int64).astype(np.uint64)
         except (OverflowError, TypeError, ValueError):
-            pass  # mixed types or bigints: take the generic path
+            pass  # bigints: take the generic path
     # Two-pass cache scan: a C-speed map() pulls every already-known
     # digest, then only the misses pay the per-item Python dispatch.
     try:
