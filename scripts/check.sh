@@ -10,7 +10,7 @@ export PYTHONPATH=src
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
-    ruff check src tests benchmarks
+    ruff check src tests benchmarks scripts
 else
     echo "== ruff not installed; skipping lint =="
 fi
@@ -21,7 +21,13 @@ python -m pytest -x -q
 echo "== bench smoke: batch data plane =="
 python benchmarks/bench_sketch_batch.py --smoke
 
+echo "== bench smoke: metrics overhead =="
+python benchmarks/bench_metrics_overhead.py --smoke
+
 echo "== trace smoke: end-to-end tracing =="
 python scripts/trace_smoke.py
+
+echo "== metrics smoke: monitoring determinism =="
+python scripts/metrics_smoke.py
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,128 @@
+"""Metrics smoke gate: monitoring output must be valid and deterministic.
+
+Run from the repo root (check.sh does)::
+
+    PYTHONPATH=src python scripts/metrics_smoke.py
+
+Drives a monitored FaaS workload (with deliberate failures so burn-rate
+alerts actually fire) through the :class:`taureau.Platform` facade, then
+asserts the three observability contracts the tier-1 gate cares about:
+
+1. two same-seed runs produce byte-identical metric snapshots, alert
+   fire/resolve sequences (name, kind, time, severity) and folded-stack
+   profiles;
+2. the Prometheus exposition output parses (``validate_prometheus``);
+3. every flamegraph folded-stack line is well-formed
+   (``validate_folded``) and at least one alert fired and resolved.
+"""
+
+import json
+import sys
+
+import taureau
+from taureau.obs import (
+    BurnRatePolicy,
+    RecordingRule,
+    SloObjective,
+    validate_folded,
+    validate_prometheus,
+)
+
+
+def run_workload(seed: int):
+    """One monitored workload; returns (snapshot_json, alerts, folded, app)."""
+    app = taureau.Platform(seed=seed)
+
+    @app.function("api", tenant="acme")
+    def api(event, ctx):
+        ctx.charge(0.05)
+        if event is not None and 20 <= event < 32:
+            raise RuntimeError("injected outage")
+        return "ok"
+
+    app.with_monitoring(
+        rules=[
+            RecordingRule(
+                "invocation_rate", "rate", "faas.invocations", window_s=10.0
+            ),
+            RecordingRule(
+                "error_ratio", "ratio", "faas.errors",
+                denominator="faas.invocations", window_s=10.0,
+            ),
+            RecordingRule(
+                "p99_latency", "quantile", "faas.e2e_latency_s",
+                window_s=10.0, q=99,
+            ),
+        ],
+        slos=[
+            SloObjective(
+                "api-availability", objective=0.9, window_s=120.0,
+                good='faas.invocations_by{function="api",outcome="ok"}',
+                total="faas.invocations",
+                burn_policies=(BurnRatePolicy(5.0, 15.0, 2.0),),
+            ),
+        ],
+        interval_s=1.0,
+    )
+    for i in range(80):
+        app.sim.schedule_after(i * 0.5, app.faas.invoke, "api", i)
+    app.run()
+
+    snapshot = json.dumps(app.snapshot(), sort_keys=True)
+    alerts = [
+        (event.name, event.kind, event.time, event.severity)
+        for event in app.alerts()
+    ]
+    folded = app.profile()
+    return snapshot, alerts, folded, app
+
+
+def main() -> int:
+    snapshot, alerts, folded, app = run_workload(seed=2026)
+
+    problems = validate_prometheus(app.prometheus())
+    if problems:
+        print("metrics_smoke: Prometheus exposition output is INVALID:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+
+    problems = validate_folded(folded)
+    if problems:
+        print("metrics_smoke: folded-stack profile is MALFORMED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+
+    kinds = {kind for _name, kind, _time, _severity in alerts}
+    if "fire" not in kinds or "resolve" not in kinds:
+        print(
+            "metrics_smoke: expected the injected outage to fire and "
+            f"resolve a burn-rate alert, got {alerts!r}"
+        )
+        return 1
+
+    snapshot2, alerts2, folded2, _app2 = run_workload(seed=2026)
+    if snapshot != snapshot2:
+        print("metrics_smoke: same-seed runs produced different snapshots")
+        return 1
+    if alerts != alerts2:
+        print("metrics_smoke: same-seed runs produced different alert logs")
+        return 1
+    if folded != folded2:
+        print("metrics_smoke: same-seed runs produced different profiles")
+        return 1
+
+    dashboard = app.dashboard()
+    json.dumps(dashboard, sort_keys=True)  # must be JSON-able
+    budget = dashboard["slos"]["api-availability"]["budget_remaining"]
+    print(
+        f"metrics_smoke OK: {len(json.loads(snapshot))} metrics, "
+        f"{len(alerts)} alert events, {len(folded)} profile lines, "
+        f"budget remaining {budget:.3f}, deterministic"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

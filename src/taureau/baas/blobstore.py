@@ -148,6 +148,8 @@ class BlobStore:
         return gb_months * self.calibration.blob_price_per_gb_month
 
     def _charge(self, ctx, size_mb: float, op: str = "io", key: str = "") -> None:
+        self.metrics.labeled_counter("ops_by", ("op",)).add(op=op)
+        self.metrics.histogram("io_size_mb").observe(size_mb)
         if ctx is None:
             return
         latency = self.operation_latency_s(size_mb)

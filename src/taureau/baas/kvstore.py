@@ -116,6 +116,8 @@ class KvStore:
         return len(self._items)
 
     def _charge(self, ctx, size_mb: float, op: str = "io", key: str = "") -> None:
+        self.metrics.labeled_counter("ops_by", ("op",)).add(op=op)
+        self.metrics.histogram("io_size_mb").observe(size_mb)
         if ctx is None:
             return
         latency = self.calibration.kv_transfer_latency(size_mb)

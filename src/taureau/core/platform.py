@@ -283,6 +283,7 @@ class FaasPlatform:
                 f"faas.invoke.{name}",
                 parent=parent,
                 function=name,
+                tenant=spec.tenant,
                 invocation_id=record.invocation_id,
             )
             record.trace_id = attempt.span.trace_id
@@ -460,6 +461,9 @@ class FaasPlatform:
         self._running_per_function[attempt.spec.name] += 1
         self.metrics.series("running").record(self.sim.now, self._running)
         attempt.last_dispatch_cold = cold
+        self.metrics.labeled_counter("starts_by", ("function", "start")).add(
+            function=attempt.spec.name, start="cold" if cold else "warm"
+        )
         start_delay = config.calibration.scheduler_overhead_s
         if cold:
             cold_latency = config.calibration.cold_start_latency(
@@ -500,6 +504,9 @@ class FaasPlatform:
             )
             record.start_time = record.end_time = self.sim.now
             self.metrics.counter("throttles").add()
+            self.metrics.labeled_counter(
+                "invocations_by", ("function", "outcome")
+            ).add(function=record.function_name, outcome=record.status.value)
             if attempt.span is not None:
                 attempt.span.finish(self.sim.now, status="throttled")
             attempt.done.succeed(record)
@@ -759,6 +766,12 @@ class FaasPlatform:
         record.end_time = self.sim.now
         self.metrics.distribution("e2e_latency_s").observe(record.end_to_end_latency_s)
         self.metrics.distribution("exec_duration_s").observe(exec_duration)
+        self.metrics.labeled_counter(
+            "invocations_by", ("function", "outcome")
+        ).add(function=spec.name, outcome=status.value)
+        self.metrics.labeled_histogram(
+            "e2e_latency_by", ("function",)
+        ).observe(record.end_to_end_latency_s, function=spec.name)
         if status is InvocationStatus.TIMEOUT:
             self.metrics.counter("timeouts").add()
         elif status is InvocationStatus.ERROR:

@@ -28,7 +28,15 @@ import typing
 from taureau.cluster import Cluster
 from taureau.core.function import FunctionSpec, InvocationRecord
 from taureau.core.platform import FaasPlatform, PlatformConfig
-from taureau.obs import Trace, Tracer, TraceStore
+from taureau.obs import (
+    Monitor,
+    Profiler,
+    Trace,
+    Tracer,
+    TraceStore,
+    dashboard_snapshot,
+    to_prometheus,
+)
 from taureau.sim import Event, Simulation
 
 __all__ = ["Platform"]
@@ -81,6 +89,8 @@ class Platform:
         )
         #: Attached subsystem handles (name -> object), for snapshot().
         self._subsystems: dict = {}
+        #: Installed by :meth:`with_monitoring`.
+        self.monitor: typing.Optional[Monitor] = None
 
     # ------------------------------------------------------------------
     # FaaS surface (delegation)
@@ -105,20 +115,24 @@ class Platform:
         self.faas.wire_service(name, client)
 
     def invoke(self, name: str, payload: object = None, parent=None) -> Event:
+        self._poke_monitor()
         return self.faas.invoke(name, payload, parent=parent)
 
     def invoke_sync(self, name: str, payload: object = None,
                     parent=None) -> InvocationRecord:
+        self._poke_monitor()
         return self.faas.invoke_sync(name, payload, parent=parent)
 
     def schedule_periodic(self, name: str, interval_s: float, payload_fn=None,
                           start_after_s=None):
+        self._poke_monitor()
         return self.faas.schedule_periodic(
             name, interval_s, payload_fn=payload_fn, start_after_s=start_after_s
         )
 
     def run(self, until=None):
         """Advance the shared simulation (see :meth:`Simulation.run`)."""
+        self._poke_monitor()
         return self.sim.run(until=until)
 
     def total_cost_usd(self) -> float:
@@ -198,16 +212,30 @@ class Platform:
     def last_trace(self) -> Trace:
         return self.trace(None)
 
+    def registries(self) -> list:
+        """Every live metric registry, platform first then subsystems.
+
+        Evaluated fresh on each call so subsystems attached after a
+        :class:`~taureau.obs.Monitor` was installed still get scraped.
+        """
+        registries = [self.faas.metrics]
+        for subsystem in self._subsystems.values():
+            registries.extend(self._registries_of(subsystem))
+        if self.monitor is not None:
+            registries.append(self.monitor.results)
+        return registries
+
     def snapshot(self) -> dict:
         """Merged metric snapshot across the platform and attached subsystems.
 
         Keys are canonical dotted names (``faas.*``, ``pulsar.*``,
-        ``jiffy.*``, ``baas.*``), so one dict describes the whole stack.
+        ``jiffy.*``, ``baas.*``, plus ``monitor.*`` recording-rule
+        series when monitoring is on), so one dict describes the whole
+        stack.
         """
-        merged = dict(self.faas.metrics.snapshot())
-        for subsystem in self._subsystems.values():
-            for registry in self._registries_of(subsystem):
-                merged.update(registry.snapshot())
+        merged: dict = {}
+        for registry in self.registries():
+            merged.update(registry.snapshot())
         return merged
 
     @staticmethod
@@ -231,3 +259,65 @@ class Platform:
                     if node_metrics is not None:
                         registries.append(node_metrics)
         return registries
+
+    # ------------------------------------------------------------------
+    # Monitoring (rules, SLOs, alerts) and exporters
+    # ------------------------------------------------------------------
+
+    def with_monitoring(self, rules=None, slos=None,
+                        interval_s: float = 1.0) -> Monitor:
+        """Install a virtual-time :class:`~taureau.obs.Monitor`.
+
+        ``rules`` are :class:`~taureau.obs.RecordingRule`\\ s, ``slos``
+        :class:`~taureau.obs.SloObjective`\\ s; both may be added later
+        through the returned monitor.  The monitor scrapes
+        :meth:`registries` live every ``interval_s`` simulated seconds
+        while the simulation has work, and its alert fire/resolve events
+        are deterministic under a fixed seed.
+        """
+        if self.monitor is None:
+            # Exclude the monitor's own results registry from its scrape
+            # targets: rules read raw metrics, not other rules.
+            self.monitor = Monitor(
+                self.sim,
+                registries=lambda: [
+                    registry
+                    for registry in self.registries()
+                    if registry is not self.monitor.results
+                ],
+                interval_s=interval_s,
+            )
+        for rule in rules or ():
+            self.monitor.add_rule(rule)
+        for slo in slos or ():
+            self.monitor.add_slo(slo)
+        self.monitor.ensure_running()
+        return self.monitor
+
+    def _poke_monitor(self) -> None:
+        if self.monitor is not None:
+            self.monitor.ensure_running()
+
+    def alerts(self) -> list:
+        """The append-only alert fire/resolve event log (empty if unmonitored)."""
+        if self.monitor is None:
+            return []
+        return list(self.monitor.events)
+
+    def prometheus(self) -> str:
+        """The whole stack in Prometheus text exposition format."""
+        return to_prometheus(self.registries())
+
+    def dashboard(self) -> dict:
+        """One JSON-able health document: metrics + rules + SLOs + alerts."""
+        return dashboard_snapshot(self.registries(), monitor=self.monitor)
+
+    def profiler(self) -> Profiler:
+        """A :class:`~taureau.obs.Profiler` over the recorded traces."""
+        if self.tracer is None:
+            raise RuntimeError("tracing is disabled on this Platform")
+        return Profiler(self.tracer.store)
+
+    def profile(self) -> list:
+        """The aggregated flamegraph folded-stack profile (sorted lines)."""
+        return self.profiler().folded()

@@ -60,6 +60,14 @@ class Block:
         self.owner = None
 
 
+def _tenant_of(owner: str) -> str:
+    """The tenant a namespace path belongs to (its first segment)."""
+    for segment in owner.split("/"):
+        if segment:
+            return segment
+    return owner or "unknown"
+
+
 class MemoryNode:
     """A storage server contributing blocks to the shared pool."""
 
@@ -144,6 +152,7 @@ class BlockPool:
             block.owner = owner
         self._allocated_count += count
         self.metrics.counter("allocations").add(count)
+        self._tenant_gauge().add(count, tenant=_tenant_of(owner))
         self._record_usage()
         return taken
 
@@ -152,6 +161,7 @@ class BlockPool:
         for block in blocks:
             if block.owner is None:
                 raise ValueError(f"{block.block_id} is not allocated")
+            self._tenant_gauge().add(-1, tenant=_tenant_of(block.owner))
             block.reset()
             self._free.append(block)
             self._allocated_count -= 1
@@ -176,9 +186,11 @@ class BlockPool:
             block.owner for block in node.blocks if block.owner is not None
         })
         self._free = [block for block in self._free if block.node is not node]
-        lost_allocated = sum(
-            1 for block in node.blocks if block.owner is not None
-        )
+        lost_allocated = 0
+        for block in node.blocks:
+            if block.owner is not None:
+                self._tenant_gauge().add(-1, tenant=_tenant_of(block.owner))
+                lost_allocated += 1
         self._allocated_count -= lost_allocated
         self.metrics.counter("node_failures").add()
         self.metrics.counter("blocks_lost").add(lost_allocated)
@@ -188,6 +200,10 @@ class BlockPool:
     def peak_allocated_blocks(self) -> int:
         series = self.metrics.series("allocated_blocks")
         return int(series.maximum()) if len(series) else 0
+
+    def _tenant_gauge(self):
+        """Per-tenant block occupancy (tenant = first namespace segment)."""
+        return self.metrics.labeled_gauge("blocks_by", ("tenant",))
 
     def _record_usage(self) -> None:
         self.metrics.series("allocated_blocks").record(

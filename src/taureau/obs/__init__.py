@@ -1,4 +1,4 @@
-"""Observability: end-to-end distributed tracing for the simulated stack.
+"""Observability: tracing, labeled metrics, SLO alerting and profiling.
 
 The paper's central complaint (§3, §5) is that serverless developers
 cannot see *where* latency and cost go — cold starts, broker hops and
@@ -18,6 +18,36 @@ Design rules (so traces stay deterministic and replayable):
 
 from taureau.obs.analysis import CriticalPath, CriticalPathEntry, cost_attribution, critical_path
 from taureau.obs.export import render_tree, to_chrome_trace, validate_chrome_trace
+from taureau.obs.metrics import (
+    Counter,
+    Distribution,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    LabeledGauge,
+    LabeledHistogram,
+    MetricRegistry,
+    TimeSeries,
+    dashboard_snapshot,
+    to_prometheus,
+    validate_prometheus,
+)
+from taureau.obs.profile import (
+    Profiler,
+    cost_table,
+    folded_profile,
+    folded_stacks,
+    render_cost_table,
+    validate_folded,
+)
+from taureau.obs.slo import (
+    Alert,
+    AlertEvent,
+    BurnRatePolicy,
+    Monitor,
+    RecordingRule,
+    SloObjective,
+)
 from taureau.obs.trace import NULL_CONTEXT, Span, SpanContext, Trace, Tracer, TraceStore
 
 __all__ = [
@@ -34,4 +64,31 @@ __all__ = [
     "render_tree",
     "to_chrome_trace",
     "validate_chrome_trace",
+    # metrics surface (recorders live in taureau.sim.metrics)
+    "Counter",
+    "Gauge",
+    "Distribution",
+    "Histogram",
+    "LabeledCounter",
+    "LabeledGauge",
+    "LabeledHistogram",
+    "TimeSeries",
+    "MetricRegistry",
+    "to_prometheus",
+    "validate_prometheus",
+    "dashboard_snapshot",
+    # SLO / rule engine
+    "RecordingRule",
+    "BurnRatePolicy",
+    "SloObjective",
+    "Alert",
+    "AlertEvent",
+    "Monitor",
+    # profiling
+    "folded_stacks",
+    "folded_profile",
+    "validate_folded",
+    "cost_table",
+    "render_cost_table",
+    "Profiler",
 ]

@@ -1,0 +1,231 @@
+"""The labeled-metric surface and its exporters.
+
+The recorder types live in :mod:`taureau.sim.metrics` (the kernel owns
+the hot recording paths); this module is the *observability* face of the
+same objects — the public import point plus the two exporters dashboards
+consume:
+
+- :func:`to_prometheus` — Prometheus text exposition format (counters,
+  gauges, cumulative-bucket histograms, labeled families), deterministic
+  line order so same-seed runs export byte-identical documents;
+- :func:`validate_prometheus` — a structural checker for the exposition
+  output, mirroring ``validate_chrome_trace`` (the check-gate hook);
+- :func:`dashboard_snapshot` — one JSON-able dict combining metric
+  snapshots, recording-rule series, SLO budgets and the alert log.
+"""
+
+from __future__ import annotations
+
+import re
+import typing
+
+from taureau.sim.metrics import (
+    Counter,
+    Distribution,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    LabeledGauge,
+    LabeledHistogram,
+    MetricRegistry,
+    TimeSeries,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Distribution",
+    "Histogram",
+    "LabeledCounter",
+    "LabeledGauge",
+    "LabeledHistogram",
+    "TimeSeries",
+    "MetricRegistry",
+    "to_prometheus",
+    "validate_prometheus",
+    "dashboard_snapshot",
+]
+
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric name mangled to the Prometheus charset (dots -> _)."""
+    mangled = _NAME_OK.sub("_", name)
+    if not mangled or mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(pairs: typing.Sequence[typing.Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{_prom_name(key)}="{_escape_label_value(str(value))}"'
+        for key, value in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def _prom_float(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return format(value, ".10g")
+
+
+def _histogram_lines(
+    name: str, histogram: Histogram,
+    labels: typing.Sequence[typing.Tuple[str, str]] = (),
+) -> typing.List[str]:
+    """Cumulative-bucket exposition for one (possibly labeled) histogram."""
+    lines = []
+    cumulative = histogram.zero_count
+    if histogram.zero_count:
+        lines.append(
+            f"{name}_bucket{_prom_labels([*labels, ('le', '0')])} {cumulative}"
+        )
+    for index, count in histogram.bucket_items():
+        cumulative += count
+        upper = _prom_float(histogram.bucket_upper(index))
+        lines.append(
+            f"{name}_bucket{_prom_labels([*labels, ('le', upper)])} {cumulative}"
+        )
+    lines.append(
+        f"{name}_bucket{_prom_labels([*labels, ('le', '+Inf')])} "
+        f"{histogram.count}"
+    )
+    lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_float(histogram.total)}")
+    lines.append(f"{name}_count{_prom_labels(labels)} {histogram.count}")
+    return lines
+
+
+def _family_label_pairs(family, key: tuple):
+    return list(zip(family.label_names, key))
+
+
+def to_prometheus(registries: typing.Iterable[MetricRegistry]) -> str:
+    """All metrics of ``registries`` in Prometheus text exposition format.
+
+    Counters and gauges become single samples, time series a gauge of
+    their last value, histograms the standard cumulative ``_bucket`` /
+    ``_sum`` / ``_count`` triple with geometric ``le`` bounds, and
+    labeled families one sample (or triple) per child.  Output order is
+    fully deterministic.
+    """
+    lines: typing.List[str] = []
+
+    def emit_type(name: str, prom_type: str) -> None:
+        lines.append(f"# TYPE {name} {prom_type}")
+
+    for registry in registries:
+        for kind, raw_name, metric in registry.walk():
+            name = _prom_name(raw_name)
+            if kind == "counter":
+                emit_type(name, "counter")
+                lines.append(f"{name} {_prom_float(metric.value)}")
+            elif kind == "gauge":
+                emit_type(name, "gauge")
+                lines.append(f"{name} {_prom_float(metric.value)}")
+            elif kind == "series":
+                if not len(metric):
+                    continue
+                emit_type(name, "gauge")
+                lines.append(f"{name} {_prom_float(metric.values[-1])}")
+            elif kind == "histogram":
+                emit_type(name, "histogram")
+                lines.extend(_histogram_lines(name, metric))
+            elif kind == "labeled_counter":
+                emit_type(name, "counter")
+                for key, child in metric.items():
+                    labels = _prom_labels(_family_label_pairs(metric, key))
+                    lines.append(f"{name}{labels} {_prom_float(child.value)}")
+            elif kind == "labeled_gauge":
+                emit_type(name, "gauge")
+                for key, child in metric.items():
+                    labels = _prom_labels(_family_label_pairs(metric, key))
+                    lines.append(f"{name}{labels} {_prom_float(child.value)}")
+            elif kind == "labeled_histogram":
+                emit_type(name, "histogram")
+                for key, child in metric.items():
+                    lines.extend(
+                        _histogram_lines(
+                            name, child, _family_label_pairs(metric, key)
+                        )
+                    )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_LABEL_VALUE = r"\"(\\.|[^\"\\])*\""
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE +
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE + r")*\})?"
+    r" (\+Inf|-Inf|NaN|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$"
+)
+_TYPE_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def validate_prometheus(text: str) -> typing.List[str]:
+    """Structurally check exposition ``text``; returns a problem list.
+
+    An empty list means every line is a well-formed ``# TYPE`` comment
+    or a ``name{labels} value`` sample, and every sample was preceded by
+    a TYPE declaration for its metric family.
+    """
+    problems: typing.List[str] = []
+    declared: set = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            problems.append(f"line {lineno}: empty line inside exposition")
+            continue
+        if line.startswith("#"):
+            if not _TYPE_LINE.match(line):
+                problems.append(f"line {lineno}: malformed comment {line!r}")
+            else:
+                declared.add(line.split()[2])
+            continue
+        if not _SAMPLE_LINE.match(line):
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        metric = re.split(r"[{ ]", line, maxsplit=1)[0]
+        base = re.sub(r"_(bucket|sum|count)$", "", metric)
+        if metric not in declared and base not in declared:
+            problems.append(f"line {lineno}: sample {metric!r} missing TYPE")
+    return problems
+
+
+def dashboard_snapshot(
+    registries: typing.Iterable[MetricRegistry],
+    monitor=None,
+) -> dict:
+    """One JSON-able document describing the whole stack's health.
+
+    ``metrics`` merges every registry's :meth:`~MetricRegistry.snapshot`;
+    when a :class:`~taureau.obs.slo.Monitor` is given, ``rules`` carries
+    each recording rule's latest value, ``slos`` the error-budget state,
+    and ``alerts`` the full fire/resolve event log.
+    """
+    merged: dict = {}
+    for registry in registries:
+        merged.update(registry.snapshot())
+    document: dict = {"metrics": merged}
+    if monitor is not None:
+        document["rules"] = monitor.rule_values()
+        document["slos"] = monitor.slo_status()
+        document["alerts"] = [
+            {
+                "name": event.name,
+                "kind": event.kind,
+                "time": event.time,
+                "severity": event.severity,
+            }
+            for event in monitor.events
+        ]
+    return document

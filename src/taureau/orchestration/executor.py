@@ -75,7 +75,7 @@ class Orchestrator:
         self.platform = platform
         self.sim = platform.sim
         self.transition_overhead_s = transition_overhead_s
-        self.metrics = MetricRegistry()
+        self.metrics = MetricRegistry(namespace="orchestration")
         self._compositions: typing.Dict[str, Composition] = {}
 
     # ------------------------------------------------------------------
@@ -113,6 +113,12 @@ class Orchestrator:
 
         def stamp(event):
             execution.finished_at = self.sim.now
+            self.metrics.histogram("wall_clock_s").observe(
+                execution.wall_clock_s
+            )
+            self.metrics.labeled_counter("executions_by", ("outcome",)).add(
+                outcome="ok" if event.ok else "failed"
+            )
             if execution.span is not None:
                 execution.span.finish(self.sim.now)
 

@@ -17,6 +17,7 @@ replication factor.
 from __future__ import annotations
 
 import itertools
+import math
 import typing
 
 from taureau.sim import MetricRegistry, Simulation
@@ -87,6 +88,12 @@ class Bookie:
         self._next_free = start + self.admission_interval_s
         self._entries.add((ledger_id, entry_id))
         self.metrics.counter("appends").add()
+        # Admission wait: how long the entry queued behind the bookie's
+        # throughput cap before its write slot opened.  (An append issued
+        # at t=inf — a never-acked quorum's retry — has no meaningful wait.)
+        wait = start - self.sim.now
+        if math.isfinite(wait):
+            self.metrics.histogram("admission_wait_s").observe(wait)
         return start + self.append_latency_s
 
     def holds(self, ledger_id: int, entry_id: int) -> bool:

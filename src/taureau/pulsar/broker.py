@@ -16,6 +16,7 @@ a fresh one (single-writer semantics).
 from __future__ import annotations
 
 import itertools
+import math
 import typing
 
 from taureau.core.calibration import DEFAULT_CALIBRATION, Calibration
@@ -208,6 +209,19 @@ class Broker:
             self.metrics.counter("backlog_expired").add(dropped)
         self.metrics.counter("messages_persisted").add()
         self.metrics.counter("bytes_persisted_mb").add(message.size_mb)
+        self.metrics.labeled_counter("messages_by", ("topic",)).add(
+            topic=topic.name
+        )
+        self.metrics.labeled_counter("bytes_by", ("topic",)).add(
+            message.size_mb, topic=topic.name
+        )
+        persist_latency = self.sim.now - message.publish_time
+        if math.isfinite(persist_latency):
+            # A crashed-quorum append acks at t=inf; that is "never", not
+            # a latency sample.
+            self.metrics.labeled_histogram(
+                "persist_latency_by", ("topic",)
+            ).observe(persist_latency, topic=topic.name)
         for subscription in topic.subscriptions.values():
             if span is not None:
                 self.sim.tracer.record(

@@ -10,7 +10,17 @@ from taureau.sim.events import (
     SimulationError,
     Timeout,
 )
-from taureau.sim.metrics import Counter, Distribution, MetricRegistry, TimeSeries
+from taureau.sim.metrics import (
+    Counter,
+    Distribution,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    LabeledGauge,
+    LabeledHistogram,
+    MetricRegistry,
+    TimeSeries,
+)
 from taureau.sim.rng import RngRegistry, derive_seed
 
 __all__ = [
@@ -23,7 +33,12 @@ __all__ = [
     "Interrupt",
     "SimulationError",
     "Counter",
+    "Gauge",
     "Distribution",
+    "Histogram",
+    "LabeledCounter",
+    "LabeledGauge",
+    "LabeledHistogram",
     "TimeSeries",
     "MetricRegistry",
     "RngRegistry",

@@ -1,0 +1,229 @@
+"""Tests for the labeled-metric layer and its exporters.
+
+The load-bearing property: a log-bucketed :class:`Histogram` (alone or
+assembled by :meth:`Histogram.merge`) answers every percentile within
+one bucket's relative error (``growth - 1``) of the exact raw-sample
+:class:`Distribution` — that is what justifies replacing raw samples on
+every hot recording path.
+"""
+
+import math
+import random
+
+import pytest
+
+from taureau.obs import (
+    Distribution,
+    Histogram,
+    MetricRegistry,
+    to_prometheus,
+    validate_prometheus,
+)
+
+RELATIVE_ERROR = Histogram.DEFAULT_GROWTH - 1.0
+
+
+def assert_quantiles_agree(histogram, exact_samples, quantiles=(50, 90, 99)):
+    dist = Distribution("exact")
+    dist.extend(exact_samples)
+    for q in quantiles:
+        exact = dist.percentile(q)
+        approx = histogram.percentile(q)
+        if exact == 0.0:
+            assert approx == 0.0
+        else:
+            assert abs(approx - exact) / exact <= RELATIVE_ERROR, (
+                f"p{q}: histogram {approx} vs exact {exact}"
+            )
+
+
+class TestHistogram:
+    def test_exact_side_statistics(self):
+        hist = Histogram("h")
+        hist.extend([0.5, 1.5, 2.0, 8.0])
+        assert hist.count == 4
+        assert hist.total == pytest.approx(12.0)
+        assert hist.mean == pytest.approx(3.0)
+        assert hist.minimum == 0.5
+        assert hist.maximum == 8.0
+        dist = Distribution()
+        dist.extend([0.5, 1.5, 2.0, 8.0])
+        assert hist.stddev == pytest.approx(dist.stddev)
+
+    def test_zero_and_negative_handling(self):
+        hist = Histogram("h")
+        hist.observe(0.0)
+        assert hist.count == 1
+        assert hist.zero_count == 1
+        assert hist.percentile(50) == 0.0
+        with pytest.raises(ValueError):
+            hist.observe(-0.1)
+
+    def test_non_finite_samples_rejected_with_named_error(self):
+        # A crashed-quorum Pulsar append acks at t=inf; the recorder must
+        # fail loudly (not OverflowError deep in math.floor) so callers
+        # know to guard.
+        hist = Histogram("lat")
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="'lat'"):
+                hist.observe(bad)
+        assert hist.count == 0
+
+    def test_empty_queries_raise_named_errors(self):
+        hist = Histogram("lat")
+        for query in ("mean", "minimum", "maximum"):
+            with pytest.raises(ValueError, match="'lat'"):
+                getattr(hist, query)
+        with pytest.raises(ValueError):
+            hist.percentile(50)
+
+    def test_extremes_are_exact(self):
+        rng = random.Random(5)
+        samples = [rng.expovariate(3.0) for _ in range(500)]
+        hist = Histogram("h")
+        hist.extend(samples)
+        assert hist.percentile(0) == min(samples)
+        assert hist.percentile(100) == max(samples)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_quantiles_within_one_bucket_of_exact(self, seed):
+        rng = random.Random(seed)
+        samples = [rng.lognormvariate(-2.0, 1.5) for _ in range(4000)]
+        samples += [0.0] * 17  # zero bucket participates in ranks
+        hist = Histogram("h")
+        hist.extend(samples)
+        assert_quantiles_agree(hist, samples, quantiles=(10, 50, 90, 99))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_preserves_quantile_accuracy(self, seed):
+        rng = random.Random(100 + seed)
+        shards = [
+            [rng.lognormvariate(-1.0, 1.0) for _ in range(1000)]
+            for _ in range(4)
+        ]
+        merged = Histogram("merged")
+        for shard in shards:
+            piece = Histogram("piece")
+            piece.extend(shard)
+            merged.merge(piece)
+        pooled = [value for shard in shards for value in shard]
+        assert merged.count == len(pooled)
+        assert merged.total == pytest.approx(sum(pooled))
+        assert merged.minimum == min(pooled)
+        assert merged.maximum == max(pooled)
+        assert_quantiles_agree(merged, pooled, quantiles=(25, 50, 90, 99))
+
+    def test_merge_requires_matching_growth(self):
+        left = Histogram("l", growth=1.05)
+        right = Histogram("r", growth=1.1)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_memory_bounded_by_buckets_not_samples(self):
+        hist = Histogram("h")
+        rng = random.Random(0)
+        low, high = 0.001, 10.0
+        for _ in range(20_000):
+            hist.observe(rng.uniform(low, high))
+        # Storage is capped by the value range's bucket span, independent
+        # of the sample count: index = floor(log(v) / log(growth)).
+        log_growth = math.log(Histogram.DEFAULT_GROWTH)
+        span = (
+            math.floor(math.log(high) / log_growth)
+            - math.floor(math.log(low) / log_growth)
+            + 1
+        )
+        assert hist.bucket_count <= span
+        assert span < 200  # vs 20k retained raw samples
+
+    def test_windowed_percentile_since_state(self):
+        hist = Histogram("h")
+        hist.extend([0.010] * 100)
+        checkpoint = hist.state()
+        hist.extend([1.0] * 100)
+        windowed = hist.percentile_since(checkpoint, 50)
+        assert windowed == pytest.approx(1.0, rel=RELATIVE_ERROR)
+        assert hist.percentile_since(hist.state(), 50) is None
+
+
+class TestLabeledFamilies:
+    def test_counter_children_by_label_values(self):
+        registry = MetricRegistry(namespace="faas")
+        family = registry.labeled_counter("invocations_by", ("function", "outcome"))
+        family.add(function="f", outcome="ok")
+        family.add(2, function="f", outcome="error")
+        family.add(function="g", outcome="ok")
+        assert family.labels(function="f", outcome="ok").value == 1
+        assert family.labels(function="f", outcome="error").value == 2
+        snap = registry.snapshot()
+        assert snap['faas.invocations_by{function="f",outcome="error"}'] == 2
+
+    def test_label_names_enforced(self):
+        registry = MetricRegistry()
+        family = registry.labeled_counter("c", ("function",))
+        with pytest.raises(ValueError):
+            family.add(tenant="acme")
+        with pytest.raises(ValueError):
+            registry.labeled_counter("c", ("function", "outcome"))
+
+    def test_gauge_and_histogram_families(self):
+        registry = MetricRegistry()
+        gauge = registry.labeled_gauge("blocks_by", ("tenant",))
+        gauge.add(3, tenant="a")
+        gauge.add(-1, tenant="a")
+        assert gauge.labels(tenant="a").value == 2
+        hist = registry.labeled_histogram("lat_by", ("function",))
+        hist.observe(0.25, function="f")
+        assert hist.labels(function="f").count == 1
+
+    def test_find_resolves_labeled_children(self):
+        registry = MetricRegistry(namespace="faas")
+        family = registry.labeled_counter("invocations_by", ("function", "outcome"))
+        family.add(function="f", outcome="ok")
+        child = registry.find('faas.invocations_by{function="f",outcome="ok"}')
+        assert child is family.labels(function="f", outcome="ok")
+        assert registry.find('faas.invocations_by{function="g",outcome="ok"}') is None
+        assert registry.find("faas.invocations_by") is family
+
+
+class TestPrometheusExposition:
+    def build_registry(self):
+        registry = MetricRegistry(namespace="faas")
+        registry.counter("invocations").add(5)
+        registry.gauge("running").set(2)
+        registry.histogram("e2e_latency_s").extend([0.0, 0.1, 0.1, 2.5])
+        registry.series("pending").record(1.0, 4.0)
+        family = registry.labeled_counter("invocations_by", ("function", "outcome"))
+        family.add(function="f", outcome="ok")
+        return registry
+
+    def test_output_validates_and_is_deterministic(self):
+        text = to_prometheus([self.build_registry()])
+        assert validate_prometheus(text) == []
+        assert text == to_prometheus([self.build_registry()])
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus([self.build_registry()])
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("faas_e2e_latency_s_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4  # the +Inf bucket holds everything
+        assert 'le="+Inf"' in lines[-1]
+        assert "faas_e2e_latency_s_count 4" in text
+
+    def test_validator_flags_problems(self):
+        assert validate_prometheus("garbage line here!") != []
+        assert validate_prometheus("orphan_metric 1") != []  # missing TYPE
+        ok = "# TYPE m counter\nm 1"
+        assert validate_prometheus(ok) == []
+
+    def test_label_values_escaped(self):
+        registry = MetricRegistry()
+        family = registry.labeled_counter("ops", ("key",))
+        family.add(key='we"ird\\path')
+        text = to_prometheus([registry])
+        assert '\\"' in text and "\\\\" in text
+        assert validate_prometheus(text) == []

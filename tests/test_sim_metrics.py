@@ -51,6 +51,14 @@ class TestDistribution:
         with pytest.raises(ValueError):
             Distribution().percentile(50)
 
+    def test_empty_min_max_raise_named_error(self):
+        # Not the bare "min() arg is an empty sequence" — the error names
+        # the metric, matching mean/percentile.
+        with pytest.raises(ValueError, match="'latency' has no samples"):
+            Distribution("latency").minimum
+        with pytest.raises(ValueError, match="'latency' has no samples"):
+            Distribution("latency").maximum
+
     def test_percentile_range_checked(self):
         dist = Distribution()
         dist.observe(1.0)
@@ -105,6 +113,53 @@ class TestTimeSeries:
         series.record(50.0, 10.0)
         assert series.time_average(0.0, 100.0) == pytest.approx(5.0)
 
+    def test_empty_maximum_raises_named_error(self):
+        with pytest.raises(ValueError, match="'capacity' is empty"):
+            TimeSeries("capacity").maximum()
+
+    def test_integral_window_starting_before_first_sample(self):
+        series = TimeSeries()
+        series.record(10.0, 4.0)
+        series.record(20.0, 6.0)
+        # [0, 10) predates the series and contributes nothing.
+        assert series.integral(0.0, 15.0) == pytest.approx(4.0 * 5)
+
+    def test_integral_window_past_last_sample_extends_final_value(self):
+        series = TimeSeries()
+        series.record(0.0, 3.0)
+        assert series.integral(0.0, 100.0) == pytest.approx(300.0)
+
+    def test_integral_zero_width_segments(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        # Repeated timestamps form zero-width steps; the last value wins.
+        series.record(5.0, 9.0)
+        series.record(10.0, 2.0)
+        assert series.integral(5.0, 10.0) == pytest.approx(9.0 * 5)
+        # Zero-width integration window.
+        assert series.integral(7.0, 7.0) == 0.0
+
+    def test_integral_empty_series_is_zero(self):
+        assert TimeSeries().integral(0.0, 10.0) == 0.0
+
+    def test_integral_rejects_reversed_bounds(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.integral(5.0, 4.0)
+
+    def test_time_average_rejects_empty_window(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.time_average(5.0, 5.0)
+
+    def test_time_average_over_partially_covered_window(self):
+        series = TimeSeries()
+        series.record(10.0, 8.0)
+        # [0, 10) is uncovered (counts as zero), [10, 20) holds 8.
+        assert series.time_average(0.0, 20.0) == pytest.approx(4.0)
+
 
 class TestMetricRegistry:
     def test_same_name_returns_same_object(self):
@@ -121,3 +176,23 @@ class TestMetricRegistry:
         assert snap["invocations"] == 3
         assert snap["latency"]["count"] == 2
         assert snap["latency"]["mean"] == 2.0
+
+    def test_snapshot_includes_zero_sample_distributions(self):
+        registry = MetricRegistry()
+        registry.distribution("latency")  # registered, never observed
+        assert registry.snapshot()["latency"] == {"count": 0}
+
+    def test_cross_type_name_reuse_raises(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.distribution("x")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.series("x")
+
+    def test_cross_type_collision_respects_namespace_aliases(self):
+        registry = MetricRegistry(namespace="faas")
+        registry.counter("x")
+        # The canonical name collides even via the qualified alias.
+        with pytest.raises(ValueError):
+            registry.distribution("faas.x")
