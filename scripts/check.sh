@@ -8,12 +8,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+echo "== repo hygiene: no tracked bytecode =="
+if git ls-files | grep -q '\.pyc$'; then
+    echo "error: compiled bytecode is tracked in git:" >&2
+    git ls-files | grep '\.pyc$' >&2
+    exit 1
+fi
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests benchmarks scripts
 else
     echo "== ruff not installed; skipping lint =="
 fi
+
+echo "== taurlint: determinism static analysis =="
+python -m taureau.lint src tests benchmarks scripts
 
 echo "== pytest (tier-1) =="
 python -m pytest -x -q
@@ -29,5 +39,11 @@ python scripts/trace_smoke.py
 
 echo "== metrics smoke: monitoring determinism =="
 python scripts/metrics_smoke.py
+
+echo "== sanitizer smoke: runtime race detection =="
+python scripts/sanitizer_smoke.py
+
+echo "== bench smoke: sanitizer overhead =="
+python benchmarks/bench_sanitizer_overhead.py --smoke
 
 echo "check.sh: all gates passed"

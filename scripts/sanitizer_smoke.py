@@ -1,0 +1,107 @@
+"""Sanitizer smoke gate: the runtime race checks must work and stay quiet.
+
+Run from the repo root (check.sh does)::
+
+    PYTHONPATH=src python scripts/sanitizer_smoke.py
+
+Asserts the three runtime-sanitizer contracts the tier-1 gate cares
+about:
+
+1. *detection* — deliberately injected hazards are caught: an ambiguous
+   same-timestamp tie-break, a handler mutating its payload in place,
+   and a nondeterministic scenario failing ``verify_determinism``;
+2. *silence* — a well-behaved monitored workload runs with
+   ``sanitize=True`` and zero findings, and ``verify_determinism``
+   passes on it;
+3. *neutrality* — the sanitized run produces byte-identical metric
+   snapshots to an unsanitized same-seed run (observation must not
+   perturb the simulation).
+"""
+
+import json
+import sys
+
+import taureau
+from taureau.sim import Simulation
+
+
+def clean_workload(app):
+    @app.function("api")
+    def api(event, ctx):
+        ctx.charge(0.05)
+        return [*event, "ok"]  # new list: payload stays untouched
+
+    for index in range(40):
+        app.invoke("api", [index])
+
+
+def run_clean(seed: int, sanitize: bool) -> str:
+    app = taureau.Platform(seed=seed, sanitize=sanitize)
+    clean_workload(app)
+    app.run()
+    if sanitize:
+        findings = app.sanitizer.report()
+        assert findings == [], f"clean workload produced findings: {findings}"
+    return json.dumps(app.dashboard()["metrics"], sort_keys=True)
+
+
+def check_detection() -> None:
+    # (a) ambiguous tie-break between two distinct callbacks.
+    sim = Simulation(seed=1, sanitize=True)
+
+    def deposit():
+        pass
+
+    def withdraw():
+        pass
+
+    sim.schedule_at(1.0, deposit)
+    sim.schedule_at(1.0, withdraw)
+    sim.run()
+    assert len(sim.sanitizer.findings_of("tie-break")) == 1
+
+    # (b) handler mutating its payload in place.
+    app = taureau.Platform(seed=1, sanitize=True)
+
+    @app.function("mutator")
+    def mutator(event, ctx):
+        ctx.charge(0.01)
+        event.append("leak")
+
+    app.invoke_sync("mutator", [])
+    assert len(app.sanitizer.findings_of("shared-state")) == 1
+
+    # (c) cross-run leak caught by verify_determinism.
+    leak = {"calls": 0}
+
+    def leaky_scenario(platform):
+        @platform.function("leaky")
+        def leaky(event, ctx):
+            leak["calls"] += 1
+            ctx.charge(0.01 * leak["calls"])
+
+        platform.invoke("leaky")
+
+    report = taureau.Platform(seed=1).verify_determinism(leaky_scenario)
+    assert not report.ok, "verify_determinism missed an injected leak"
+
+
+def main() -> int:
+    check_detection()
+    print("sanitizer smoke: all three injected hazards detected")
+
+    report = taureau.Platform(seed=42).verify_determinism(
+        lambda app: clean_workload(app)
+    )
+    assert report.ok, report.render()
+    print(f"sanitizer smoke: {report.render()}")
+
+    sanitized = run_clean(seed=42, sanitize=True)
+    plain = run_clean(seed=42, sanitize=False)
+    assert sanitized == plain, "sanitizer perturbed the metric snapshot"
+    print("sanitizer smoke: sanitized run byte-identical to plain run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,8 +165,10 @@ class ServerlessDatabase:
                 raise TransactionConflict(
                     f"{table}/{key}: read v{seen_version}, now v{current}"
                 )
-        # Apply atomically.
-        for table, key in txn._deletes:
+        # Apply atomically.  Deletes are independent pops today, but the
+        # sorted order keeps commit application total should any observer
+        # (notification hook, metric) ever attach per-delete.
+        for table, key in sorted(txn._deletes):
             self._table(table).pop(key, None)
         for (table, key), value in txn._writes.items():
             rows = self._table(table)

@@ -204,7 +204,11 @@ class FaasPlatform:
         self._pending: collections.deque = collections.deque()
         self._cpu_load: dict = collections.defaultdict(float)
         self._tenants_on: dict = collections.defaultdict(collections.Counter)
-        self._sandboxes_on: dict = collections.defaultdict(set)
+        # machine_id -> {sandbox: None}: a dict used as an *insertion-ordered*
+        # set.  fail_machine iterates this to re-dispatch interrupted work;
+        # with a real set the re-dispatch order would follow object hashes
+        # (memory addresses) and differ run to run (taurlint TAU003).
+        self._sandboxes_on: dict = collections.defaultdict(dict)
         self._executing: dict = {}  # attempt -> sandbox
         self._running = 0
         self._running_per_function: dict = collections.defaultdict(int)
@@ -395,7 +399,7 @@ class FaasPlatform:
         if self.cluster is None or machine not in self.cluster.machines:
             raise ValueError("machine is not part of this platform's cluster")
         orphaned: list = []
-        for sandbox in list(self._sandboxes_on.get(machine.machine_id, set())):
+        for sandbox in list(self._sandboxes_on.get(machine.machine_id, ())):
             attempt = next(
                 (a for a, s in self._executing.items() if s is sandbox), None
             )
@@ -562,7 +566,7 @@ class FaasPlatform:
             spec, machine, allocation, self.sim.now,
             sandbox_id=f"sb{next(self._sandbox_ids)}",
         )
-        self._sandboxes_on[machine.machine_id].add(sandbox)
+        self._sandboxes_on[machine.machine_id][sandbox] = None
         return sandbox
 
     def _place_with_eviction(self, spec: FunctionSpec):
@@ -600,7 +604,7 @@ class FaasPlatform:
         if sandbox.machine is not None and sandbox.allocation is not None:
             self._account_sandbox_memory(-sandbox.spec.memory_mb)
             self._tenants_on[sandbox.machine.machine_id][sandbox.spec.tenant] -= 1
-            self._sandboxes_on[sandbox.machine.machine_id].discard(sandbox)
+            self._sandboxes_on[sandbox.machine.machine_id].pop(sandbox, None)
         if sandbox.provisioned:
             self._provisioned_memory_mb -= sandbox.spec.memory_mb
             self.metrics.series("provisioned_memory_mb").record(
@@ -658,6 +662,15 @@ class FaasPlatform:
         attempt.execution_epoch += 1
         self._executing[attempt] = sandbox
 
+        # Race-sanitizer boundary checks (Simulation(sanitize=True)): the
+        # payload is entering a sandbox, so any drift since it last crossed
+        # a boundary means shared in-process state bypassed the stores.
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        payload_digest = None
+        if sanitizer is not None:
+            site = f"faas:{spec.name}"
+            payload_digest = sanitizer.inbound(record.payload, self.sim.now, site)
+
         slowdown = self._enter_cpu(sandbox, spec)
         base_duration = 0.0
         if spec.duration_model is not None:
@@ -691,6 +704,11 @@ class FaasPlatform:
             response = spec.handler(record.payload, ctx)
         except Exception as exc:  # handler bugs are data, not sim crashes
             error = exc
+        if sanitizer is not None:
+            sanitizer.check_handler_boundary(
+                record.payload, payload_digest, response,
+                self.sim.now, f"faas:{spec.name}",
+            )
         effective = ctx.accrued_s * slowdown
         if effective > spec.timeout_s:
             status = InvocationStatus.TIMEOUT

@@ -60,6 +60,11 @@ class Platform:
         Install a :class:`~taureau.obs.Tracer` on the simulation
         (default).  With ``tracing=False`` every hook degrades to one
         attribute check.
+    sanitize:
+        Install a :class:`~taureau.lint.RaceSanitizer` on the simulation
+        (off by default): records ambiguous same-timestamp tie-breaks
+        and cross-sandbox shared-state mutations as findings on
+        :attr:`sanitizer`, and surfaces them in :meth:`dashboard`.
     """
 
     def __init__(
@@ -71,8 +76,21 @@ class Platform:
         config: typing.Optional[PlatformConfig] = None,
         services: typing.Optional[dict] = None,
         tracing: bool = True,
+        sanitize: bool = False,
     ):
-        self.sim = Simulation(seed=seed)
+        #: Construction arguments, kept verbatim so verify_determinism
+        #: can build byte-equivalent sibling platforms.
+        self._init_kwargs = {
+            "seed": seed,
+            "machines": machines,
+            "machine_cores": machine_cores,
+            "machine_memory_mb": machine_memory_mb,
+            "config": config,
+            "services": dict(services) if services else None,
+            "tracing": tracing,
+            "sanitize": sanitize,
+        }
+        self.sim = Simulation(seed=seed, sanitize=sanitize)
         self.tracer: typing.Optional[Tracer] = None
         if tracing:
             self.tracer = Tracer(self.sim, TraceStore())
@@ -309,8 +327,71 @@ class Platform:
         return to_prometheus(self.registries())
 
     def dashboard(self) -> dict:
-        """One JSON-able health document: metrics + rules + SLOs + alerts."""
-        return dashboard_snapshot(self.registries(), monitor=self.monitor)
+        """One JSON-able health document: metrics + rules + SLOs + alerts
+        (+ sanitizer findings when ``sanitize=True``)."""
+        return dashboard_snapshot(
+            self.registries(), monitor=self.monitor, sanitizer=self.sanitizer
+        )
+
+    # ------------------------------------------------------------------
+    # Determinism verification (taureau.lint layer 2)
+    # ------------------------------------------------------------------
+
+    @property
+    def sanitizer(self):
+        """The installed :class:`~taureau.lint.RaceSanitizer`, or ``None``."""
+        return self.sim.sanitizer
+
+    def verify_determinism(self, scenario, until=None, runs: int = 2):
+        """Run ``scenario`` on ``runs`` fresh same-seed platforms and compare.
+
+        ``scenario(platform)`` must build the entire workload (register
+        functions, attach subsystems, invoke) against the platform it is
+        given; any state it closes over must be created inside the call,
+        or the runs are not independent.  After the scenario returns the
+        simulation is drained (or advanced to ``until``), then metric
+        snapshots, dashboards, costs and — when tracing is on — folded
+        profiles are digested and compared byte-for-byte.
+
+        Returns a :class:`~taureau.lint.DeterminismReport`; ``report.ok``
+        is the same-seed ⇒ same-bytes contract, ``report.mismatches``
+        names the first diverging series when it is broken.
+        """
+        from taureau.lint.sanitizer import (
+            DeterminismReport,
+            diff_states,
+            stable_digest,
+        )
+
+        if runs < 2:
+            raise ValueError("verify_determinism needs at least 2 runs")
+        states = []
+        digests = []
+        for _run in range(runs):
+            sibling = Platform(**self._init_kwargs)
+            scenario(sibling)
+            sibling.run(until=until)
+            state = sibling._determinism_state()
+            states.append(state)
+            digests.append(stable_digest(state))
+        ok = len(set(digests)) == 1
+        mismatches: list = []
+        if not ok:
+            baseline = states[0]
+            for index, state in enumerate(states[1:], start=2):
+                for difference in diff_states(baseline, state):
+                    mismatches.append(f"run 1 vs run {index}: {difference}")
+        return DeterminismReport(ok=ok, digests=digests, mismatches=mismatches)
+
+    def _determinism_state(self) -> dict:
+        state = {
+            "now": self.sim.now,
+            "cost_usd": self.total_cost_usd(),
+            "dashboard": self.dashboard(),
+        }
+        if self.tracer is not None:
+            state["profile"] = self.profile()
+        return state
 
     def profiler(self) -> Profiler:
         """A :class:`~taureau.obs.Profiler` over the recorded traces."""

@@ -1,0 +1,47 @@
+"""taureau.lint — the determinism static-analysis pass and race sanitizer.
+
+The whole value of taureau rests on one invariant the test suite only
+spot-checks: same seed → byte-identical traces, metrics and bills.  This
+package turns that contract into tooling:
+
+- **Layer 1, the AST lint engine** (:mod:`taureau.lint.engine`,
+  :mod:`taureau.lint.rules`): a rule registry encoding *this repo's*
+  invariants — no wall clock in simulated code, no unseeded randomness,
+  no set-order-dependent event scheduling, metric-name grammar, and so
+  on.  Run it as ``python -m taureau.lint src tests benchmarks scripts``;
+  findings suppress per line with ``# taurlint: disable=TAU001`` and
+  configure under ``[tool.taurlint]`` in ``pyproject.toml``.
+
+- **Layer 2, the runtime race sanitizer**
+  (:mod:`taureau.lint.sanitizer`): ``Simulation(sanitize=True)`` flags
+  same-timestamp events whose order is fixed only by insertion, and
+  cross-sandbox mutation of shared Python objects that bypasses the
+  simulated stores; ``Platform.verify_determinism(scenario)`` is the
+  run-twice digest check.
+"""
+
+from taureau.lint.baseline import Baseline
+from taureau.lint.config import LintConfig, load_config
+from taureau.lint.engine import Finding, LintEngine, LintReport, Rule
+from taureau.lint.rules import all_rules
+from taureau.lint.sanitizer import (
+    DeterminismReport,
+    RaceSanitizer,
+    SanitizerError,
+    SanitizerFinding,
+)
+
+__all__ = [
+    "Baseline",
+    "DeterminismReport",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "RaceSanitizer",
+    "Rule",
+    "SanitizerError",
+    "SanitizerFinding",
+    "all_rules",
+    "load_config",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m taureau.lint``."""
+
+import sys
+
+from taureau.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

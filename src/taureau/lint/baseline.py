@@ -1,0 +1,70 @@
+"""Baseline files: grandfather existing findings without hiding new ones.
+
+A baseline is a JSON document mapping finding fingerprints (rule + path
++ offending-line content, see :meth:`Finding.fingerprint`) to the count
+of occurrences accepted at capture time.  ``--write-baseline`` captures
+the current findings; subsequent runs subtract up to the recorded count
+per fingerprint, so *new* occurrences of an old pattern still fail.
+
+Policy note: the repo's own baseline for ``src/`` is empty by design —
+every true positive in the library was fixed, not grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+__all__ = ["Baseline"]
+
+
+class Baseline:
+    def __init__(self, fingerprints: typing.Optional[dict] = None):
+        #: fingerprint -> remaining allowance this run.
+        self._allowance: dict = dict(fingerprints or {})
+        self._original: dict = dict(fingerprints or {})
+
+    def __len__(self) -> int:
+        return sum(self._original.values())
+
+    def covers(self, finding) -> bool:
+        """True (consuming one allowance) if the finding is grandfathered."""
+        key = finding.fingerprint()
+        remaining = self._allowance.get(key, 0)
+        if remaining <= 0:
+            return False
+        self._allowance[key] = remaining - 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings) -> "Baseline":
+        counts: dict = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != 1:
+            raise ValueError(f"{path}: unsupported baseline version {data.get('version')!r}")
+        return cls(
+            {str(k): int(v) for k, v in data.get("fingerprints", {}).items()}
+        )
+
+    def dump(self, path: str) -> None:
+        document = {
+            "version": 1,
+            "fingerprints": {
+                key: self._original[key] for key in sorted(self._original)
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,120 @@
+"""``python -m taureau.lint`` — the command-line front end.
+
+Exit codes: 0 clean, 1 findings (or parse errors), 2 usage error.
+
+stdout *is* this module's interface — the one sanctioned print surface
+in the library:  # taurlint: disable-file=TAU016
+
+Examples::
+
+    python -m taureau.lint src tests benchmarks scripts
+    python -m taureau.lint src --format json
+    python -m taureau.lint src --write-baseline lint-baseline.json
+    python -m taureau.lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import typing
+
+from taureau.lint.baseline import Baseline
+from taureau.lint.config import LintConfig, load_config
+from taureau.lint.engine import LintEngine
+from taureau.lint.rules import all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m taureau.lint",
+        description="taureau determinism static analysis",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--select", help="comma-separated rule codes to run")
+    parser.add_argument("--ignore", help="comma-separated rule codes to skip")
+    parser.add_argument("--baseline", help="baseline JSON file to subtract")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="capture current findings as the baseline and exit 0")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.taurlint] in pyproject.toml")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:26s} {rule.summary}")
+        return 0
+
+    config = LintConfig() if args.no_config else load_config()
+    if args.select:
+        config.select = [c.strip() for c in args.select.split(",") if c.strip()]
+    if args.ignore:
+        config.ignore = list(config.ignore) + [
+            c.strip() for c in args.ignore.split(",") if c.strip()
+        ]
+
+    known = {rule.code for rule in all_rules()}
+    requested = set(config.select or []) | set(config.ignore)
+    unknown = sorted(requested - known)
+    if unknown:
+        print(f"error: unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    baseline_path = args.baseline or config.baseline
+    if baseline_path and not args.write_baseline:
+        resolved = baseline_path
+        if not os.path.isabs(resolved) and not os.path.exists(resolved):
+            candidate = os.path.join(config.root, baseline_path)
+            if os.path.exists(candidate):
+                resolved = candidate
+        if os.path.exists(resolved):
+            try:
+                baseline = Baseline.load(resolved)
+            except (ValueError, OSError, json.JSONDecodeError) as exc:
+                print(f"error: bad baseline {resolved}: {exc}", file=sys.stderr)
+                return 2
+
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(all_rules(), config=config, baseline=baseline)
+    report = engine.run(args.paths)
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).dump(args.write_baseline)
+        print(
+            f"wrote {len(report.findings)} finding(s) to baseline "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for error in report.parse_errors:
+            print(f"parse error: {error}")
+        tail = (
+            f"{len(report.findings)} finding(s) in {report.files_checked} "
+            f"file(s); {report.suppressed} suppressed, "
+            f"{report.baselined} baselined"
+        )
+        print(tail if report.findings else f"clean: {tail}")
+    return 0 if report.clean else 1

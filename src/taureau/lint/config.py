@@ -1,0 +1,87 @@
+"""``[tool.taurlint]`` configuration loaded from ``pyproject.toml``.
+
+Recognized keys::
+
+    [tool.taurlint]
+    select   = ["TAU001", ...]   # default: every registered rule
+    ignore   = ["TAU007"]        # subtracted from select
+    exclude  = ["src/repro/"]    # path prefixes skipped entirely
+    baseline = "lint-baseline.json"
+
+    [tool.taurlint.per-path]
+    "benchmarks/" = ["TAU001"]   # rules silenced under a prefix
+
+Loading tolerates a missing file, a missing table, and a Python without
+``tomllib`` (the config is simply empty) so the linter works anywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import typing
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - py<3.11 fallback, config optional
+    tomllib = None
+
+__all__ = ["LintConfig", "load_config"]
+
+
+@dataclasses.dataclass
+class LintConfig:
+    select: typing.Optional[typing.List[str]] = None
+    ignore: typing.List[str] = dataclasses.field(default_factory=list)
+    exclude: typing.List[str] = dataclasses.field(default_factory=list)
+    baseline: typing.Optional[str] = None
+    per_path: typing.Dict[str, typing.List[str]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Directory the config file was found in; paths are relative to it.
+    root: str = "."
+
+    def rule_enabled(self, code: str, path: str) -> bool:
+        if self.select is not None and code not in self.select:
+            return False
+        if code in self.ignore:
+            return False
+        for prefix, codes in self.per_path.items():
+            if path.startswith(prefix) and code in codes:
+                return False
+        return True
+
+
+def load_config(start: str = ".") -> LintConfig:
+    """The nearest ``pyproject.toml`` ``[tool.taurlint]`` table, or defaults.
+
+    Walks upward from ``start`` so the linter behaves identically when
+    invoked from the repo root or any subdirectory.
+    """
+    directory = os.path.abspath(start)
+    while True:
+        candidate = os.path.join(directory, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return _parse(candidate, directory)
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            return LintConfig()
+        directory = parent
+
+
+def _parse(path: str, root: str) -> LintConfig:
+    if tomllib is None:  # pragma: no cover - py<3.11 only
+        return LintConfig(root=root)
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("taurlint", {})
+    config = LintConfig(root=root)
+    if "select" in table:
+        config.select = [str(code) for code in table["select"]]
+    config.ignore = [str(code) for code in table.get("ignore", [])]
+    config.exclude = [str(prefix) for prefix in table.get("exclude", [])]
+    if table.get("baseline"):
+        config.baseline = str(table["baseline"])
+    for prefix, codes in table.get("per-path", {}).items():
+        config.per_path[str(prefix)] = [str(code) for code in codes]
+    return config

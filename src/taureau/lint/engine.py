@@ -1,0 +1,337 @@
+"""The AST lint engine: rule protocol, file context, suppressions, runner.
+
+The engine is deliberately small — rules do the domain work.  A
+:class:`Rule` sees one parsed module at a time through a
+:class:`FileContext` that pre-computes what every determinism rule
+needs: an import-alias resolver (``np.random.default_rng`` →
+``numpy.random.default_rng``), a parent map for "is this call a ``with``
+item / wrapped in ``sorted()``" questions, and per-line suppression
+comments.
+
+Suppressions
+------------
+``# taurlint: disable=TAU001`` on the offending line (or on a
+comment-only line directly above it) silences those rule codes for that
+line; ``# taurlint: disable-file=TAU014`` anywhere in the file silences
+the codes for the whole file.  Suppressed findings are counted, not
+dropped silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import os
+import re
+import typing
+
+__all__ = ["Finding", "FileContext", "Rule", "LintEngine", "LintReport"]
+
+_SUPPRESS_RE = re.compile(r"#\s*taurlint:\s*disable=([A-Z0-9,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*taurlint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    rule: str
+    name: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """A location-tolerant identity used by the baseline file.
+
+        Line numbers churn on every edit, so the fingerprint hashes the
+        rule, the path, and the *content* of the offending line — a
+        baseline survives unrelated edits above the finding.
+        """
+        payload = f"{self.rule}:{self.path}:{self.snippet.strip()}"
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.name}] {self.message}"
+
+
+class FileContext:
+    """Everything a rule may ask about the module being linted."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._parents: dict = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.imports = self._collect_imports(tree)
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> dict:
+        """Alias → fully-dotted module/name map for the whole file."""
+        imports: dict = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        return imports
+
+    def parent(self, node: ast.AST) -> typing.Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def resolve(self, node: ast.AST) -> typing.Optional[str]:
+        """The fully-qualified dotted name behind an expression, if any.
+
+        ``np.random.default_rng`` resolves through the file's import
+        aliases to ``numpy.random.default_rng``; plain builtins resolve
+        to their bare name.  Returns ``None`` for non-name expressions.
+        """
+        parts: list = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule.code,
+            name=rule.name,
+            path=self.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            snippet=self.line_text(lineno),
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code` (``TAU0xx``), :attr:`name` (a short
+    kebab-case slug), :attr:`summary`, and implement :meth:`check`.
+    Path scoping: a rule with ``default_includes`` only runs on files
+    under those repo-relative prefixes; ``default_excludes`` carves
+    prefixes out.  Both are defaults — ``[tool.taurlint.per-path]``
+    configuration can silence any rule under any prefix.
+    """
+
+    code: str = "TAU000"
+    name: str = "abstract-rule"
+    summary: str = ""
+    default_includes: typing.Tuple[str, ...] = ()
+    default_excludes: typing.Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace(os.sep, "/")
+        if any(normalized.startswith(prefix) for prefix in self.default_excludes):
+            return False
+        if self.default_includes:
+            return any(normalized.startswith(p) for p in self.default_includes)
+        return True
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class LintReport:
+    """The outcome of one engine run."""
+
+    findings: typing.List[Finding] = dataclasses.field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+    parse_errors: typing.List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts(self) -> dict:
+        counts: dict = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_json(self) -> dict:
+        """The stable machine-readable schema (``--format json``)."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "name": f.name,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "fingerprint": f.fingerprint(),
+                }
+                for f in self.findings
+            ],
+            "counts": self.counts(),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "parse_errors": list(self.parse_errors),
+        }
+
+
+class LintEngine:
+    """Runs a rule set over sources, applying scoping and suppressions."""
+
+    def __init__(self, rules: typing.Sequence[Rule], config=None, baseline=None):
+        self.rules = list(rules)
+        self.config = config
+        self.baseline = baseline
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def discover(self, paths: typing.Sequence[str]) -> typing.List[str]:
+        """Expand files/directories into a sorted, deduplicated file list."""
+        files: list = []
+        for path in paths:
+            if os.path.isfile(path):
+                files.append(path)
+                continue
+            # Directory ordering from the OS is unspecified; sort both the
+            # dirnames (which steers the walk) and the emitted filenames so
+            # reports are byte-stable across filesystems.
+            for dirpath, dirnames, filenames in os.walk(path):  # taurlint: disable=TAU014
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(dirpath, filename))
+        seen: set = set()
+        unique: list = []
+        for path in sorted(files):
+            normalized = self._normalize(path)
+            if normalized not in seen:
+                seen.add(normalized)
+                unique.append(path)
+        return unique
+
+    def _normalize(self, path: str) -> str:
+        relative = os.path.relpath(path)
+        return relative.replace(os.sep, "/")
+
+    def _excluded(self, path: str) -> bool:
+        if self.config is None:
+            return False
+        return any(path.startswith(prefix) for prefix in self.config.exclude)
+
+    def _rules_for(self, path: str) -> typing.List[Rule]:
+        selected = []
+        for rule in self.rules:
+            if not rule.applies_to(path):
+                continue
+            if self.config is not None and not self.config.rule_enabled(
+                rule.code, path
+            ):
+                continue
+            selected.append(rule)
+        return selected
+
+    # ------------------------------------------------------------------
+    # Linting
+    # ------------------------------------------------------------------
+
+    def run(self, paths: typing.Sequence[str]) -> LintReport:
+        report = LintReport()
+        for path in self.discover(paths):
+            normalized = self._normalize(path)
+            if self._excluded(normalized):
+                continue
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                report.parse_errors.append(f"{normalized}: {exc}")
+                continue
+            self._lint_one(normalized, source, report)
+        if self.baseline is not None:
+            kept = []
+            for finding in report.findings:
+                if self.baseline.covers(finding):
+                    report.baselined += 1
+                else:
+                    kept.append(finding)
+            report.findings = kept
+        return report
+
+    def lint_source(self, source: str, path: str = "<string>") -> LintReport:
+        """Lint one in-memory snippet (the per-rule fixture test surface)."""
+        report = LintReport()
+        self._lint_one(path, source, report)
+        return report
+
+    def _lint_one(self, path: str, source: str, report: LintReport) -> None:
+        report.files_checked += 1
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{path}:{exc.lineno}: {exc.msg}")
+            return
+        ctx = FileContext(path, source, tree)
+        line_suppressions, file_suppressions = self._suppressions(ctx.lines)
+        for rule in self._rules_for(path):
+            for finding in rule.check(ctx):
+                if finding.rule in file_suppressions:
+                    report.suppressed += 1
+                    continue
+                if finding.rule in line_suppressions.get(finding.line, ()):
+                    report.suppressed += 1
+                    continue
+                report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    @staticmethod
+    def _suppressions(lines: typing.Sequence[str]):
+        """Per-line and whole-file ``# taurlint:`` suppression maps."""
+        per_line: dict = {}
+        whole_file: set = set()
+        for lineno, text in enumerate(lines, start=1):
+            match = _SUPPRESS_FILE_RE.search(text)
+            if match is not None:
+                whole_file.update(_codes(match.group(1)))
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            codes = _codes(match.group(1))
+            per_line.setdefault(lineno, set()).update(codes)
+            # A comment-only line suppresses the next source line too.
+            if text.lstrip().startswith("#"):
+                per_line.setdefault(lineno + 1, set()).update(codes)
+        return per_line, whole_file
+
+
+def _codes(raw: str) -> typing.List[str]:
+    return [code.strip() for code in raw.split(",") if code.strip()]

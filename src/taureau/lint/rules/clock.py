@@ -1,0 +1,71 @@
+"""TAU001 / TAU011 — the wall clock never drives simulated behaviour.
+
+Everything in taureau advances on ``Simulation.now``; a single
+``time.time()`` in a latency model silently couples a trace to the host
+machine.  Benchmarks are the one sanctioned consumer of real time (they
+*measure* the host), so TAU001 is scoped out of ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from taureau.lint.engine import FileContext, Finding, Rule
+
+__all__ = ["WallClockRule", "RealSleepRule"]
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    code = "TAU001"
+    name = "wall-clock-read"
+    summary = "Reading the host clock in simulated code; use sim.now."
+    default_excludes = ("benchmarks/",)
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{resolved}() reads the host wall clock; simulated "
+                    "behaviour must come from Simulation.now",
+                )
+
+
+class RealSleepRule(Rule):
+    code = "TAU011"
+    name = "real-sleep"
+    summary = "time.sleep blocks the process, not the virtual clock."
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.resolve(node.func) == "time.sleep":
+                yield ctx.finding(
+                    self,
+                    node,
+                    "time.sleep() stalls the real process; model delay with "
+                    "sim.timeout()/schedule_after or ctx.charge instead",
+                )

@@ -1,0 +1,106 @@
+"""TAU007 / TAU008 / TAU009 — Python traps with simulation consequences.
+
+Each of these is a general Python smell, but on simulation paths the
+consequence is specifically nondeterminism or silent corruption: float
+``==`` on accrued virtual time diverges between arithmetically equal
+paths, a mutable default argument is cross-invocation shared state, and
+a bare ``except`` can swallow a :class:`SimulationError` mid-trace.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from taureau.lint.engine import FileContext, Finding, Rule
+
+__all__ = ["FloatEqualityRule", "MutableDefaultRule", "BareExceptRule"]
+
+
+class FloatEqualityRule(Rule):
+    code = "TAU007"
+    name = "float-equality"
+    summary = "== against a non-integral float literal is representation-fragile."
+    # Library code must not branch on float equality; tests asserting
+    # exact contract values (dyadic literals like 0.5) are a legitimate
+    # pattern and stay out of scope.
+    default_includes = ("src/", "scripts/")
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for operand in (node.left, *node.comparators):
+                if self._fragile_float(operand):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "equality against a non-integral float literal; "
+                        "accrued times are sums of floats — compare with "
+                        "math.isclose or a tolerance",
+                    )
+                    break
+
+    @staticmethod
+    def _fragile_float(node: ast.AST) -> bool:
+        # Integral floats (0.0, 100.0) are exactly representable and safe
+        # as sentinels; 0.3-style literals are where == breaks.
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return node.value != int(node.value)
+        return False
+
+
+class MutableDefaultRule(Rule):
+    code = "TAU008"
+    name = "mutable-default-arg"
+    summary = "Mutable default arguments are cross-invocation shared state."
+
+    _FACTORY_NAMES = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._mutable(ctx, default):
+                    yield ctx.finding(
+                        self,
+                        default,
+                        f"mutable default argument on {node.name}(); the one "
+                        "instance is shared by every call — default to None",
+                    )
+
+    def _mutable(self, ctx: FileContext, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            if resolved in self._FACTORY_NAMES:
+                return True
+            if resolved in ("collections.defaultdict", "collections.OrderedDict",
+                            "collections.deque", "collections.Counter"):
+                return True
+        return False
+
+
+class BareExceptRule(Rule):
+    code = "TAU009"
+    name = "bare-except"
+    summary = "bare except can swallow SimulationError mid-trace."
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare `except:` catches SimulationError and "
+                    "KeyboardInterrupt alike; name the exception types the "
+                    "path can actually recover from",
+                )

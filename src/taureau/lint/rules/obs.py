@@ -1,0 +1,139 @@
+"""TAU005 / TAU006 — observability API contracts.
+
+``trace_span`` only closes its span through the context-manager
+protocol; a bare call opens a span that never finishes and silently
+corrupts the critical-path decomposition.  Metric names feed the
+Prometheus exporter and the monitor's name resolver, so they must match
+the ``ns.metric`` / ``{label="v"}`` grammar from
+:mod:`taureau.sim.metrics` at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import typing
+
+from taureau.lint.engine import FileContext, Finding, Rule
+
+__all__ = ["TraceSpanRule", "MetricNameRule"]
+
+_METRIC_NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*(\.[a-z0-9_]+)*$")
+_LABEL_NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+_CHILD_NAME_RE = re.compile(
+    r"^[a-z_][a-z0-9_]*(\.[a-z0-9_]+)*"
+    r"\{[a-z_][a-z0-9_]*=\"[^\"]*\"(,[a-z_][a-z0-9_]*=\"[^\"]*\")*\}$"
+)
+
+_SIMPLE_METRIC_METHODS = frozenset(
+    {"counter", "gauge", "histogram", "distribution", "series"}
+)
+_LABELED_METRIC_METHODS = frozenset(
+    {"labeled_counter", "labeled_gauge", "labeled_histogram"}
+)
+
+
+class TraceSpanRule(Rule):
+    code = "TAU005"
+    name = "trace-span-not-with"
+    summary = "trace_span() must be used as a context manager."
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "trace_span"):
+                continue
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.withitem):
+                continue
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Attribute)
+                and parent.func.attr == "enter_context"
+            ):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                "trace_span() outside a with-statement opens a span that "
+                "never finishes; use `with ctx.trace_span(...)` (or "
+                "ExitStack.enter_context)",
+            )
+
+
+class MetricNameRule(Rule):
+    code = "TAU006"
+    name = "metric-name-grammar"
+    summary = "Metric and label names must match the registry grammar."
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in _SIMPLE_METRIC_METHODS | _LABELED_METRIC_METHODS:
+                yield from self._check_name(ctx, node)
+                if func.attr in _LABELED_METRIC_METHODS:
+                    yield from self._check_labels(ctx, node)
+            elif func.attr == "find":
+                yield from self._check_find(ctx, node)
+
+    def _literal_first_arg(self, node: ast.Call) -> typing.Optional[str]:
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                return value
+        return None
+
+    def _check_name(self, ctx, node):
+        name = self._literal_first_arg(node)
+        if name is None:
+            return
+        if not _METRIC_NAME_RE.match(name):
+            yield ctx.finding(
+                self,
+                node,
+                f"metric name {name!r} violates the grammar "
+                "[a-z_][a-z0-9_]*(.[a-z0-9_]+)* from taureau.sim.metrics",
+            )
+
+    def _check_labels(self, ctx, node):
+        if len(node.args) < 2:
+            return
+        labels = node.args[1]
+        if not isinstance(labels, (ast.Tuple, ast.List)):
+            return
+        for element in labels.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                continue
+            if not _LABEL_NAME_RE.match(element.value):
+                yield ctx.finding(
+                    self,
+                    element,
+                    f"label name {element.value!r} violates the grammar "
+                    "[a-z_][a-z0-9_]*",
+                )
+
+    def _check_find(self, ctx, node):
+        name = self._literal_first_arg(node)
+        if name is None:
+            return
+        if "{" in name:
+            if not _CHILD_NAME_RE.match(name):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"labeled-child lookup {name!r} violates the "
+                    'ns.metric{label="value"} grammar',
+                )
+        elif not _METRIC_NAME_RE.match(name):
+            yield ctx.finding(
+                self,
+                node,
+                f"metric lookup {name!r} violates the grammar "
+                "[a-z_][a-z0-9_]*(.[a-z0-9_]+)*",
+            )

@@ -1,0 +1,218 @@
+"""TAU003 / TAU012 / TAU013 / TAU014 / TAU015 — iteration-order hygiene.
+
+Set iteration order depends on element hashes, and string hashes depend
+on ``PYTHONHASHSEED``: a ``for`` loop over a set that pushes events onto
+the heap produces a *different but individually valid* trace per run —
+the nastiest class of nondeterminism because every single run looks
+correct.  These rules flag the syntactic shapes that leak hash or
+filesystem order into observable behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from taureau.lint.engine import FileContext, Finding, Rule
+
+__all__ = [
+    "UnorderedSchedulingRule",
+    "UnorderedMaterializeRule",
+    "EnvDependenceRule",
+    "FsOrderRule",
+    "BuiltinHashRule",
+]
+
+#: Calls that make iteration order observable on the simulation timeline.
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {
+        "schedule_at", "schedule_after", "schedule_periodic", "heappush",
+        "invoke", "invoke_sync", "succeed", "fail", "publish", "send",
+        "process", "_dispatch", "timeout",
+    }
+)
+
+
+def _smells_like_set(node: ast.AST) -> bool:
+    """True when an expression is syntactically set-valued.
+
+    Covers set literals/comprehensions, ``set()``/``frozenset()`` calls,
+    set unions, ``list()``/``iter()``/``enumerate()``/``reversed()``
+    wrappers around any of those, and ``x.get(key, set())`` (the
+    dict-of-sets access pattern).
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _smells_like_set(node.left) or _smells_like_set(node.right)
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in ("set", "frozenset"):
+            return True
+        if func.id in ("list", "tuple", "iter", "enumerate", "reversed"):
+            return bool(node.args) and _smells_like_set(node.args[0])
+    if isinstance(func, ast.Attribute) and func.attr in ("get", "union",
+                                                         "intersection",
+                                                         "difference"):
+        if func.attr == "get":
+            return any(_smells_like_set(arg) for arg in node.args[1:])
+        return True
+    return False
+
+
+class UnorderedSchedulingRule(Rule):
+    code = "TAU003"
+    name = "unordered-scheduling"
+    summary = "Iterating a set to create events makes trace order hash-dependent."
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not _smells_like_set(node.iter):
+                continue
+            sensitive = self._order_sensitive_call(node)
+            if sensitive is not None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"loop over an unordered set reaches {sensitive}(); event "
+                    "creation order becomes hash-dependent — iterate "
+                    "sorted(...) or keep an insertion-ordered dict",
+                )
+
+    @staticmethod
+    def _order_sensitive_call(loop) -> typing.Optional[str]:
+        for inner in ast.walk(loop):
+            if not isinstance(inner, ast.Call):
+                continue
+            func = inner.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name in _ORDER_SENSITIVE_CALLS:
+                return name
+        return None
+
+
+class UnorderedMaterializeRule(Rule):
+    code = "TAU012"
+    name = "unordered-materialize"
+    summary = "list()/tuple() over a set materializes hash order."
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id in ("list", "tuple")):
+                continue
+            if not node.args or not _smells_like_set(node.args[0]):
+                continue
+            parent = ctx.parent(node)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "sorted"
+            ):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"{func.id}() over a set freezes hash-dependent order into a "
+                "sequence; wrap in sorted(...) to make the order total",
+            )
+
+
+class EnvDependenceRule(Rule):
+    code = "TAU013"
+    name = "env-dependence"
+    summary = "Simulated behaviour must not read process environment."
+    default_includes = ("src/",)
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and ctx.resolve(node.func) == "os.getenv":
+                yield ctx.finding(
+                    self,
+                    node,
+                    "os.getenv() couples simulation behaviour to the host "
+                    "environment; take configuration as explicit parameters",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "environ"
+                and ctx.resolve(node) == "os.environ"
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "os.environ access couples simulation behaviour to the "
+                    "host environment; take configuration as explicit "
+                    "parameters",
+                )
+
+
+class FsOrderRule(Rule):
+    code = "TAU014"
+    name = "fs-order"
+    summary = "Directory listing order is filesystem-dependent; sort it."
+    default_includes = ("src/", "scripts/")
+
+    _LISTING_CALLS = frozenset(
+        {"os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob"}
+    )
+    _PATH_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            is_listing = resolved in self._LISTING_CALLS or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._PATH_METHODS
+                and resolved is None
+            )
+            if not is_listing:
+                continue
+            parent = ctx.parent(node)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "sorted"
+            ):
+                continue
+            label = resolved or node.func.attr
+            yield ctx.finding(
+                self,
+                node,
+                f"{label}() yields entries in filesystem order; wrap the "
+                "result in sorted(...) so behaviour is host-independent",
+            )
+
+
+class BuiltinHashRule(Rule):
+    code = "TAU015"
+    name = "builtin-hash-order"
+    summary = "builtin hash() varies with PYTHONHASHSEED across runs."
+    default_includes = ("src/",)
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "builtin hash() of str/bytes changes with PYTHONHASHSEED; "
+                    "partitioning and placement must use hashlib or "
+                    "taureau.sketches.fasthash",
+                )

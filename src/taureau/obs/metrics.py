@@ -204,13 +204,16 @@ def validate_prometheus(text: str) -> typing.List[str]:
 def dashboard_snapshot(
     registries: typing.Iterable[MetricRegistry],
     monitor=None,
+    sanitizer=None,
 ) -> dict:
     """One JSON-able document describing the whole stack's health.
 
     ``metrics`` merges every registry's :meth:`~MetricRegistry.snapshot`;
     when a :class:`~taureau.obs.slo.Monitor` is given, ``rules`` carries
     each recording rule's latest value, ``slos`` the error-budget state,
-    and ``alerts`` the full fire/resolve event log.
+    and ``alerts`` the full fire/resolve event log.  When a
+    :class:`~taureau.lint.RaceSanitizer` is given its determinism
+    findings are exported under ``sanitizer``.
     """
     merged: dict = {}
     for registry in registries:
@@ -227,5 +230,14 @@ def dashboard_snapshot(
                 "severity": event.severity,
             }
             for event in monitor.events
+        ]
+    if sanitizer is not None:
+        document["sanitizer"] = [
+            {
+                "kind": finding.kind,
+                "time": finding.time,
+                "message": finding.message,
+            }
+            for finding in sanitizer.findings
         ]
     return document

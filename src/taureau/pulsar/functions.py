@@ -172,6 +172,15 @@ class FunctionsRuntime:
                 fn_span = tracer.start_span(
                     f"pulsar.fn.{function.name}", parent=message.trace
                 )
+            # Race-sanitizer boundary: a message payload entering a function
+            # sandbox must not have drifted since it was published.
+            sanitizer = getattr(self.cluster.sim, "sanitizer", None)
+            payload_digest = None
+            if sanitizer is not None:
+                site = f"pulsar:{function.name}"
+                payload_digest = sanitizer.inbound(
+                    message.payload, self.cluster.sim.now, site
+                )
             try:
                 result = function.process(message.payload, context)
             except Exception:
@@ -189,6 +198,11 @@ class FunctionsRuntime:
                 return
             finally:
                 context._message = None
+            if sanitizer is not None:
+                sanitizer.check_handler_boundary(
+                    message.payload, payload_digest, result,
+                    self.cluster.sim.now, f"pulsar:{function.name}",
+                )
             self.metrics.counter(f"{function.name}.processed").add()
             if result is not None and function.output_topic is not None:
                 self.cluster.producer(function.output_topic).send(

@@ -28,9 +28,14 @@ class Simulation:
         Master seed for all randomness drawn through :attr:`rng`.  Two
         simulations built with the same seed and the same program produce
         byte-identical traces.
+    sanitize:
+        Install a :class:`taureau.lint.RaceSanitizer` that records
+        runtime determinism hazards (ambiguous same-timestamp tie-breaks,
+        cross-sandbox shared-state mutation).  Off by default — the hot
+        path then pays one attribute check per step.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, sanitize: bool = False):
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         self._heap: list = []
@@ -40,6 +45,14 @@ class Simulation:
         #: keeps every tracing hook down to one attribute check; install
         #: one (or use ``taureau.Platform``) to record span trees.
         self.tracer = None
+        #: Optional :class:`taureau.lint.RaceSanitizer` (``None`` unless
+        #: ``sanitize=True``).  Imported lazily: the lint subsystem is
+        #: not on the hot path of an unsanitized simulation.
+        self.sanitizer = None
+        if sanitize:
+            from taureau.lint.sanitizer import RaceSanitizer
+
+            self.sanitizer = RaceSanitizer()
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -104,7 +117,26 @@ class Simulation:
             raise SimulationError("step() with no scheduled work")
         when, _tie, callback, args = heapq.heappop(self._heap)
         self.now = when
+        if self.sanitizer is not None and self._heap and self._heap[0][0] == when:
+            self.sanitizer.note_collision(
+                when,
+                self._describe_entry(callback, args),
+                self._describe_entry(self._heap[0][2], self._heap[0][3]),
+            )
         callback(*args)
+
+    def _describe_entry(self, callback, args) -> str:
+        """A semantic name for one heap entry (sanitizer diagnostics).
+
+        Raw ``_process_event`` entries are named after the event object
+        they fire, so a Timeout colliding with a Process completion reads
+        as ``event:Timeout`` vs ``event:Process`` instead of two
+        indistinguishable ``_process_event`` frames.
+        """
+        if callback == self._process_event and args:
+            return f"event:{type(args[0]).__name__}"
+        name = getattr(callback, "__qualname__", None)
+        return name if name is not None else repr(callback)
 
     def peek(self) -> float:
         """Time of the next scheduled item, or ``inf`` when idle."""

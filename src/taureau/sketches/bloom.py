@@ -60,7 +60,10 @@ class BloomFilter:
             items = list(items)
             total = len(items)
             try:
-                items = list(set(items))
+                # Set order is safe here: the scatter below is a bitwise OR,
+                # so the filter state is identical for any item order (and
+                # mixed-type batches cannot be sorted).
+                items = list(set(items))  # taurlint: disable=TAU012
             except TypeError:  # unhashable items: hash the raw stream
                 pass
         codes = encode_items(items)

@@ -66,7 +66,10 @@ class HyperLogLog:
         """
         if not isinstance(items, np.ndarray):
             try:
-                items = list(set(items))
+                # Set order is safe here: register updates are maxima, so
+                # the sketch state is identical for any item order (and
+                # mixed-type batches cannot be sorted).
+                items = list(set(items))  # taurlint: disable=TAU012
             except TypeError:  # unhashable items: hash the raw stream
                 items = list(items)
         codes = encode_items(items)

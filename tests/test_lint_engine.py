@@ -1,0 +1,347 @@
+"""Engine mechanics: suppressions, baselines, config, CLI, self-hosting.
+
+The last test class is the tier-1 determinism gate: ``taureau.lint``
+run over ``src/taureau`` must report zero findings — the library obeys
+its own contract, with nothing grandfathered in the baseline.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from taureau.lint import (
+    Baseline,
+    LintConfig,
+    LintEngine,
+    all_rules,
+    load_config,
+)
+from taureau.lint.cli import main as lint_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = "src/taureau/example.py"
+
+
+def engine(**kwargs):
+    return LintEngine(all_rules(), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        source = "import time\nt = time.time()  # taurlint: disable=TAU001\n"
+        report = engine().lint_source(source, path=SRC)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_comment_line_above_suppression(self):
+        source = (
+            "import time\n"
+            "# taurlint: disable=TAU001\n"
+            "t = time.time()\n"
+        )
+        report = engine().lint_source(source, path=SRC)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_suppression_is_per_rule_code(self):
+        # Suppressing TAU001 must not hide the TAU011 on the same line.
+        source = "import time\ntime.sleep(time.time())  # taurlint: disable=TAU001\n"
+        report = engine().lint_source(source, path=SRC)
+        assert [f.rule for f in report.findings] == ["TAU011"]
+        assert report.suppressed == 1
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        source = (
+            "import time\n"
+            "a = time.time()  # taurlint: disable=TAU001\n"
+            "b = time.time()\n"
+        )
+        report = engine().lint_source(source, path=SRC)
+        assert [f.line for f in report.findings] == [3]
+
+    def test_file_level_suppression(self):
+        source = (
+            "# taurlint: disable-file=TAU001\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        report = engine().lint_source(source, path=SRC)
+        assert report.findings == []
+        assert report.suppressed == 2
+
+    def test_comma_separated_codes(self):
+        source = (
+            "import time\n"
+            "time.sleep(time.time())  # taurlint: disable=TAU001, TAU011\n"
+        )
+        report = engine().lint_source(source, path=SRC)
+        assert report.findings == []
+        assert report.suppressed == 2
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+# ----------------------------------------------------------------------
+
+class TestBaseline:
+    BAD = "import time\na = time.time()\nb = time.time()\n"
+
+    def test_round_trip_covers_captured_findings(self, tmp_path):
+        findings = engine().lint_source(self.BAD, path=SRC).findings
+        assert len(findings) == 2
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).dump(str(path))
+        loaded = Baseline.load(str(path))
+        assert all(loaded.covers(f) for f in findings)
+
+    def test_new_occurrence_escapes_the_baseline(self, tmp_path):
+        findings = engine().lint_source(self.BAD, path=SRC).findings
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).dump(str(path))
+        # The same code grows one *new* wall-clock read on a new line.
+        grown = self.BAD + "c = time.time()\n"
+        baseline = Baseline.load(str(path))
+        report = engine().lint_source(grown, path=SRC)
+        escaped = [f for f in report.findings if not baseline.covers(f)]
+        assert len(escaped) == 1
+        assert escaped[0].line == 4
+
+    def test_fingerprint_survives_line_number_churn(self):
+        before = engine().lint_source(self.BAD, path=SRC).findings
+        shifted = "import time\n\n\n" + self.BAD.split("\n", 1)[1]
+        after = engine().lint_source(shifted, path=SRC).findings
+        assert sorted(f.fingerprint() for f in before) == sorted(
+            f.fingerprint() for f in after
+        )
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 9, "fingerprints": {}}')
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+
+# ----------------------------------------------------------------------
+# JSON output schema
+# ----------------------------------------------------------------------
+
+class TestJsonSchema:
+    def test_schema_fields(self):
+        report = engine().lint_source(
+            "import time\nt = time.time()\n", path=SRC
+        )
+        document = report.to_json()
+        assert document["version"] == 1
+        assert document["files_checked"] == 1
+        assert document["counts"] == {"TAU001": 1}
+        assert document["suppressed"] == 0
+        assert document["baselined"] == 0
+        assert document["parse_errors"] == []
+        (finding,) = document["findings"]
+        assert set(finding) == {
+            "rule", "name", "path", "line", "col", "message", "fingerprint",
+        }
+        assert finding["rule"] == "TAU001"
+        assert finding["path"] == SRC
+        assert finding["line"] == 2
+
+    def test_json_is_serializable_and_stable(self):
+        report = engine().lint_source(
+            "import time\nt = time.time()\ns = time.time()\n", path=SRC
+        )
+        first = json.dumps(report.to_json(), sort_keys=True)
+        second = json.dumps(report.to_json(), sort_keys=True)
+        assert first == second
+
+
+# ----------------------------------------------------------------------
+# Config: select / ignore / exclude / per-path
+# ----------------------------------------------------------------------
+
+class TestConfig:
+    SOURCE = "import time\nt = time.time()\ntime.sleep(1)\n"
+
+    def test_select_narrows_the_rule_set(self):
+        config = LintConfig(select=["TAU011"])
+        report = engine(config=config).lint_source(self.SOURCE, path=SRC)
+        assert [f.rule for f in report.findings] == ["TAU011"]
+
+    def test_ignore_subtracts_rules(self):
+        config = LintConfig(ignore=["TAU001"])
+        report = engine(config=config).lint_source(self.SOURCE, path=SRC)
+        assert [f.rule for f in report.findings] == ["TAU011"]
+
+    def test_per_path_silences_a_prefix(self):
+        config = LintConfig(per_path={"src/taureau/repro/": ["TAU001"]})
+        silenced = engine(config=config).lint_source(
+            self.SOURCE, path="src/taureau/repro/replay.py"
+        )
+        assert "TAU001" not in [f.rule for f in silenced.findings]
+        elsewhere = engine(config=config).lint_source(self.SOURCE, path=SRC)
+        assert "TAU001" in [f.rule for f in elsewhere.findings]
+
+    def test_load_config_reads_pyproject(self, tmp_path, monkeypatch):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.taurlint]\n"
+            'ignore = ["TAU007"]\n'
+            'exclude = ["vendored/"]\n'
+            'baseline = "lint-baseline.json"\n'
+            "[tool.taurlint.per-path]\n"
+            '"benchmarks/" = ["TAU016"]\n'
+        )
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        monkeypatch.chdir(nested)  # must walk up to find the file
+        config = load_config()
+        assert config.ignore == ["TAU007"]
+        assert config.exclude == ["vendored/"]
+        assert config.baseline == "lint-baseline.json"
+        assert config.per_path == {"benchmarks/": ["TAU016"]}
+        assert config.root == str(tmp_path)
+
+    def test_repo_config_parses(self):
+        config = load_config(REPO_ROOT)
+        assert config.root == REPO_ROOT
+        assert config.baseline == "lint-baseline.json"
+
+
+# ----------------------------------------------------------------------
+# Discovery
+# ----------------------------------------------------------------------
+
+class TestDiscovery:
+    def test_discover_sorts_and_skips_pycache(self, tmp_path, monkeypatch):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("x = 1\n")
+        hidden = tmp_path / ".venv"
+        hidden.mkdir()
+        (hidden / "c.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        files = engine().discover(["."])
+        names = [os.path.basename(f) for f in files]
+        assert names == ["a.py", "b.py"]
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes and flags
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def lint_tree(tmp_path, monkeypatch):
+    """A minimal repo: one dirty file, no pyproject interference."""
+    (tmp_path / "pyproject.toml").write_text("[tool.taurlint]\n")
+    pkg = tmp_path / "src"
+    pkg.mkdir()
+    (pkg / "clean.py").write_text("VALUE = 1\n")
+    (pkg / "dirty.py").write_text("import time\nt = time.time()\n")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, lint_tree, capsys):
+        assert lint_main(["src", "--select", "TAU011"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, lint_tree, capsys):
+        assert lint_main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "TAU001" in out
+        assert "src/dirty.py:2" in out
+
+    def test_exit_two_on_unknown_rule(self, lint_tree, capsys):
+        assert lint_main(["src", "--select", "TAU999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_path(self, lint_tree, capsys):
+        assert lint_main(["no/such/dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_json_format_is_parseable(self, lint_tree, capsys):
+        assert lint_main(["src", "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["counts"] == {"TAU001": 1}
+
+    def test_write_then_apply_baseline(self, lint_tree, capsys):
+        assert lint_main(["src", "--write-baseline", "bl.json"]) == 0
+        capsys.readouterr()
+        # With the baseline applied the same tree is clean…
+        assert lint_main(["src", "--baseline", "bl.json"]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+        # …but a new finding still fails.
+        (lint_tree / "src" / "worse.py").write_text(
+            "import time\nt = time.time()\n"
+        )
+        assert lint_main(["src", "--baseline", "bl.json"]) == 1
+
+    def test_ignore_flag(self, lint_tree):
+        assert lint_main(["src", "--ignore", "TAU001"]) == 0
+
+    def test_list_rules(self, lint_tree, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.code in out
+
+    def test_bad_baseline_is_a_usage_error(self, lint_tree, capsys):
+        (lint_tree / "bad.json").write_text("{not json")
+        assert lint_main(["src", "--baseline", "bad.json"]) == 2
+
+    def test_parse_error_makes_the_run_dirty(self, lint_tree, capsys):
+        (lint_tree / "src" / "broken.py").write_text("def f(:\n")
+        assert lint_main(["src", "--select", "TAU011"]) == 1
+        assert "parse error" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Self-hosting gate (tier-1): the library passes its own linter
+# ----------------------------------------------------------------------
+
+class TestSelfHosting:
+    def test_src_taureau_is_clean(self, monkeypatch):
+        """src/taureau must produce zero findings with an empty baseline.
+
+        This is the determinism contract gate from EXPERIMENTS.md: every
+        true positive in the library was fixed or carries a justified
+        inline suppression — nothing is grandfathered.
+        """
+        monkeypatch.chdir(REPO_ROOT)
+        config = load_config()
+        report = LintEngine(all_rules(), config=config).run(["src/taureau"])
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.findings == [], f"lint findings in src:\n{rendered}"
+        assert report.parse_errors == []
+        assert report.baselined == 0, "src/ must not rely on the baseline"
+        assert report.files_checked > 30
+
+    def test_repo_baseline_is_empty(self):
+        with open(os.path.join(REPO_ROOT, "lint-baseline.json")) as handle:
+            data = json.load(handle)
+        assert data == {"version": 1, "fingerprints": {}}
+
+    def test_cli_entry_point_runs(self, monkeypatch):
+        """`python -m taureau.lint src` exits 0 on the final tree."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "taureau.lint", "src"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout

@@ -1,0 +1,278 @@
+"""Runtime race-sanitizer tests: injected hazards must be detected.
+
+Three layers under test: (a) same-timestamp tie-break ambiguity flagged
+from ``Simulation.step``, (b) cross-sandbox shared-state mutation
+flagged at the FaaS and Pulsar handler boundaries, and (c) whole-run
+divergence caught by ``Platform.verify_determinism``.
+"""
+
+import pytest
+
+import taureau
+from taureau.lint.sanitizer import (
+    RaceSanitizer,
+    SanitizerError,
+    diff_states,
+    stable_digest,
+)
+from taureau.sim import Simulation
+
+
+# ----------------------------------------------------------------------
+# (a) tie-break ambiguity
+# ----------------------------------------------------------------------
+
+class TestTieBreakDetection:
+    def test_distinct_callbacks_at_same_time_are_flagged(self):
+        sim = Simulation(seed=1, sanitize=True)
+
+        def deposit():
+            pass
+
+        def withdraw():
+            pass
+
+        sim.schedule_at(1.0, deposit)
+        sim.schedule_at(1.0, withdraw)
+        sim.run()
+        findings = sim.sanitizer.findings_of("tie-break")
+        assert len(findings) == 1
+        assert findings[0].time == 1.0
+        assert "deposit" in findings[0].message
+        assert "withdraw" in findings[0].message
+
+    def test_same_callback_fanout_is_not_flagged(self):
+        # A batch of identical callbacks has no cross-callback ordering
+        # semantics to get wrong.
+        sim = Simulation(seed=1, sanitize=True)
+
+        def tick():
+            pass
+
+        for _ in range(5):
+            sim.schedule_at(2.0, tick)
+        sim.run()
+        assert sim.sanitizer.findings_of("tie-break") == []
+
+    def test_distinct_times_are_not_flagged(self):
+        sim = Simulation(seed=1, sanitize=True)
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(1.5, dict)
+        sim.run()
+        assert sim.sanitizer.findings_of("tie-break") == []
+
+    def test_repeated_pair_is_reported_once(self):
+        sim = Simulation(seed=1, sanitize=True)
+
+        def left():
+            pass
+
+        def right():
+            pass
+
+        for when in (1.0, 2.0, 3.0):
+            sim.schedule_at(when, left)
+            sim.schedule_at(when, right)
+        sim.run()
+        assert len(sim.sanitizer.findings_of("tie-break")) == 1
+
+    def test_sanitize_off_installs_nothing(self):
+        sim = Simulation(seed=1)
+        assert sim.sanitizer is None
+
+    def test_strict_mode_raises(self):
+        sanitizer = RaceSanitizer(strict=True)
+        with pytest.raises(SanitizerError):
+            sanitizer.note_collision(1.0, "first_callback", "second_callback")
+
+
+# ----------------------------------------------------------------------
+# (b) cross-sandbox shared state
+# ----------------------------------------------------------------------
+
+class TestSharedStateDetection:
+    def test_handler_mutating_payload_is_flagged(self):
+        app = taureau.Platform(seed=7, sanitize=True)
+
+        @app.function("mutator")
+        def mutator(event, ctx):
+            ctx.charge(0.01)
+            event.append("side-effect")  # by-reference leak
+            return len(event)
+
+        app.invoke_sync("mutator", ["item"])
+        findings = app.sanitizer.findings_of("shared-state")
+        assert len(findings) == 1
+        assert "mutated its payload" in findings[0].message
+
+    def test_well_behaved_handler_is_clean(self):
+        app = taureau.Platform(seed=7, sanitize=True)
+
+        @app.function("pure")
+        def pure(event, ctx):
+            ctx.charge(0.01)
+            return [*event, "derived"]  # new object, payload untouched
+
+        app.invoke_sync("pure", ["item"])
+        assert app.sanitizer.findings == []
+
+    def test_driver_mutating_boundary_object_is_flagged(self):
+        # The driver re-sends an object the platform already saw, after
+        # mutating it in place — shared in-process state that a real
+        # by-value FaaS boundary would never transmit.
+        app = taureau.Platform(seed=7, sanitize=True)
+
+        @app.function("reader")
+        def reader(event, ctx):
+            ctx.charge(0.01)
+            return len(event)
+
+        payload = ["first"]
+        app.invoke_sync("reader", payload)
+        payload.append("second")  # mutate after the boundary crossing
+        app.invoke_sync("reader", payload)
+        findings = app.sanitizer.findings_of("shared-state")
+        assert len(findings) == 1
+        assert "mutated since it last crossed" in findings[0].message
+
+    def test_scalar_payloads_are_ignored(self):
+        app = taureau.Platform(seed=7, sanitize=True)
+
+        @app.function("echo")
+        def echo(event, ctx):
+            ctx.charge(0.01)
+            return event
+
+        app.invoke_sync("echo", "immutable")
+        app.invoke_sync("echo", 42)
+        assert app.sanitizer.findings == []
+
+    def test_pulsar_function_mutating_payload_is_flagged(self):
+        app = taureau.Platform(seed=7, sanitize=True)
+        runtime = app.with_pulsar(broker_count=1, bookie_count=2)
+        runtime.cluster.create_topic("orders")
+        from taureau.pulsar import PulsarFunction
+
+        def enrich(payload, context):
+            payload["enriched"] = True  # in-place mutation
+            return payload
+
+        runtime.deploy(
+            PulsarFunction("enrich", process=enrich, input_topics=["orders"])
+        )
+        runtime.cluster.producer("orders").send({"order": 1})
+        app.run()
+        findings = app.sanitizer.findings_of("shared-state")
+        assert any("pulsar:enrich" in f.message for f in findings)
+
+    def test_dashboard_exports_sanitizer_findings(self):
+        app = taureau.Platform(seed=7, sanitize=True)
+
+        @app.function("mutator")
+        def mutator(event, ctx):
+            ctx.charge(0.01)
+            event.append(1)
+
+        app.invoke_sync("mutator", [])
+        document = app.dashboard()
+        assert "sanitizer" in document
+        (entry,) = document["sanitizer"]
+        assert entry["kind"] == "shared-state"
+        assert set(entry) == {"kind", "time", "message"}
+
+    def test_dashboard_has_no_sanitizer_section_when_off(self):
+        app = taureau.Platform(seed=7)
+        assert "sanitizer" not in app.dashboard()
+
+
+# ----------------------------------------------------------------------
+# (c) verify_determinism
+# ----------------------------------------------------------------------
+
+def _workload(app):
+    @app.function("work")
+    def work(event, ctx):
+        ctx.charge(0.05)
+        return event * 2
+
+    for index in range(5):
+        app.invoke("work", index)
+
+
+class TestVerifyDeterminism:
+    def test_deterministic_scenario_passes(self):
+        report = taureau.Platform(seed=11).verify_determinism(_workload)
+        assert report.ok
+        assert bool(report)
+        assert len(set(report.digests)) == 1
+        assert report.mismatches == []
+        assert "deterministic" in report.render()
+
+    def test_three_runs_supported(self):
+        report = taureau.Platform(seed=11).verify_determinism(_workload, runs=3)
+        assert report.ok
+        assert len(report.digests) == 3
+
+    def test_nondeterministic_scenario_is_caught(self):
+        # Shared closure state leaks across the "independent" runs — the
+        # exact cross-run coupling verify_determinism exists to catch.
+        leak = {"calls": 0}
+
+        def scenario(app):
+            @app.function("leaky")
+            def leaky(event, ctx):
+                leak["calls"] += 1
+                ctx.charge(0.01 * leak["calls"])
+
+            app.invoke("leaky")
+
+        report = taureau.Platform(seed=11).verify_determinism(scenario)
+        assert not report.ok
+        assert len(set(report.digests)) > 1
+        assert report.mismatches
+        assert "NONDETERMINISTIC" in report.render()
+
+    def test_requires_at_least_two_runs(self):
+        with pytest.raises(ValueError):
+            taureau.Platform(seed=11).verify_determinism(_workload, runs=1)
+
+
+# ----------------------------------------------------------------------
+# Regression: machine failure re-dispatch must be insertion-ordered
+# ----------------------------------------------------------------------
+
+class TestFailMachineDeterminism:
+    """fail_machine re-dispatches every interrupted invocation; before
+    PR 4 it iterated a set of sandboxes (memory-address order), so the
+    re-dispatch sequence — and the whole rest of the run — could differ
+    between identically-seeded processes."""
+
+    @staticmethod
+    def _crash_run(seed):
+        app = taureau.Platform(seed=seed, machines=2, machine_cores=8.0)
+
+        @app.function("slow", memory_mb=256)
+        def slow(event, ctx):
+            ctx.charge(2.0)
+            return event
+
+        for index in range(12):
+            app.invoke("slow", index)
+        app.sim.schedule_at(
+            1.0, lambda: app.faas.fail_machine(app.cluster.machines[0])
+        )
+        app.run()
+        return app._determinism_state()
+
+    def test_same_seed_crash_runs_agree(self):
+        first = self._crash_run(3)
+        second = self._crash_run(3)
+        assert diff_states(first, second) == []
+        assert stable_digest(first) == stable_digest(second)
+
+    def test_reexecutions_actually_happened(self):
+        # Guard against the scenario degenerating: the crash must really
+        # interrupt work, or the determinism comparison proves nothing.
+        state = self._crash_run(3)
+        metrics = state["dashboard"]["metrics"]
+        assert metrics["faas.machine_failure_reexecutions"] > 0
