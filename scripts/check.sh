@@ -46,4 +46,10 @@ python scripts/sanitizer_smoke.py
 echo "== bench smoke: sanitizer overhead =="
 python benchmarks/bench_sanitizer_overhead.py --smoke
 
+echo "== chaos smoke: fault-injection determinism =="
+python scripts/chaos_smoke.py
+
+echo "== bench smoke: chaos overhead + recovery =="
+python benchmarks/bench_chaos_overhead.py --smoke
+
 echo "check.sh: all gates passed"

@@ -55,6 +55,16 @@ class BlobStore:
         self.metrics = MetricRegistry(namespace="baas.blob")
         self._blobs: dict = {}
         self._stored_mb = 0.0
+        # Fault-plane gate (set by Platform._gate_client when a chaos
+        # plan / resilience policy is installed; all None by default).
+        self.faults = None
+        self.fault_component = f"baas.{name}"
+        self.resilience = None
+
+    def _guard(self, ctx, op: str) -> None:
+        if self.faults is not None:
+            self.faults.guard(self.fault_component, op, ctx=ctx,
+                              policy=self.resilience)
 
     # ------------------------------------------------------------------
     # Data path
@@ -68,6 +78,7 @@ class BlobStore:
         size_mb: typing.Optional[float] = None,
     ) -> None:
         """Store ``value`` under ``key`` (overwrites)."""
+        self._guard(ctx, "put")
         size = estimate_size_mb(value) if size_mb is None else size_mb
         if size < 0:
             raise ValueError("size_mb must be nonnegative")
@@ -83,6 +94,7 @@ class BlobStore:
 
     def get(self, key: str, ctx=None) -> object:
         """Fetch the value under ``key``; raises :class:`BlobNotFound`."""
+        self._guard(ctx, "get")
         blob = self._blobs.get(key)
         if blob is None:
             raise BlobNotFound(key)
@@ -92,10 +104,12 @@ class BlobStore:
         return blob.value
 
     def exists(self, key: str, ctx=None) -> bool:
+        self._guard(ctx, "exists")
         self._charge(ctx, 0.0, op="exists", key=key)
         return key in self._blobs
 
     def delete(self, key: str, ctx=None) -> None:
+        self._guard(ctx, "delete")
         blob = self._blobs.pop(key, None)
         if blob is None:
             raise BlobNotFound(key)
@@ -106,6 +120,7 @@ class BlobStore:
 
     def list_keys(self, prefix: str = "", ctx=None) -> list:
         """All keys with ``prefix``, sorted (one LIST round-trip)."""
+        self._guard(ctx, "list")
         self._charge(ctx, 0.0, op="list", key=prefix)
         return sorted(key for key in self._blobs if key.startswith(prefix))
 

@@ -45,9 +45,20 @@ class KvStore:
         self.calibration = calibration
         self.metrics = MetricRegistry(namespace="baas.kv")
         self._items: typing.Dict[str, KvItem] = {}
+        # Fault-plane gate (set by Platform._gate_client when a chaos
+        # plan / resilience policy is installed; all None by default).
+        self.faults = None
+        self.fault_component = f"baas.{name}"
+        self.resilience = None
+
+    def _guard(self, ctx, op: str) -> None:
+        if self.faults is not None:
+            self.faults.guard(self.fault_component, op, ctx=ctx,
+                              policy=self.resilience)
 
     def put(self, key: str, value: object, ctx=None, size_mb=None) -> int:
         """Unconditional write; returns the new version."""
+        self._guard(ctx, "put")
         size = estimate_size_mb(value) if size_mb is None else size_mb
         current = self._items.get(key)
         version = (current.version + 1) if current else 1
@@ -65,6 +76,7 @@ class KvStore:
         :class:`ConditionFailed` on mismatch — the caller's cue that a
         concurrent (or re-executed) writer got there first.
         """
+        self._guard(ctx, "put_if_version")
         current = self._items.get(key)
         current_version = current.version if current else 0
         self._charge(ctx, 0.0, op="put_if_version", key=key)
@@ -76,6 +88,7 @@ class KvStore:
         return self.put(key, value, ctx=None, size_mb=size_mb)
 
     def get(self, key: str, ctx=None) -> object:
+        self._guard(ctx, "get")
         item = self._items.get(key)
         if item is None:
             raise KeyError(key)
@@ -85,6 +98,7 @@ class KvStore:
 
     def get_item(self, key: str, ctx=None) -> KvItem:
         """The value *and* its version, for read-modify-write loops."""
+        self._guard(ctx, "get_item")
         item = self._items.get(key)
         if item is None:
             raise KeyError(key)
@@ -93,6 +107,7 @@ class KvStore:
         return item
 
     def delete(self, key: str, ctx=None) -> None:
+        self._guard(ctx, "delete")
         if key not in self._items:
             raise KeyError(key)
         del self._items[key]

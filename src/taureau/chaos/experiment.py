@@ -1,0 +1,195 @@
+"""The chaos experiment harness: workload + fault plan + invariants.
+
+A :class:`ChaosExperiment` runs a scenario on a fresh
+:class:`taureau.Platform` under a :class:`~taureau.chaos.FaultPlan`
+(optionally with a :class:`~taureau.chaos.ResiliencePolicy` installed),
+then evaluates declared invariants — predicates over the finished
+platform such as "every invocation reached a terminal state" or "no
+acked message was lost".  Because everything runs on the virtual clock
+off seeded rng streams, :meth:`ChaosExperiment.verify_determinism`
+re-runs the *whole experiment* (faults included) and compares digests
+byte-for-byte.
+
+Invariants are callables ``invariant(platform) -> bool | (bool, str)``;
+the callable's ``__name__`` labels the result.  Module-level invariants
+cover the common contracts; experiments add their own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from taureau.chaos.faults import FaultEvent, FaultPlan
+
+__all__ = [
+    "ChaosExperiment",
+    "ExperimentReport",
+    "InvariantResult",
+    "all_invocations_terminated",
+    "no_inflight_messages",
+    "all_executions_terminated",
+]
+
+
+# ----------------------------------------------------------------------
+# Built-in invariants
+# ----------------------------------------------------------------------
+
+def all_invocations_terminated(app) -> typing.Tuple[bool, str]:
+    """Every submitted FaaS invocation reached a terminal status."""
+    total = app.faas.metrics.counter("invocations").value
+    family = app.faas.metrics.labeled_counter(
+        "invocations_by", ("function", "outcome")
+    )
+    finished = sum(child.value for _key, child in family.items())
+    return finished == total, f"{finished:g}/{total:g} invocations terminal"
+
+
+def no_inflight_messages(app) -> typing.Tuple[bool, str]:
+    """Every delivered Pulsar message was acked; no consumer backlog.
+
+    The "no acked message lost" half is structural (acks only move
+    cursors forward); what a crash can leak is *unacked in-flight*
+    deliveries, which is exactly what this checks after redelivery.
+    """
+    runtime = app._subsystems.get("pulsar")
+    if runtime is None:
+        return True, "no pulsar cluster attached"
+    unacked = 0
+    backlog = 0
+    for broker in runtime.cluster.brokers:
+        for topic in broker.topics.values():
+            for subscription in topic.subscriptions.values():
+                for consumer in subscription.consumers:
+                    unacked += len(consumer._unacked)
+    detail = f"{unacked} unacked in-flight messages"
+    return unacked == 0 and backlog == 0, detail
+
+
+def all_executions_terminated(app) -> typing.Tuple[bool, str]:
+    """Every orchestration execution finished (succeeded or failed)."""
+    registries = [
+        registry for registry in app.registries()
+        if getattr(registry, "namespace", None) == "orchestration"
+    ]
+    started = finished = 0.0
+    for registry in registries:
+        started += registry.counter("executions").value
+        family = registry.labeled_counter("executions_by", ("outcome",))
+        finished += sum(child.value for _key, child in family.items())
+    return finished == started, f"{finished:g}/{started:g} executions terminal"
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class InvariantResult:
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """What one :meth:`ChaosExperiment.run` produced."""
+
+    platform: object
+    invariants: typing.List[InvariantResult]
+    fault_events: typing.List[FaultEvent]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.invariants)
+
+    @property
+    def failures(self) -> typing.List[InvariantResult]:
+        return [result for result in self.invariants if not result.ok]
+
+    def summary(self) -> str:
+        lines = [
+            f"faults injected: {len(self.fault_events)}",
+        ]
+        for result in self.invariants:
+            marker = "PASS" if result.ok else "FAIL"
+            lines.append(f"{marker} {result.name}: {result.detail}")
+        return "\n".join(lines)
+
+
+class ChaosExperiment:
+    """One reproducible chaos run: scenario + plan + policy + invariants.
+
+    ``scenario(platform)`` builds the workload (register functions,
+    attach subsystems, invoke) exactly as for
+    ``Platform.verify_determinism`` — all state created inside the
+    call.  The harness installs the resilience policy first (so the
+    scenario's invokes go through it), then the fault plan, then runs
+    the scenario and drains the simulation.
+
+    >>> experiment = ChaosExperiment(
+    ...     scenario,
+    ...     plan=FaultPlan().crash_sandbox(rate_hz=1.0, start_s=0, end_s=10),
+    ...     seed=7,
+    ...     invariants=[all_invocations_terminated],
+    ... )
+    >>> report = experiment.run()
+    >>> assert report.ok, report.summary()
+    """
+
+    def __init__(
+        self,
+        scenario: typing.Callable,
+        plan: typing.Optional[FaultPlan] = None,
+        policy=None,
+        seed: int = 0,
+        until=None,
+        invariants: typing.Sequence[typing.Callable] = (),
+        platform_kwargs: typing.Optional[dict] = None,
+    ):
+        self.scenario = scenario
+        self.plan = plan
+        self.policy = policy
+        self.seed = seed
+        self.until = until
+        self.invariants = list(invariants)
+        self.platform_kwargs = dict(platform_kwargs or {})
+
+    def _setup(self, app) -> None:
+        if self.policy is not None:
+            app.with_resilience(self.policy)
+        if self.plan is not None:
+            app.with_chaos(self.plan)
+        self.scenario(app)
+
+    def _build(self):
+        from taureau.facade import Platform
+
+        return Platform(seed=self.seed, **self.platform_kwargs)
+
+    def run(self) -> ExperimentReport:
+        app = self._build()
+        self._setup(app)
+        app.run(until=self.until)
+        results = [self._evaluate(invariant, app) for invariant in self.invariants]
+        events = list(app.chaos.events) if app.chaos is not None else []
+        return ExperimentReport(
+            platform=app, invariants=results, fault_events=events
+        )
+
+    def verify_determinism(self, runs: int = 2):
+        """Replay the whole experiment ``runs`` times and diff the bytes."""
+        return self._build().verify_determinism(
+            self._setup, until=self.until, runs=runs
+        )
+
+    @staticmethod
+    def _evaluate(invariant, app) -> InvariantResult:
+        name = getattr(invariant, "__name__", str(invariant))
+        outcome = invariant(app)
+        if isinstance(outcome, tuple):
+            ok, detail = outcome
+        else:
+            ok, detail = bool(outcome), ""
+        return InvariantResult(name=name, ok=bool(ok), detail=detail)

@@ -219,6 +219,9 @@ class FaasPlatform:
         # across same-seed platforms within one process.
         self._invocation_ids = itertools.count()
         self._sandbox_ids = itertools.count()
+        #: Installed by :meth:`with_resilience`; ``None`` keeps the bare
+        #: invoke path (one attribute check per invocation).
+        self._resilience = None
 
     # ------------------------------------------------------------------
     # Deployment API
@@ -270,7 +273,19 @@ class FaasPlatform:
         trace.  Pass ``parent`` (a span or :class:`~taureau.obs.SpanContext`)
         to stitch the invocation into an existing trace — propagation is
         always explicit, carried on calls and payloads.
+
+        With a :class:`~taureau.chaos.ResiliencePolicy` installed (see
+        :meth:`with_resilience`) the call goes through the resilient
+        invoker — client-side retries, per-attempt timeouts, hedging and
+        circuit breaking — and still resolves with one final record.
         """
+        if self._resilience is not None:
+            return self._resilience.invoke(name, payload, parent=parent)
+        return self._invoke_once(name, payload, parent)
+
+    def _invoke_once(self, name: str, payload: object = None,
+                     parent=None) -> Event:
+        """One platform-level invocation, bypassing client-side resilience."""
         spec = self.spec(name)
         record = InvocationRecord(
             invocation_id=f"inv{next(self._invocation_ids)}",
@@ -382,6 +397,18 @@ class FaasPlatform:
     def running_count(self) -> int:
         return self._running
 
+    def with_resilience(self, policy):
+        """Install a :class:`~taureau.chaos.ResiliencePolicy` on invoke.
+
+        Every subsequent :meth:`invoke` (orchestration and Pulsar
+        triggers included — they call the same entry point) goes through
+        a :class:`~taureau.chaos.ResilientInvoker`.  Returns the invoker.
+        """
+        from taureau.chaos.resilience import ResilientInvoker
+
+        self._resilience = ResilientInvoker(self, policy)
+        return self._resilience
+
     # ------------------------------------------------------------------
     # Failure injection (paper §4.1: transparent re-execution)
     # ------------------------------------------------------------------
@@ -424,6 +451,42 @@ class FaasPlatform:
             self._dispatch(attempt)
         self._drain_pending()
         return len(orphaned)
+
+    def fail_sandbox(self, sandbox: Sandbox) -> bool:
+        """Crash one sandbox (chaos fault injection); True if it was executing.
+
+        Unlike :meth:`fail_machine`'s free infrastructure re-execution,
+        a sandbox crash surfaces as an ERROR attempt carrying a
+        :class:`~taureau.chaos.FaultInjected` — it consumes the
+        function's ``max_retries`` budget and, once that is exhausted,
+        becomes a failed record.  This is the failure mode client-side
+        resilience policies exist to absorb.  Nothing interrupted is
+        billed.
+        """
+        from taureau.chaos.faults import FaultInjected
+
+        attempt = next(
+            (a for a, s in self._executing.items() if s is sandbox), None
+        )
+        self._retire_sandbox(sandbox)
+        self.metrics.counter("sandbox_crashes").add()
+        if attempt is None:
+            self._drain_pending()
+            return False
+        del self._executing[attempt]
+        attempt.execution_epoch += 1  # invalidate the queued finish
+        self._exit_cpu(sandbox, attempt.spec)
+        self._running -= 1
+        self._running_per_function[attempt.spec.name] -= 1
+        self.metrics.series("running").record(self.sim.now, self._running)
+        error = FaultInjected(
+            f"sandbox {sandbox.sandbox_id} crashed mid-execution "
+            f"(function {attempt.spec.name})",
+            kind="sandbox_crash", component="faas",
+        )
+        self._conclude(attempt, InvocationStatus.ERROR, None, error,
+                       self.sim.now - attempt.record.start_time)
+        return True
 
     # ------------------------------------------------------------------
     # Dispatch pipeline
@@ -759,7 +822,7 @@ class FaasPlatform:
         epoch: int,
     ) -> None:
         if attempt.execution_epoch != epoch:
-            return  # superseded by a machine-failure re-execution
+            return  # superseded by a machine-failure / chaos re-execution
         spec = attempt.spec
         record = attempt.record
         self._executing.pop(attempt, None)
@@ -769,11 +832,27 @@ class FaasPlatform:
         self.metrics.series("running").record(self.sim.now, self._running)
         self._bill(record, spec, exec_duration, span=attempt.span)
         self._return_to_pool(sandbox)
+        self._conclude(attempt, status, response, error, exec_duration)
 
+    def _conclude(
+        self,
+        attempt: _Attempt,
+        status: InvocationStatus,
+        response: object,
+        error: typing.Optional[BaseException],
+        exec_duration: float,
+    ) -> None:
+        """Retry a failed attempt or finalize its record (shared tail of
+        the normal finish path and chaos-injected sandbox crashes)."""
+        spec = attempt.spec
+        record = attempt.record
         if status is not InvocationStatus.OK and attempt.attempts_left > 0:
             attempt.attempts_left -= 1
             record.attempts += 1
             self.metrics.counter("retries").add()
+            self.metrics.labeled_counter(
+                "retries_by", ("component", "outcome")
+            ).add(component="faas.platform", outcome="retry")
             self._dispatch(attempt)
             self._drain_pending()
             return

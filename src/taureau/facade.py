@@ -109,6 +109,12 @@ class Platform:
         self._subsystems: dict = {}
         #: Installed by :meth:`with_monitoring`.
         self.monitor: typing.Optional[Monitor] = None
+        #: Installed by :meth:`with_chaos`.
+        self.chaos = None
+        #: Installed by :meth:`with_resilience`.
+        self._resilience_policy = None
+        #: Clients whose operations the fault plane guards.
+        self._gated_clients: list = []
 
     # ------------------------------------------------------------------
     # FaaS surface (delegation)
@@ -173,6 +179,7 @@ class Platform:
         client = JiffyClient(controller)
         self.wire_service("jiffy", client)
         self._subsystems["jiffy"] = controller
+        self._gate_client(client, "jiffy")
         return client
 
     def with_pulsar(self, broker_count: int = 3, bookie_count: int = 3,
@@ -191,6 +198,10 @@ class Platform:
         runtime = FunctionsRuntime(cluster)
         self.wire_service("pulsar", cluster)
         self._subsystems["pulsar"] = runtime
+        if self._resilience_policy is not None:
+            runtime.default_max_redeliveries = (
+                self._resilience_policy.max_redeliveries
+            )
         return runtime
 
     def with_kvstore(self, name: str = "kv", **kwargs):
@@ -199,6 +210,7 @@ class Platform:
         store = KvStore(self.sim, name=name, **kwargs)
         self.wire_service(name, store)
         self._subsystems[name] = store
+        self._gate_client(store, f"baas.{name}")
         return store
 
     def with_blobstore(self, name: str = "blob", **kwargs):
@@ -207,13 +219,74 @@ class Platform:
         store = BlobStore(self.sim, name=name, **kwargs)
         self.wire_service(name, store)
         self._subsystems[name] = store
+        self._gate_client(store, f"baas.{name}")
         return store
 
     def orchestrator(self, **kwargs):
-        """An :class:`~taureau.orchestration.Orchestrator` over this platform."""
+        """An :class:`~taureau.orchestration.Orchestrator` over this platform.
+
+        The first orchestrator is registered as the ``"orchestration"``
+        subsystem so its metrics appear in :meth:`snapshot`,
+        :meth:`dashboard` and chaos-experiment invariants.
+        """
         from taureau.orchestration import Orchestrator
 
-        return Orchestrator(self.faas, **kwargs)
+        orchestrator = Orchestrator(self.faas, **kwargs)
+        self._subsystems.setdefault("orchestration", orchestrator)
+        return orchestrator
+
+    # ------------------------------------------------------------------
+    # Chaos engineering & resilience
+    # ------------------------------------------------------------------
+
+    def with_chaos(self, plan):
+        """Install a :class:`~taureau.chaos.FaultPlan` on this platform.
+
+        The plan is compiled immediately against the current simulation:
+        every fault's firing instant is drawn from dedicated
+        ``sim.rng`` streams, so a given master seed replays the identical
+        fault sequence (``verify_determinism`` covers chaos runs).
+        Returns the :class:`~taureau.chaos.ChaosController`, whose
+        ``chaos.*`` metrics join :meth:`dashboard`.
+        """
+        from taureau.chaos import ChaosController
+
+        if self.chaos is not None:
+            raise RuntimeError("a chaos plan is already installed")
+        self.chaos = ChaosController(self, plan)
+        self._subsystems["chaos"] = self.chaos
+        for client in self._gated_clients:
+            client.faults = self.chaos
+        return self.chaos
+
+    def with_resilience(self, policy=None):
+        """Install a :class:`~taureau.chaos.ResiliencePolicy` platform-wide.
+
+        FaaS invocations (orchestration and Pulsar triggers included) go
+        through a :class:`~taureau.chaos.ResilientInvoker`; guarded
+        BaaS/Jiffy clients retry injected faults in place; the Pulsar
+        Functions runtime adopts ``policy.max_redeliveries`` as its
+        dead-letter default.  Returns the invoker.
+        """
+        from taureau.chaos import ResiliencePolicy
+
+        policy = policy if policy is not None else ResiliencePolicy()
+        self._resilience_policy = policy
+        invoker = self.faas.with_resilience(policy)
+        for client in self._gated_clients:
+            client.resilience = policy.retry
+        pulsar = self._subsystems.get("pulsar")
+        if pulsar is not None:
+            pulsar.default_max_redeliveries = policy.max_redeliveries
+        return invoker
+
+    def _gate_client(self, client, component: str) -> None:
+        client.fault_component = component
+        self._gated_clients.append(client)
+        if self.chaos is not None:
+            client.faults = self.chaos
+        if self._resilience_policy is not None:
+            client.resilience = self._resilience_policy.retry
 
     # ------------------------------------------------------------------
     # Observability surface

@@ -1,6 +1,13 @@
 """Jiffy: a virtual-memory layer for ephemeral serverless state (§4.4)."""
 
-from taureau.jiffy.blocks import Block, BlockPool, DataLost, MemoryNode, PoolExhausted
+from taureau.jiffy.blocks import (
+    Block,
+    BlockPool,
+    CapacityError,
+    DataLost,
+    MemoryNode,
+    PoolExhausted,
+)
 from taureau.jiffy.client import JiffyClient
 from taureau.jiffy.controller import JiffyController
 from taureau.jiffy.globalspace import GlobalAddressSpace
@@ -17,6 +24,7 @@ from taureau.jiffy.structures import (
 __all__ = [
     "Block",
     "BlockPool",
+    "CapacityError",
     "DataLost",
     "MemoryNode",
     "PoolExhausted",

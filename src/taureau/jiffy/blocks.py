@@ -16,11 +16,42 @@ import typing
 
 from taureau.sim import MetricRegistry, Simulation
 
-__all__ = ["PoolExhausted", "DataLost", "Block", "MemoryNode", "BlockPool"]
+__all__ = [
+    "PoolExhausted",
+    "CapacityError",
+    "DataLost",
+    "Block",
+    "MemoryNode",
+    "BlockPool",
+]
 
 
 class PoolExhausted(Exception):
     """No free blocks remain anywhere in the memory pool."""
+
+
+class CapacityError(PoolExhausted):
+    """Pool exhaustion with nothing left to spill — with attribution.
+
+    Raised by the controller's pressure-relief path when a grow request
+    cannot be satisfied even after spilling every eligible namespace.
+    Unlike a bare :class:`PoolExhausted`, it names the tenant that hit
+    the wall and how much it asked for, so multi-tenant operators can
+    tell *who* ran the pool dry.
+    """
+
+    def __init__(self, tenant: str, requested_mb: float, path: str,
+                 free_mb: float, total_mb: float):
+        self.tenant = tenant
+        self.requested_mb = requested_mb
+        self.path = path
+        self.free_mb = free_mb
+        self.total_mb = total_mb
+        super().__init__(
+            f"tenant {tenant!r} requested {requested_mb:g} MB for {path!r} "
+            f"but only {free_mb:g} of {total_mb:g} MB is free and nothing "
+            f"is left to spill"
+        )
 
 
 class DataLost(Exception):

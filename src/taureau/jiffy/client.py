@@ -23,12 +23,23 @@ class JiffyClient:
     def __init__(self, controller: JiffyController):
         self.controller = controller
         self._calibration = controller.calibration
+        # Fault-plane gate (set by Platform._gate_client when a chaos
+        # plan / resilience policy is installed; all None by default).
+        self.faults = None
+        self.fault_component = "jiffy"
+        self.resilience = None
+
+    def _guard(self, ctx, op: str) -> None:
+        if self.faults is not None:
+            self.faults.guard(self.fault_component, op, ctx=ctx,
+                              policy=self.resilience)
 
     # ------------------------------------------------------------------
     # Namespace management
     # ------------------------------------------------------------------
 
     def create(self, path: str, structure: str = "file", ctx=None, **kwargs):
+        self._guard(ctx, "create")
         self._charge(ctx, 0.0, control_plane=True, op="create", path=path)
         return self.controller.create(path, structure, **kwargs)
 
@@ -73,12 +84,14 @@ class JiffyClient:
     # ------------------------------------------------------------------
 
     def append(self, path: str, value: object, ctx=None, size_mb=None) -> None:
+        self._guard(ctx, "append")
         size = estimate_size_mb(value) if size_mb is None else size_mb
         self.controller.open(path).append(value, size_mb=size)
         self._charge(ctx, size, op="append", path=path)
         self.controller.notify(path, "write", size)
 
     def read_all(self, path: str, ctx=None) -> list:
+        self._guard(ctx, "read_all")
         structure = self.controller.open(path)
         self._charge(ctx, structure.used_mb, op="read_all", path=path)
         return structure.read_all()
@@ -88,12 +101,14 @@ class JiffyClient:
     # ------------------------------------------------------------------
 
     def enqueue(self, path: str, value: object, ctx=None, size_mb=None) -> None:
+        self._guard(ctx, "enqueue")
         size = estimate_size_mb(value) if size_mb is None else size_mb
         self.controller.open(path).enqueue(value, size_mb=size)
         self._charge(ctx, size, op="enqueue", path=path)
         self.controller.notify(path, "write", size)
 
     def dequeue(self, path: str, ctx=None) -> object:
+        self._guard(ctx, "dequeue")
         value = self.controller.open(path).dequeue()
         self._charge(ctx, estimate_size_mb(value), op="dequeue", path=path)
         return value
@@ -107,17 +122,20 @@ class JiffyClient:
     # ------------------------------------------------------------------
 
     def put(self, path: str, key: str, value: object, ctx=None, size_mb=None):
+        self._guard(ctx, "put")
         size = estimate_size_mb(value) if size_mb is None else size_mb
         self.controller.open(path).put(key, value, size_mb=size)
         self._charge(ctx, size, op="put", path=path)
         self.controller.notify(path, "write", key)
 
     def get(self, path: str, key: str, ctx=None) -> object:
+        self._guard(ctx, "get")
         value = self.controller.open(path).get(key)
         self._charge(ctx, estimate_size_mb(value), op="get", path=path)
         return value
 
     def keys(self, path: str, ctx=None) -> list:
+        self._guard(ctx, "keys")
         self._charge(ctx, 0.0, op="keys", path=path)
         return self.controller.open(path).keys()
 

@@ -15,7 +15,7 @@ import itertools
 import typing
 
 from taureau.core.calibration import DEFAULT_CALIBRATION, Calibration
-from taureau.jiffy.blocks import BlockPool
+from taureau.jiffy.blocks import BlockPool, CapacityError, _tenant_of
 from taureau.jiffy.lease import LeaseManager
 from taureau.jiffy.namespace import NamespaceNode, NamespaceTree, normalize_path
 from taureau.jiffy.notifications import NotificationBus
@@ -189,11 +189,24 @@ class JiffyController:
         self.notifications.publish(path, "hydrated")
 
     def _relieve_pressure(self, needed_blocks: int, exclude: str) -> None:
-        """Spill oldest unpinned namespaces until ``needed_blocks`` free."""
+        """Spill oldest unpinned namespaces until ``needed_blocks`` free.
+
+        When nothing spillable remains the request is hopeless: raise a
+        :class:`CapacityError` naming the tenant and the bytes it asked
+        for, rather than letting the allocator's retry surface a bare
+        :class:`~taureau.jiffy.blocks.PoolExhausted` with no attribution.
+        """
         while self.pool.free_blocks < needed_blocks:
             victim = self._spill_victim(exclude)
             if victim is None:
-                return  # nothing left to spill; the retry will raise
+                self.metrics.counter("capacity_errors").add()
+                raise CapacityError(
+                    tenant=_tenant_of(exclude),
+                    requested_mb=needed_blocks * self.pool.block_size_mb,
+                    path=exclude,
+                    free_mb=self.pool.free_blocks * self.pool.block_size_mb,
+                    total_mb=self.pool.total_blocks * self.pool.block_size_mb,
+                )
             self.spill(victim.path)
 
     def _spill_victim(self, exclude: str):

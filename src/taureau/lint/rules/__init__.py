@@ -24,6 +24,7 @@ TAU013   env-dependence              behaviour must not read os.environ
 TAU014   fs-order                    sort directory listings
 TAU015   builtin-hash-order          hash() varies with PYTHONHASHSEED
 TAU016   print-in-library            report via metrics/traces
+TAU017   swallowed-fault             injected faults must propagate
 =======  ==========================  ==================================
 """
 
@@ -32,6 +33,7 @@ from __future__ import annotations
 import typing
 
 from taureau.lint.engine import Rule
+from taureau.lint.rules.chaos import SwallowedFaultRule
 from taureau.lint.rules.clock import RealSleepRule, WallClockRule
 from taureau.lint.rules.hygiene import (
     BareExceptRule,
@@ -72,6 +74,7 @@ _RULE_CLASSES = (
     FsOrderRule,
     BuiltinHashRule,
     PrintInLibraryRule,
+    SwallowedFaultRule,
 )
 
 

@@ -1,0 +1,96 @@
+"""TAU017 — fault-injection errors must not be silently swallowed.
+
+The chaos plane (:mod:`taureau.chaos`) surfaces injected faults as
+:class:`~taureau.chaos.FaultInjected`.  The whole point of a chaos
+experiment is that faults propagate until a *policy* (retry, breaker,
+DLQ) handles them; an ``except`` that eats the exception and carries on
+makes the experiment pass vacuously — the invariants never see the
+damage.  The rule flags two shapes:
+
+1. an ``except`` clause naming ``FaultInjected`` whose body never
+   re-raises, and
+2. a broad ``except Exception``/``BaseException`` with a swallow-only
+   body (nothing but ``pass``/``continue``/``break``/docstrings) in a
+   file that works with ``FaultInjected`` — the blind variant of the
+   same bug.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from taureau.lint.engine import FileContext, Finding, Rule
+
+__all__ = ["SwallowedFaultRule"]
+
+
+class SwallowedFaultRule(Rule):
+    code = "TAU017"
+    name = "swallowed-fault"
+    summary = "except around FaultInjected must re-raise or delegate to a policy."
+    # Tests legitimately catch FaultInjected to assert on it.
+    default_includes = ("src/", "scripts/", "benchmarks/")
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        mentions_fault = "FaultInjected" in ctx.source
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            caught = self._caught_names(ctx, node.type)
+            if "FaultInjected" in caught and not self._reraises(node):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "except catches FaultInjected without re-raising; "
+                    "swallowing an injected fault makes the chaos "
+                    "experiment pass vacuously — re-raise, or let a "
+                    "ResiliencePolicy retry it",
+                )
+            elif (
+                mentions_fault
+                and caught & self._BROAD
+                and self._swallow_only(node)
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "broad except with a swallow-only body in a file "
+                    "handling FaultInjected; injected faults die here "
+                    "silently — name the recoverable exception types",
+                )
+
+    @staticmethod
+    def _caught_names(ctx: FileContext, type_node: ast.AST) -> set:
+        """Terminal names of every exception type the clause catches."""
+        exprs = (
+            list(type_node.elts)
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        names = set()
+        for expr in exprs:
+            resolved = ctx.resolve(expr)
+            if resolved is not None:
+                names.add(resolved.rsplit(".", 1)[-1])
+        return names
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(node, ast.Raise)
+            for stmt in handler.body
+            for node in ast.walk(stmt)
+        )
+
+    @staticmethod
+    def _swallow_only(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue
+            return False
+        return True

@@ -5,6 +5,7 @@ from taureau.orchestration.composition import (
     Choice,
     ChoiceRule,
     Composition,
+    ExecutionFailed,
     MapEach,
     Parallel,
     Retry,
@@ -31,6 +32,7 @@ __all__ = [
     "Choice",
     "ChoiceRule",
     "Composition",
+    "ExecutionFailed",
     "MapEach",
     "Parallel",
     "Retry",

@@ -34,6 +34,7 @@ __all__ = [
     "Retry",
     "Catch",
     "TaskFailed",
+    "ExecutionFailed",
 ]
 
 
@@ -47,6 +48,31 @@ class TaskFailed(Exception):
         self.record = record
 
 
+class ExecutionFailed(TaskFailed):
+    """A :class:`Retry` node exhausted its attempts.
+
+    Carries the full cause chain: ``causes`` lists every attempt's
+    :class:`TaskFailed` in order, ``record`` is the last attempt's
+    record (keeping the :class:`TaskFailed` contract for ``Catch``
+    handlers and existing callers), and the message spells out what
+    failed on each attempt instead of only surfacing the last error.
+    """
+
+    def __init__(self, node: str, attempts: int, causes):
+        self.node = node
+        self.attempts = attempts
+        self.causes = list(causes)
+        self.record = self.causes[-1].record if self.causes else None
+        chain = "; ".join(
+            f"attempt {index}: {cause}"
+            for index, cause in enumerate(self.causes, start=1)
+        )
+        Exception.__init__(
+            self,
+            f"{node}: retries exhausted after {attempts} attempts ({chain})",
+        )
+
+
 class Composition:
     """Base class; gives the DSL a fluent ``then``/``catch`` surface."""
 
@@ -56,8 +82,9 @@ class Composition:
     def catch(self, handler: "Composition") -> "Catch":
         return Catch(self, handler)
 
-    def with_retry(self, max_attempts: int) -> "Retry":
-        return Retry(self, max_attempts)
+    def with_retry(self, max_attempts: int, policy=None,
+                   name: typing.Optional[str] = None) -> "Retry":
+        return Retry(self, max_attempts, policy=policy, name=name)
 
     def leaf_names(self) -> list:
         """Names of all task targets in this composition (for audits)."""
@@ -143,8 +170,19 @@ class MapEach(Composition):
 
 @dataclasses.dataclass
 class Retry(Composition):
+    """Re-run ``body`` up to ``max_attempts`` times on :class:`TaskFailed`.
+
+    ``policy`` (a :class:`~taureau.chaos.RetryPolicy`) adds exponential
+    backoff with seeded jitter between attempts; without one, retries
+    are immediate (the historical behaviour).  ``name`` labels the
+    node's ``retries_by{node}`` metric; it defaults to the joined leaf
+    names.
+    """
+
     body: Composition
     max_attempts: int = 3
+    policy: typing.Optional[object] = None
+    name: typing.Optional[str] = None
 
     def __post_init__(self):
         if self.max_attempts <= 0:
@@ -152,6 +190,10 @@ class Retry(Composition):
 
     def leaf_names(self) -> list:
         return self.body.leaf_names()
+
+    @property
+    def label(self) -> str:
+        return self.name or "+".join(self.leaf_names())
 
 
 @dataclasses.dataclass

@@ -24,6 +24,7 @@ from taureau.orchestration.composition import (
     Catch,
     Choice,
     Composition,
+    ExecutionFailed,
     MapEach,
     Parallel,
     Retry,
@@ -199,17 +200,32 @@ class Orchestrator:
             return results
 
         if isinstance(node, Retry):
-            last_error: typing.Optional[BaseException] = None
-            for _attempt in range(node.max_attempts):
+            label = node.label
+            causes: typing.List[TaskFailed] = []
+            for attempt in range(node.max_attempts):
                 try:
                     result = yield from self._execute(
                         node.body, value, execution, parent
                     )
                     return result
                 except TaskFailed as exc:
-                    last_error = exc
-                    self.metrics.counter("retries").add()
-            raise last_error
+                    causes.append(exc)
+                    # Per-attempt, per-node: dashboards can tell which DAG
+                    # node is burning its retry budget.
+                    self.metrics.labeled_counter("retries_by", ("node",)).add(
+                        node=label
+                    )
+                    if (node.policy is not None
+                            and attempt + 1 < node.max_attempts):
+                        backoff = node.policy.backoff_s(
+                            attempt,
+                            self.sim.rng.stream("orchestration.retry"),
+                        )
+                        if backoff > 0:
+                            yield self.sim.timeout(backoff)
+            raise ExecutionFailed(
+                label, node.max_attempts, causes
+            ) from causes[-1]
 
         if isinstance(node, Catch):
             try:

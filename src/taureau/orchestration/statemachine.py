@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from taureau.orchestration.composition import TaskFailed
+from taureau.orchestration.composition import ExecutionFailed, TaskFailed
 from taureau.orchestration.executor import Execution, Orchestrator
 from taureau.sim import Event
 
@@ -45,6 +45,9 @@ class TaskState(State):
     resource: str  # function name on the platform
     next: typing.Optional[str] = None  # None = terminal success
     retry_attempts: int = 1
+    #: Optional :class:`~taureau.chaos.RetryPolicy` adding backoff with
+    #: seeded jitter between attempts (immediate retries otherwise).
+    retry_policy: typing.Optional[object] = None
 
 
 @dataclasses.dataclass
@@ -216,13 +219,26 @@ class StateMachine:
     @staticmethod
     def _run_task(orchestrator, state: TaskState, value, execution: Execution,
                   parent=None):
-        last_record = None
-        for _attempt in range(state.retry_attempts):
+        causes = []
+        for attempt in range(state.retry_attempts):
             record = yield orchestrator.platform.invoke(
                 state.resource, value, parent=parent
             )
             execution.records.append(record)
             if record.succeeded:
                 return record.response
-            last_record = record
-        raise TaskFailed(last_record)
+            causes.append(TaskFailed(record))
+            if attempt + 1 < state.retry_attempts:
+                orchestrator.metrics.labeled_counter(
+                    "retries_by", ("node",)
+                ).add(node=state.resource)
+                if state.retry_policy is not None:
+                    backoff = state.retry_policy.backoff_s(
+                        attempt,
+                        orchestrator.sim.rng.stream("orchestration.retry"),
+                    )
+                    if backoff > 0:
+                        yield orchestrator.sim.timeout(backoff)
+        if state.retry_attempts > 1:
+            raise ExecutionFailed(state.resource, state.retry_attempts, causes)
+        raise causes[-1]

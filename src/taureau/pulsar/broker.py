@@ -278,6 +278,10 @@ class Broker:
     def crash(self) -> None:
         self.alive = False
 
+    def recover(self) -> None:
+        """Bring the broker back; it rejoins topic-assignment rotation."""
+        self.alive = True
+
     def _topic(self, name: str) -> BrokerTopic:
         if name not in self.topics:
             raise KeyError(f"{self.broker_id} does not own topic {name!r}")

