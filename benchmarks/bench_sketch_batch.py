@@ -223,7 +223,7 @@ def main(argv=None):
     parser.add_argument(
         "--json",
         default=str(
-            pathlib.Path(__file__).parent.parent / "BENCH_sketch_batch.json"
+            pathlib.Path(__file__).parent / "BENCH_sketch_batch.json"
         ),
         help="trajectory output path (full runs only)",
     )

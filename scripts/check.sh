@@ -52,4 +52,10 @@ python scripts/chaos_smoke.py
 echo "== bench smoke: chaos overhead + recovery =="
 python benchmarks/bench_chaos_overhead.py --smoke
 
+echo "== bench smoke: simulation kernel =="
+python benchmarks/bench_sim_kernel.py --smoke
+
+echo "== workload smoke: trace generation + replay determinism =="
+python scripts/workload_smoke.py
+
 echo "check.sh: all gates passed"

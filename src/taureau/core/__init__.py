@@ -26,13 +26,17 @@ from taureau.core.reporting import CostReport, FunctionUsage
 from taureau.core.vmfleet import AutoscalerPolicy, VmFleet
 from taureau.core.workload import (
     bursty_arrivals,
+    bursty_arrivals_vec,
     collect,
     constant_arrivals,
     diurnal_arrivals,
+    diurnal_arrivals_vec,
     peak_to_mean_ratio,
     poisson_arrivals,
+    poisson_arrivals_vec,
     replay,
     spike_arrivals,
+    spike_arrivals_vec,
 )
 
 __all__ = [
@@ -59,9 +63,13 @@ __all__ = [
     "VmFleet",
     "constant_arrivals",
     "poisson_arrivals",
+    "poisson_arrivals_vec",
     "diurnal_arrivals",
+    "diurnal_arrivals_vec",
     "bursty_arrivals",
+    "bursty_arrivals_vec",
     "spike_arrivals",
+    "spike_arrivals_vec",
     "replay",
     "collect",
     "peak_to_mean_ratio",

@@ -65,6 +65,11 @@ class Platform:
         (off by default): records ambiguous same-timestamp tie-breaks
         and cross-sandbox shared-state mutations as findings on
         :attr:`sanitizer`, and surfaces them in :meth:`dashboard`.
+    queue:
+        Pending-event backend for the shared simulation: ``"heap"``
+        (default, the determinism oracle) or ``"wheel"`` (calendar
+        queue, faster under heavy bulk load).  Both pop the identical
+        event sequence — ``verify_determinism`` holds across backends.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class Platform:
         services: typing.Optional[dict] = None,
         tracing: bool = True,
         sanitize: bool = False,
+        queue: str = "heap",
     ):
         #: Construction arguments, kept verbatim so verify_determinism
         #: can build byte-equivalent sibling platforms.
@@ -89,8 +95,9 @@ class Platform:
             "services": dict(services) if services else None,
             "tracing": tracing,
             "sanitize": sanitize,
+            "queue": queue,
         }
-        self.sim = Simulation(seed=seed, sanitize=sanitize)
+        self.sim = Simulation(seed=seed, sanitize=sanitize, queue=queue)
         self.tracer: typing.Optional[Tracer] = None
         if tracing:
             self.tracer = Tracer(self.sim, TraceStore())
@@ -109,6 +116,8 @@ class Platform:
         self._subsystems: dict = {}
         #: Installed by :meth:`with_monitoring`.
         self.monitor: typing.Optional[Monitor] = None
+        #: The trace scheduled by :meth:`with_workload`, if any.
+        self.workload_trace = None
         #: Installed by :meth:`with_chaos`.
         self.chaos = None
         #: Installed by :meth:`with_resilience`.
@@ -234,6 +243,66 @@ class Platform:
         orchestrator = Orchestrator(self.faas, **kwargs)
         self._subsystems.setdefault("orchestration", orchestrator)
         return orchestrator
+
+    def with_workload(
+        self,
+        workload,
+        function: typing.Optional[str] = None,
+        payload_fn=None,
+        fire=None,
+        chunk_size: int = 200_000,
+    ):
+        """Schedule a trace-driven workload onto this platform; run later.
+
+        ``workload`` is a :class:`~taureau.workload.WorkloadSpec` (a
+        trace is generated on the spot, seeded from the platform's
+        master seed via the ``"workload.trace"`` named stream — same
+        platform seed, same trace, so chaos plans, SLO monitors and
+        tracing all ride one replayable arrival sequence) or a
+        pre-built :class:`~taureau.workload.Trace` (replayed as-is).
+
+        Each arrival invokes the registered ``function`` with payload
+        ``payload_fn(index, tenant, function_index)`` (default: a dict
+        of the two ids), or — for full control — calls a custom
+        ``fire(index)`` instead; look columns up on the returned trace.
+        Scheduling is chunked bulk posts of ``chunk_size`` arrivals, so
+        ten-million-invocation traces keep the kernel's pending set
+        small.  Returns the trace; call :meth:`run` to execute it.
+        """
+        from taureau.workload import WorkloadSpec, generate_trace, replay_trace
+
+        if isinstance(workload, WorkloadSpec):
+            seed = self.sim.rng.numpy_seed("workload.trace")
+            trace = generate_trace(workload, seed=seed)
+        else:
+            trace = workload
+        if fire is None:
+            if function is None:
+                raise ValueError(
+                    "with_workload needs a registered `function` name "
+                    "(or a custom `fire` callable)"
+                )
+            if payload_fn is None:
+                def payload_fn(index, tenant, function_index):
+                    return {"tenant": tenant, "function": function_index}
+            tenant_column = trace.tenants
+            function_column = trace.functions
+            invoke = self.faas.invoke
+
+            def fire(index, _name=function):
+                invoke(
+                    _name,
+                    payload_fn(
+                        index,
+                        int(tenant_column[index]),
+                        int(function_column[index]),
+                    ),
+                )
+
+        self._poke_monitor()
+        replay_trace(self.sim, trace, fire, chunk_size=chunk_size)
+        self.workload_trace = trace
+        return trace
 
     # ------------------------------------------------------------------
     # Chaos engineering & resilience

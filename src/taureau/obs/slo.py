@@ -323,7 +323,7 @@ class Monitor:
         # Self-reschedule only while the workload has pending events;
         # otherwise sim.run() would never drain.  ensure_running() rearms
         # the loop when new work arrives.
-        if self.sim._heap:
+        if self.sim.has_work():
             self.ensure_running()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,17 @@
+"""Trace-driven workload engine — §3.2 traffic at million-tenant scale.
+
+Declare a tenant population with :class:`WorkloadSpec`, generate a
+compact struct-of-arrays :class:`Trace` with :func:`generate_trace`
+(diurnal phase classes × Zipf tenant popularity × Zipf function
+popularity), persist it with ``Trace.save``/``Trace.load``, and stream
+it into a simulation with :func:`replay_trace` — or let
+``taureau.Platform.with_workload`` wire all of that to the FaaS stack in
+one call, seeded from the platform's master seed so chaos plans, SLO
+monitors and tracing all ride the same replayable trace.
+"""
+
+from taureau.workload.generator import generate_trace
+from taureau.workload.spec import WorkloadSpec
+from taureau.workload.trace import Trace, replay_trace
+
+__all__ = ["WorkloadSpec", "Trace", "generate_trace", "replay_trace"]

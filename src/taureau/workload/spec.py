@@ -1,0 +1,84 @@
+"""Workload specifications — the knobs of the §3.2 traffic model.
+
+A :class:`WorkloadSpec` declares an Azure-Functions-shaped tenant
+population: per-tenant diurnal cycles (tenants spread over ``phases``
+timezone classes so the aggregate still shows deep peaks and troughs),
+Zipf-distributed popularity across tenants (a few giants, a heavy tail
+of tiny tenants — most of whom see *zero* traffic in any given window,
+the paper's "minimum often zero"), and Zipf-distributed per-function
+popularity within each tenant.  The spec is pure data; generation
+happens in :func:`taureau.workload.generate_trace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["WorkloadSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a trace-driven tenant workload.
+
+    Parameters
+    ----------
+    tenants:
+        Number of distinct tenants (millions are fine — per-tenant state
+        during generation is a few float64 weights).
+    functions_per_tenant:
+        Functions deployed by each tenant; per-arrival function choice is
+        Zipf(``function_zipf_s``) so each tenant has a hot entry point.
+    horizon_s:
+        Trace length in simulated seconds.
+    mean_rps:
+        Aggregate mean arrival rate across all tenants.
+    peak_to_mean:
+        Diurnal modulation depth: each class's instantaneous rate peaks
+        at ``peak_to_mean`` times its mean (a normalized
+        power-of-sinusoid shape whose troughs flatten toward zero — the
+        paper's "minimum often zero").  The *aggregate* trace softens as
+        ``phases`` grows, since classes peak at different hours.
+    period_s:
+        Diurnal period (default one day).
+    phases:
+        Number of timezone classes; tenant ``t`` belongs to class
+        ``t % phases``, whose cycle is shifted by ``period_s * p/phases``.
+    tenant_zipf_s / function_zipf_s:
+        Zipf exponents for tenant and per-tenant function popularity.
+    """
+
+    tenants: int = 1_000
+    functions_per_tenant: int = 4
+    horizon_s: float = 3_600.0
+    mean_rps: float = 100.0
+    peak_to_mean: float = 4.0
+    period_s: float = 86_400.0
+    phases: int = 8
+    tenant_zipf_s: float = 1.1
+    function_zipf_s: float = 1.5
+
+    def __post_init__(self):
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if self.functions_per_tenant < 1:
+            raise ValueError("functions_per_tenant must be >= 1")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if self.mean_rps < 0:
+            raise ValueError("mean_rps must be >= 0")
+        if self.peak_to_mean < 1:
+            raise ValueError("peak_to_mean must be >= 1")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.phases < 1:
+            raise ValueError("phases must be >= 1")
+
+    @property
+    def expected_arrivals(self) -> int:
+        """Rough arrival count (clamping skews the realized mean a little)."""
+        return int(self.mean_rps * self.horizon_s)
+
+    def to_meta(self) -> dict:
+        """The spec as a JSON-able dict (stored in saved traces)."""
+        return dataclasses.asdict(self)
