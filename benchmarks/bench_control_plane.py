@@ -1,0 +1,220 @@
+"""E40 — Closed-loop autoscaling policies vs a static baseline.
+
+One seeded diurnal trace (E39 workload engine), fanned across a bank of
+functions so each sees sparse, bursty traffic — the §3 cold-start
+regime where a fixed keep-alive window is always wrong for someone.
+The :class:`~taureau.control.PolicyLab` replays the identical workload
+for a policy-free static baseline and four candidate policy stacks
+(reactive, predictive, hybrid keep-alive, and all three together), then
+renders one deterministic table of SLO attainment, cold-start fraction
+and user cost.
+
+The acceptance gate is the paper-facing claim: **at least one closed
+loop strictly improves cold-start fraction or SLO attainment at
+equal-or-lower user cost** than the static baseline.  (In taureau's
+billing model idle warmth is free to the user, so the hybrid keep-alive
+policy — "Serverless in the Wild"'s histogram policy — is the designed
+winner: fewer cold starts, identical bill.)
+
+Run directly (``python benchmarks/bench_control_plane.py [--smoke]``)
+or via pytest-benchmark like the other benches; full runs land the
+trajectory in ``benchmarks/BENCH_control_plane.json``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from tables import print_table
+
+from taureau.chaos import ResiliencePolicy, RetryPolicy
+from taureau.control import (
+    HybridKeepAlive,
+    PolicyLab,
+    PredictivePrewarm,
+    ReactiveConcurrency,
+)
+from taureau.core import PlatformConfig
+from taureau.obs import BurnRatePolicy, SloObjective
+from taureau.workload import WorkloadSpec, generate_trace
+
+FULL_SPEC = WorkloadSpec(
+    tenants=2_000,
+    functions_per_tenant=4,
+    horizon_s=1_800.0,
+    mean_rps=8.0,
+    peak_to_mean=4.0,
+    period_s=1_800.0,
+    phases=4,
+)
+FULL_FUNCTIONS = 64
+
+SMOKE_SPEC = WorkloadSpec(
+    tenants=300,
+    functions_per_tenant=4,
+    horizon_s=300.0,
+    mean_rps=4.0,
+    peak_to_mean=4.0,
+    period_s=300.0,
+    phases=4,
+)
+SMOKE_FUNCTIONS = 16
+
+#: Static platform defaults the lab runs under: a keep-alive window much
+#: shorter than the typical per-function interarrival gap, so the
+#: baseline pays a cold start on most invocations — the regime every
+#: keep-alive survey paper plots.
+BASE_CONFIG = PlatformConfig(keep_alive_s=4.0)
+
+CANDIDATES = {
+    "reactive": lambda: ReactiveConcurrency(high_queue=3, step=4),
+    "predictive": lambda: PredictivePrewarm(min_arrivals=4, max_prewarm=4),
+    "hybrid-keepalive": lambda: HybridKeepAlive(min_samples=6),
+    "stacked": lambda: [
+        ReactiveConcurrency(high_queue=3, step=4),
+        PredictivePrewarm(min_arrivals=4, max_prewarm=4),
+        HybridKeepAlive(min_samples=6),
+    ],
+}
+
+
+def make_scenario(trace, functions):
+    """A lab scenario routing the trace across ``functions`` handlers."""
+    tenant_column = trace.tenants
+
+    def scenario(app):
+        def handler(event, ctx):
+            ctx.charge(0.05)
+
+        for index in range(functions):
+            app.function(f"f{index:02d}", memory_mb=128)(handler)
+        app.with_resilience(ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=1),
+            breaker_failure_threshold=8,
+        ))
+        app.with_monitoring(slos=[SloObjective(
+            "fast", objective=0.9, window_s=120.0,
+            latency="faas.e2e_latency_s", threshold_s=0.2,
+            burn_policies=(BurnRatePolicy(60.0, 120.0, 1.5,
+                                          severity="page"),),
+        )], interval_s=5.0)
+
+        invoke = app.faas.invoke
+
+        def fire(index):
+            invoke(f"f{int(tenant_column[index]) % functions:02d}")
+
+        app.with_workload(trace, fire=fire)
+
+    return scenario
+
+
+def run_experiment(smoke=False):
+    spec = SMOKE_SPEC if smoke else FULL_SPEC
+    functions = SMOKE_FUNCTIONS if smoke else FULL_FUNCTIONS
+    trace = generate_trace(spec, seed=7)
+    lab = PolicyLab(
+        make_scenario(trace, functions),
+        CANDIDATES,
+        seed=2026,
+        until=spec.horizon_s + 120.0,
+        interval_s=5.0,
+        platform_kwargs={"config": BASE_CONFIG},
+    )
+    return lab.run(), len(trace)
+
+
+def report(lab_report, arrivals):
+    rows = [
+        [
+            row["policy"],
+            row["invocations"],
+            row["slo_attainment"],
+            row["cold_fraction"],
+            row["cost_usd"],
+            row["p99_latency_s"],
+            row["actions"],
+        ]
+        for row in lab_report.rows
+    ]
+    print_table(
+        "E40: closed-loop policies vs static baseline "
+        f"({arrivals} trace arrivals)",
+        ["policy", "invocations", "slo_attain", "cold_frac", "cost_usd",
+         "p99_s", "actions"],
+        rows,
+        note="improvement gate: lower cold_frac or higher slo_attain at "
+             "cost <= static",
+    )
+
+
+def write_trajectory(lab_report, arrivals, smoke, path):
+    improved = lab_report.improvements()
+    payload = {
+        "experiment": "control_plane",
+        "baseline": lab_report.baseline,
+        "arrivals": arrivals,
+        "smoke": smoke,
+        "rows": lab_report.rows,
+        "improved_policies": [row["policy"] for row in improved],
+        "table": lab_report.table(),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="~10s run: smaller trace + function bank, no JSON",
+    )
+    parser.add_argument(
+        "--json",
+        default=str(pathlib.Path(__file__).parent / "BENCH_control_plane.json"),
+        help="trajectory output path (full runs only)",
+    )
+    options = parser.parse_args(argv)
+    lab_report, arrivals = run_experiment(smoke=options.smoke)
+    report(lab_report, arrivals)
+    improved = lab_report.improvements()
+    assert improved, (
+        "no policy beat the static baseline on cold-start fraction or "
+        "SLO attainment at equal-or-lower cost"
+    )
+    static = lab_report.row("static")
+    hybrid = lab_report.row("hybrid-keepalive")
+    assert hybrid["cold_fraction"] < static["cold_fraction"], (
+        f"hybrid keep-alive must cut cold starts: "
+        f"{hybrid['cold_fraction']} vs {static['cold_fraction']}"
+    )
+    assert hybrid["cost_usd"] <= static["cost_usd"], (
+        "keep-alive tuning must not raise the user's bill"
+    )
+    print(
+        f"improved vs static: {', '.join(r['policy'] for r in improved)} "
+        f"(cold_frac {static['cold_fraction']} -> {hybrid['cold_fraction']})"
+    )
+    if not options.smoke:
+        write_trajectory(lab_report, arrivals, options.smoke, options.json)
+    return 0
+
+
+def test_e40_policy_lab(benchmark):
+    lab_report, arrivals = benchmark.pedantic(
+        lambda: run_experiment(smoke=False), rounds=1, iterations=1
+    )
+    report(lab_report, arrivals)
+    assert lab_report.improvements()
+    static = lab_report.row("static")
+    hybrid = lab_report.row("hybrid-keepalive")
+    assert hybrid["cold_fraction"] < static["cold_fraction"]
+    assert hybrid["cost_usd"] <= static["cost_usd"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

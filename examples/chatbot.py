@@ -11,18 +11,18 @@ run on the Cloudburst-style stateful runtime, keeping per-session state
 in the Jiffy-backed KVS with sandbox-local caching.
 """
 
-from taureau.core import CostReport, FaasPlatform, PlatformConfig
-from taureau.jiffy import BlockPool, JiffyClient, JiffyController
-from taureau.sim import Simulation
+import taureau
+from taureau.core import CostReport, PlatformConfig
+from taureau.jiffy import BlockPool
 from taureau.stateful import StatefulRuntime
 
 
 def main():
-    sim = Simulation(seed=13)
-    platform = FaasPlatform(sim, config=PlatformConfig(keep_alive_s=300.0))
-    pool = BlockPool(sim, node_count=2, blocks_per_node=64, block_size_mb=4.0)
-    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
-    runtime = StatefulRuntime(platform, jiffy, cache_ttl_s=30.0)
+    app = taureau.Platform(seed=13, config=PlatformConfig(keep_alive_s=300.0))
+    pool = BlockPool(app.sim, node_count=2, blocks_per_node=64,
+                     block_size_mb=4.0)
+    app.with_jiffy(pool=pool, default_ttl_s=36000.0)
+    runtime = StatefulRuntime(app.faas, app.jiffy, cache_ttl_s=30.0)
 
     sizes = {"small", "medium", "large"}
     toppings = {"margherita", "pepperoni", "funghi"}
@@ -79,7 +79,7 @@ def main():
     print(f"  orders completed : {completed:.0f}")
     print(f"  state cache hits : {runtime.cache_hit_rate():.0%}")
     print("== the bill ==")
-    print(CostReport.from_platform(platform).format())
+    print(CostReport.from_platform(app.faas).format())
     assert completed == 2  # alice (slot-filled) and bob (one-shot)
     alice_order = runtime.kvs_get("order/alice")
     assert alice_order == {"size": "large", "topping": "pepperoni"}

@@ -12,10 +12,8 @@ scanned, not servers or selectivity.
 
 import random
 
-from taureau.baas import BlobStore
-from taureau.core import FaasPlatform
+import taureau
 from taureau.query import ColumnarTable, ServerlessQueryEngine, TableCatalog
-from taureau.sim import Simulation
 
 
 def build_weblogs(rows=60_000, seed=4):
@@ -49,15 +47,14 @@ def show(engine, sql):
 
 
 def main():
-    sim = Simulation(seed=17)
-    platform = FaasPlatform(sim)
-    catalog = TableCatalog(BlobStore(sim), chunk_rows=8_000)
+    app = taureau.Platform(seed=17).with_blobstore()
+    catalog = TableCatalog(app.blob, chunk_rows=8_000)
     table = build_weblogs()
     chunks = catalog.register(table)
     print(f"== loaded {table.row_count} rows into {chunks} columnar chunks ==")
 
     errors = show(
-        engine := ServerlessQueryEngine(platform, catalog),
+        engine := ServerlessQueryEngine(app.faas, catalog),
         "SELECT region, COUNT(*), AVG(latency_ms) FROM weblogs "
         "WHERE status = 500 GROUP BY region",
     )

@@ -15,28 +15,22 @@ runs two ways on the same batch:
 
 import random
 
+import taureau
 from taureau.analytics import ExifHeatMapPipeline, synthetic_photos
-from taureau.baas import BlobStore, ServerlessDatabase
-from taureau.core import FaasPlatform, FunctionSpec
 from taureau.orchestration import (
     ChoiceState,
-    Orchestrator,
-    PassState,
     StateMachine,
     SucceedState,
     TaskState,
 )
-from taureau.sim import Simulation
 
 
 def main():
-    sim = Simulation(seed=21)
-    platform = FaasPlatform(sim)
-    blob = BlobStore(sim)
-    db = ServerlessDatabase(sim)
+    app = taureau.Platform(seed=21).with_blobstore().with_database()
 
     # --- part 1: the raw pipeline ------------------------------------------
-    pipeline = ExifHeatMapPipeline(platform, blob, db, grid_degrees=1.0)
+    pipeline = ExifHeatMapPipeline(app.faas, app.blob, app.db,
+                                   grid_degrees=1.0)
     photos = synthetic_photos(random.Random(2), 80, missing_exif_rate=0.15)
     stats = pipeline.run_sync(pipeline.ingest(photos))
     print("== EXIF heat-map ETL over 80 photos ==")
@@ -48,19 +42,19 @@ def main():
     assert stats["loaded"] + stats["skipped"] == 80
 
     # --- part 2: the same flow as an audited state machine ------------------
-    orchestrator = Orchestrator(platform)
+    orchestrator = app.orchestrator()
 
-    @platform.function("count_batch")
+    @app.function("count_batch")
     def count_batch(event, ctx):
         ctx.charge(0.01)
         return {"batch": event, "size": len(event)}
 
-    @platform.function("summarize")
+    @app.function("summarize")
     def summarize(event, ctx):
         ctx.charge(0.02)
         return f"summary of {event['size']} keys"
 
-    @platform.function("reject")
+    @app.function("reject")
     def reject(event, ctx):
         ctx.charge(0.005)
         return "batch too small; queued for tomorrow"
@@ -77,7 +71,7 @@ def main():
             "done": SucceedState(),
         },
     )
-    keys = blob.list_keys(f"{pipeline.job_id}/raw/")
+    keys = app.blob.list_keys(f"{pipeline.job_id}/raw/")
     result, execution = machine.run_sync(orchestrator, keys)
     print("== state-machine run ==")
     print(f"  result       : {result}")

@@ -16,24 +16,20 @@ scenario from the paper's introduction).
 
 import random
 
-from taureau.baas import NotificationService, ServerlessDatabase
-from taureau.core import FaasPlatform, FunctionSpec
-from taureau.jiffy import BlockPool, JiffyClient, JiffyController
-from taureau.sim import Simulation
+import taureau
+from taureau.core import FunctionSpec
+from taureau.jiffy import BlockPool
 
 
 def main():
-    sim = Simulation(seed=3)
-    platform = FaasPlatform(sim)
-    db = ServerlessDatabase(sim)
+    app = taureau.Platform(seed=3).with_database().with_notifications()
+    db, sns = app.db, app.sns
     db.create_table("devices")
-    sns = NotificationService(sim)
     sns.create_topic("device-events")
-    pool = BlockPool(sim, node_count=2, blocks_per_node=64, block_size_mb=4.0)
-    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=3600.0))
-    jiffy.create("/telemetry/windows", "hash_table", pinned=True)
-    platform.wire_service("db", db)
-    platform.wire_service("jiffy", jiffy)
+    pool = BlockPool(app.sim, node_count=2, blocks_per_node=64,
+                     block_size_mb=4.0)
+    app.with_jiffy(pool=pool, default_ttl_s=3600.0)
+    app.jiffy.create("/telemetry/windows", "hash_table", pinned=True)
     alerts = []
 
     def register_device(event, ctx):
@@ -78,17 +74,17 @@ def main():
         ("record_temperature", record_temperature),
         ("query_fleet", query_fleet),
     ):
-        platform.register(
+        app.register(
             FunctionSpec(name=name, handler=handler, memory_mb=128, max_retries=2)
         )
     # Event-driven wiring: a notification triggers registration (§3.1).
-    sns.subscribe_function("device-events", platform, "register_device")
+    sns.subscribe_function("device-events", app, "register_device")
 
     # --- the fleet comes online -------------------------------------------
     rng = random.Random(1)
     kinds = ["thermometer", "valve", "camera"]
     for index in range(30):
-        sim.schedule_at(
+        app.sim.schedule_at(
             rng.uniform(0, 60),
             sns.publish,
             "device-events",
@@ -99,18 +95,18 @@ def main():
         device = f"dev-{index:03d}"
         base_temp = 22.0 + index * 0.8
         for reading in range(12):
-            sim.schedule_at(
+            app.sim.schedule_at(
                 70.0 + reading * 30.0,
-                platform.invoke,
+                app.invoke,
                 "record_temperature",
                 {"device_id": device,
                  "temp_c": base_temp + rng.gauss(0, 0.3)},
             )
-    sim.run()
+    app.run()
 
     print("== registry populated via event-driven functions ==")
     print(f"  registered devices : {len(db.scan('devices'))}")
-    thermometers = platform.invoke_sync("query_fleet", {"kind": "thermometer"})
+    thermometers = app.invoke_sync("query_fleet", {"kind": "thermometer"})
     print(f"  thermometers       : {len(thermometers.response)}")
     print("== fermentation alerts (10-reading window mean > 24 C) ==")
     for device, mean in sorted(set(alerts)):

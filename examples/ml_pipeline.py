@@ -13,8 +13,9 @@ simulated.
 
 import numpy as np
 
-from taureau.core import FaasPlatform, PlatformConfig
-from taureau.jiffy import BlockPool, JiffyClient, JiffyController
+import taureau
+from taureau.core import PlatformConfig
+from taureau.jiffy import BlockPool
 from taureau.ml import (
     HyperparameterSearch,
     InferenceService,
@@ -28,14 +29,13 @@ from taureau.ml import (
     logistic_gradient,
     shard,
 )
-from taureau.sim import Simulation
 
 
 def main():
-    sim = Simulation(seed=11)
-    platform = FaasPlatform(sim, config=PlatformConfig(keep_alive_s=120.0))
-    pool = BlockPool(sim, node_count=4, blocks_per_node=256, block_size_mb=8.0)
-    jiffy = JiffyClient(JiffyController(sim, pool=pool, default_ttl_s=36000.0))
+    app = taureau.Platform(seed=11, config=PlatformConfig(keep_alive_s=120.0))
+    pool = BlockPool(app.sim, node_count=4, blocks_per_node=256,
+                     block_size_mb=8.0)
+    app.with_jiffy(pool=pool, default_ttl_s=36000.0)
 
     features, labels, __ = classification_dataset(3000, 30, seed=5)
     split = 2000
@@ -52,20 +52,20 @@ def main():
         return logistic_accuracy(weights, valid_x, valid_y)
 
     search = HyperparameterSearch(
-        platform, quick_train, cost_fn=lambda config, budget: 0.05 * budget
+        app.faas, quick_train, cost_fn=lambda config, budget: 0.05 * budget
     )
     best_config, best_score = search.run_all(
         grid(lr=[0.05, 0.2, 0.8], l2=[0.0, 1e-3, 1e-1]), budget=3
     )
-    tuned_at = sim.now
+    tuned_at = app.sim.now
     print("== stage 1: hyperparameter search (9 configs, concurrent) ==")
     print(f"  winner  : {best_config} (valid acc {best_score:.3f})")
     print(f"  elapsed : {tuned_at:.2f} simulated s")
 
     # --- stage 2: data-parallel training with a parameter server ----------
     job = ServerlessTrainingJob(
-        platform,
-        JiffyParameterMedium(jiffy),
+        app.faas,
+        JiffyParameterMedium(app.jiffy),
         shard(train_x, train_y, workers=6),
         learning_rate=best_config["lr"],
         l2=best_config["l2"],
@@ -76,15 +76,15 @@ def main():
     print("== stage 2: parameter-server training (6 workers, Jiffy PS) ==")
     print(f"  validation accuracy : {accuracy:.3f}")
     print(f"  epochs              : {len(job.history)}")
-    print(f"  elapsed             : {sim.now - tuned_at:.2f} simulated s")
+    print(f"  elapsed             : {app.sim.now - tuned_at:.2f} simulated s")
     assert accuracy > 0.9
 
     # --- stage 3: serving with a model cache -------------------------------
     model = LogisticModel(weights, model_id="taureau-classifier")
     cache = ModelCache(capacity_mb=256.0)
-    service = InferenceService(platform, model, cache=cache)
+    service = InferenceService(app.faas, model, cache=cache)
     events = [service.predict(valid_x[i : i + 1]) for i in range(100)]
-    sim.run()
+    app.run()
     predictions = np.array([event.value.response[0] for event in events])
     serving_accuracy = float(np.mean(predictions == valid_y[:100]))
     latencies = sorted(

@@ -25,7 +25,7 @@ def main():
     app = taureau.Platform(seed=7)
     runtime = app.with_pulsar(
         broker_count=3, bookie_count=3, write_quorum=2, ack_quorum=2
-    )
+    ).pulsar
     cluster = runtime.cluster
     cluster.create_topic("clicks", partitions=3)
     cluster.create_topic("alerts")

@@ -16,9 +16,8 @@ profile and compares the serverless bill against a peak-sized VM fleet.
 import math
 import random
 
-from taureau.baas import BlobStore, ServerlessDatabase
+import taureau
 from taureau.core import (
-    FaasPlatform,
     FunctionSpec,
     VmFleet,
     collect,
@@ -31,14 +30,10 @@ HORIZON_S = 6 * 3600.0  # a quarter day keeps the run snappy
 
 
 def main():
-    sim = Simulation(seed=9)
-    platform = FaasPlatform(sim)
-    blob = BlobStore(sim)
-    db = ServerlessDatabase(sim)
+    app = taureau.Platform(seed=9).with_blobstore().with_database()
+    blob, db = app.blob, app.db
     db.create_table("posts")
     db.create_table("comments")
-    platform.wire_service("blob", blob)
-    platform.wire_service("db", db)
 
     # --- publish site content ---------------------------------------------
     blob.put("static/style.css", "body { font: serif }", size_mb=0.05)
@@ -79,10 +74,10 @@ def main():
         return database.execute_once(f"comment-{event['comment_id']}", write,
                                      ctx=ctx)
 
-    platform.register(FunctionSpec(name="GET /post", handler=get_post,
-                                   memory_mb=128))
-    platform.register(FunctionSpec(name="POST /comment", handler=post_comment,
-                                   memory_mb=128, max_retries=2))
+    app.register(FunctionSpec(name="GET /post", handler=get_post,
+                              memory_mb=128))
+    app.register(FunctionSpec(name="POST /comment", handler=post_comment,
+                              memory_mb=128, max_retries=2))
 
     # --- a diurnal visitor stream -------------------------------------------
     rng = random.Random(5)
@@ -90,16 +85,16 @@ def main():
                              period=HORIZON_S, horizon=HORIZON_S)
     writes = [t for t in reads if rng.random() < 0.1]
     read_events = replay(
-        platform, "GET /post", reads,
+        app, "GET /post", reads,
         payload_fn=lambda i: {"post_id": f"post-{i % 20}"},
     )
     write_events = replay(
-        platform, "POST /comment", writes,
+        app, "POST /comment", writes,
         payload_fn=lambda i: {
             "comment_id": f"c{i}", "post_id": f"post-{i % 20}", "text": "+1"
         },
     )
-    records = collect(sim, read_events) + [e.value for e in write_events]
+    records = collect(app.sim, read_events) + [e.value for e in write_events]
 
     # --- report --------------------------------------------------------------
     ok = [r for r in records if r.succeeded and r.response["status"] in (200, 201)]
@@ -111,7 +106,7 @@ def main():
     print(f"  p99 latency  : {latencies.p99:.1f} ms")
     print(f"  comments now : {len(db.scan('comments'))}")
 
-    faas_cost = platform.total_cost_usd() + blob.request_cost_usd()
+    faas_cost = app.total_cost_usd() + blob.request_cost_usd()
     peak_rps = 2.0
     vms = max(1, math.ceil(peak_rps / 80.0))
     fleet_sim = Simulation()

@@ -32,7 +32,7 @@ from taureau.chaos import (
 
 def scenario(app: taureau.Platform) -> None:
     app.with_kvstore()
-    jiffy = app.with_jiffy()
+    jiffy = app.with_jiffy().jiffy
     jiffy.create("/smoke/q", "queue")
 
     @app.function("work")

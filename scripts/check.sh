@@ -58,4 +58,10 @@ python benchmarks/bench_sim_kernel.py --smoke
 echo "== workload smoke: trace generation + replay determinism =="
 python scripts/workload_smoke.py
 
+echo "== control smoke: policy-lab byte-stability =="
+python scripts/control_smoke.py
+
+echo "== bench smoke: control plane vs static baseline =="
+python benchmarks/bench_control_plane.py --smoke
+
 echo "check.sh: all gates passed"

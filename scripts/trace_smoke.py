@@ -27,7 +27,7 @@ def run_workflow(seed: int):
     """One traced end-to-end workflow; returns (record, trace)."""
     app = taureau.Platform(seed=seed)
     app.with_jiffy()
-    runtime = app.with_pulsar()
+    runtime = app.with_pulsar().pulsar
     runtime.cluster.create_topic("events")
     runtime.deploy(
         PulsarFunction(

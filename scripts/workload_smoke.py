@@ -62,7 +62,7 @@ def platform_digest(backend):
         .crash_machine(rate_hz=0.05, start_s=0.0, end_s=60.0)
         .crash_sandbox(rate_hz=0.1, start_s=0.0, end_s=60.0)
     )
-    trace = app.with_workload(SPEC, function="handler")
+    trace = app.with_workload(SPEC, function="handler").workload_trace
     app.run(until=240.0)
     return stable_digest(app._determinism_state()), trace
 

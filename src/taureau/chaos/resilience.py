@@ -80,7 +80,9 @@ class ResilientInvoker:
     def _launch(self, call: _Call) -> None:
         token = object()
         call.live_tokens.add(token)
-        event = self.platform._invoke_once(call.name, call.payload, call.parent)
+        event = self.platform._invoke_once(
+            call.name, call.payload, parent=call.parent
+        )
         event.add_callback(
             lambda ev, token=token: self._attempt_done(call, token, ev.value)
         )

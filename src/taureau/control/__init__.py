@@ -1,0 +1,50 @@
+"""Closed-loop control plane: SLO-driven autoscaling on the virtual clock.
+
+PR 3 built monitors and burn-rate alerts; PR 5 built chaos plans and
+resilience policies — this package is the layer that *acts* on those
+signals.  A :class:`ControlLoop` ticks alongside the
+:class:`~taureau.obs.Monitor`, handing each installed :class:`Policy` a
+read-only :class:`SignalView` (per-tick labeled-metric deltas,
+per-function interarrival histograms, SLO burn-rate alerts collected via
+``Monitor.on_alert``) and a narrow :class:`Actuator` over the platform's
+actuation surface (``set_provisioned_concurrency``, per-function
+``set_keep_alive`` / ``set_concurrency_limit``, ``prewarm``).
+
+Three reference policies implement the cold-start mitigations catalogued
+in the serverless surveys (arXiv:2112.12921 §4, arXiv:2206.12275):
+
+- :class:`ReactiveConcurrency` — scale concurrency caps and warm
+  capacity on queue depth and active burn-rate alerts;
+- :class:`PredictivePrewarm` — forecast the next interval's arrival rate
+  from interarrival history and pre-warm ahead of diurnal ramps;
+- :class:`HybridKeepAlive` — tune each function's keep-alive window to a
+  high percentile of its observed interarrival distribution
+  (Shahrad et al., "Serverless in the Wild"-style hybrid policy).
+
+:class:`PolicyLab` is the comparison harness: the same seeded trace and
+chaos plan replayed under N policy stacks plus a static baseline, one
+deterministic table of SLO attainment / cost USD / cold-start fraction.
+"""
+
+from taureau.control.actuator import Actuator
+from taureau.control.lab import LabReport, PolicyLab
+from taureau.control.loop import ControlLoop
+from taureau.control.policies import (
+    HybridKeepAlive,
+    Policy,
+    PredictivePrewarm,
+    ReactiveConcurrency,
+)
+from taureau.control.signals import SignalView
+
+__all__ = [
+    "Actuator",
+    "ControlLoop",
+    "SignalView",
+    "Policy",
+    "ReactiveConcurrency",
+    "PredictivePrewarm",
+    "HybridKeepAlive",
+    "PolicyLab",
+    "LabReport",
+]

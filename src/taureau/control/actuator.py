@@ -1,0 +1,94 @@
+"""The narrow write-side API policies get over a :class:`FaasPlatform`.
+
+Policies never touch the platform directly: everything they may change
+goes through an :class:`Actuator`, which (a) bounds the blast radius to
+the four supported knobs, (b) suppresses no-op writes so the action log
+stays a faithful record of *decisions*, and (c) timestamps every action
+on the virtual clock — the log is part of the determinism contract and
+what :class:`~taureau.control.PolicyLab` and the tests assert on.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["Action", "Actuator"]
+
+
+class Action(typing.NamedTuple):
+    """One applied actuation, as recorded in :attr:`Actuator.actions`."""
+
+    time: float
+    policy: str
+    verb: str
+    function: str
+    value: object
+
+
+class Actuator:
+    """Applies policy decisions to the platform and logs every one."""
+
+    def __init__(self, faas):
+        self._faas = faas
+        #: Every applied (non-no-op) actuation in decision order.
+        self.actions: typing.List[Action] = []
+        # Set by the ControlLoop around each policy's tick so actions
+        # are attributable; "-" outside any policy context.
+        self._policy = "-"
+
+    def _record(self, verb: str, function: str, value) -> None:
+        self.actions.append(
+            Action(self._faas.sim.now, self._policy, verb, function, value)
+        )
+
+    def actions_by(self, policy: typing.Optional[str] = None,
+                   verb: typing.Optional[str] = None,
+                   function: typing.Optional[str] = None) -> list:
+        """Filter the action log (None matches anything)."""
+        return [
+            action
+            for action in self.actions
+            if (policy is None or action.policy == policy)
+            and (verb is None or action.verb == verb)
+            and (function is None or action.function == function)
+        ]
+
+    # -- the four knobs ----------------------------------------------------
+
+    def set_provisioned_concurrency(self, name: str, count: int) -> bool:
+        """Adjust standing provisioned capacity; True if anything changed."""
+        if count == self._faas.provisioned_count(name):
+            return False
+        self._faas.set_provisioned_concurrency(name, count)
+        self._record("provisioned", name, count)
+        return True
+
+    def set_keep_alive(self, name: str,
+                       keep_alive_s: typing.Optional[float]) -> bool:
+        """Override one function's keep-alive window; True if changed."""
+        if keep_alive_s is None:
+            if name not in self._faas._keep_alive_overrides:
+                return False
+        elif keep_alive_s == self._faas.keep_alive_for(name):
+            return False
+        self._faas.set_keep_alive(name, keep_alive_s)
+        self._record("keep_alive", name, keep_alive_s)
+        return True
+
+    def set_concurrency_limit(self, name: str,
+                              limit: typing.Optional[int]) -> bool:
+        """Override one function's concurrency cap; True if changed."""
+        if limit == self._faas._concurrency_overrides.get(name):
+            return False
+        self._faas.set_concurrency_limit(name, limit)
+        self._record("concurrency_limit", name, limit)
+        return True
+
+    def prewarm(self, name: str, count: int) -> int:
+        """Request ``count`` pre-warmed sandboxes; returns how many landed."""
+        if count <= 0:
+            return 0
+        created = self._faas.prewarm(name, count)
+        if created:
+            self._record("prewarm", name, created)
+        return created

@@ -32,6 +32,7 @@ import dataclasses
 import itertools
 import math
 import typing
+import warnings
 
 from taureau.cluster import Cluster, Machine, ResourceVector
 from taureau.core.calibration import DEFAULT_CALIBRATION, Calibration
@@ -105,6 +106,9 @@ class Sandbox:
         self.executions = 0
         #: Provisioned sandboxes never expire and are never evicted.
         self.provisioned = False
+        #: Pre-warmed sandboxes accrue a standing charge until first
+        #: reuse or expiry (see :meth:`FaasPlatform.prewarm`).
+        self.prewarmed = False
         #: Set when the hosting machine fails; a dead sandbox never runs.
         self.dead = False
 
@@ -122,10 +126,12 @@ class PeriodicTrigger:
     """A recurring (cron-style) invocation schedule; see schedule_periodic."""
 
     def __init__(self, platform: "FaasPlatform", name: str, interval_s: float,
-                 payload_fn):
+                 payload_fn, jitter: float = 0.0, rng=None):
         self._platform = platform
         self.function_name = name
         self.interval_s = interval_s
+        self.jitter = jitter
+        self._rng = rng
         self._payload_fn = payload_fn
         self.events: list = []
         self.cancelled = False
@@ -138,13 +144,18 @@ class PeriodicTrigger:
         """Stop future firings (in-flight invocations complete normally)."""
         self.cancelled = True
 
+    def _delay(self, base: float) -> float:
+        if self.jitter and self._rng is not None:
+            return base + self._rng.uniform(0.0, self.jitter)
+        return base
+
     def _fire(self) -> None:
         if self.cancelled:
             return
         tick = len(self.events)
         payload = self._payload_fn(tick) if self._payload_fn else None
         self.events.append(self._platform.invoke(self.function_name, payload))
-        self._platform.sim.schedule_after(self.interval_s, self._fire)
+        self._platform.sim.schedule_after(self._delay(self.interval_s), self._fire)
 
 
 class _Attempt:
@@ -214,6 +225,12 @@ class FaasPlatform:
         self._running_per_function: dict = collections.defaultdict(int)
         self._sandbox_memory_mb = 0.0
         self._provisioned_memory_mb = 0.0
+        self._prewarmed_memory_mb = 0.0
+        # Control-plane actuation state (see taureau.control): per-function
+        # keep-alive and concurrency overrides, installed by policies.
+        self._keep_alive_overrides: dict = {}
+        self._concurrency_overrides: dict = {}
+        self._last_arrival: dict = {}
         self._cold_rng = sim.rng.stream("platform.cold_start")
         # Per-platform id mints keep invocation/sandbox ids replayable
         # across same-seed platforms within one process.
@@ -259,7 +276,28 @@ class FaasPlatform:
     # Invocation API
     # ------------------------------------------------------------------
 
-    def invoke(self, name: str, payload: object = None, parent=None) -> Event:
+    @staticmethod
+    def _legacy_positional_parent(method: str, args: tuple, parent):
+        """Deprecation shim: ``parent`` used to be the third positional
+        parameter of :meth:`invoke`/:meth:`invoke_sync`."""
+        if len(args) > 1:
+            raise TypeError(
+                f"{method}() takes at most 2 positional arguments besides "
+                f"the platform ({2 + len(args)} given)"
+            )
+        if parent is not None:
+            raise TypeError(
+                f"{method}() got parent both positionally and by keyword"
+            )
+        warnings.warn(
+            f"passing parent positionally to {method}() is deprecated; "
+            f"use the keyword form {method}(name, payload, parent=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return args[0]
+
+    def invoke(self, name: str, payload: object = None, *args, parent=None) -> Event:
         """Asynchronously invoke ``name``.
 
         Returns an event that *always succeeds* with the final
@@ -279,14 +317,23 @@ class FaasPlatform:
         invoker — client-side retries, per-attempt timeouts, hedging and
         circuit breaking — and still resolves with one final record.
         """
+        if args:
+            parent = self._legacy_positional_parent("invoke", args, parent)
         if self._resilience is not None:
             return self._resilience.invoke(name, payload, parent=parent)
-        return self._invoke_once(name, payload, parent)
+        return self._invoke_once(name, payload, parent=parent)
 
-    def _invoke_once(self, name: str, payload: object = None,
+    def _invoke_once(self, name: str, payload: object = None, *,
                      parent=None) -> Event:
         """One platform-level invocation, bypassing client-side resilience."""
         spec = self.spec(name)
+        last_arrival = self._last_arrival.get(name)
+        if last_arrival is not None:
+            self.metrics.labeled_histogram("interarrival_by", ("function",)).observe(
+                self.sim.now - last_arrival, function=name
+            )
+        self._last_arrival[name] = self.sim.now
+        self.metrics.labeled_counter("arrivals_by", ("function",)).add(function=name)
         record = InvocationRecord(
             invocation_id=f"inv{next(self._invocation_ids)}",
             function_name=name,
@@ -309,37 +356,49 @@ class FaasPlatform:
         self._dispatch(attempt)
         return done
 
-    def invoke_sync(self, name: str, payload: object = None,
+    def invoke_sync(self, name: str, payload: object = None, *args,
                     parent=None) -> InvocationRecord:
         """Invoke and run the simulation until the record is final.
 
-        Returns the exact :class:`InvocationRecord` object the
-        :meth:`invoke` event resolves to — one result shape for both
-        paths, ``trace_id`` included.
+        Returns the exact final :class:`~taureau.core.function.InvocationRecord`
+        the :meth:`invoke` event resolves to — one result shape for both
+        paths: ``status``/``response``/``error``, ``cold_start``,
+        ``cost_usd``, ``end_to_end_latency_s`` and ``trace_id``.
         """
+        if args:
+            parent = self._legacy_positional_parent("invoke_sync", args, parent)
         return self.sim.run(until=self.invoke(name, payload, parent=parent))
 
     def schedule_periodic(
         self,
         name: str,
         interval_s: float,
+        *,
         payload_fn: typing.Optional[typing.Callable[[int], object]] = None,
         start_after_s: typing.Optional[float] = None,
+        jitter: float = 0.0,
     ) -> "PeriodicTrigger":
         """Invoke ``name`` every ``interval_s`` (cron-style triggering).
 
         This is design pattern (1), *periodic invocation*, from the Hong
         et al. taxonomy the paper cites in §3.2.  ``payload_fn(tick)``
-        builds each firing's payload.  Returns a handle whose ``cancel()``
+        builds each firing's payload; a positive ``jitter`` adds a
+        seeded uniform ``[0, jitter)`` delay to every firing (named rng
+        stream ``platform.periodic.<name>``), de-synchronizing triggers
+        that share an interval.  Returns a handle whose ``cancel()``
         stops future firings and whose ``events`` collects the invocation
         events fired so far.
         """
         self.spec(name)  # fail fast on unknown functions
         if interval_s <= 0:
             raise ValueError("interval_s must be positive")
-        trigger = PeriodicTrigger(self, name, interval_s, payload_fn)
+        if jitter < 0:
+            raise ValueError("jitter must be nonnegative")
+        rng = self.sim.rng.stream(f"platform.periodic.{name}") if jitter else None
+        trigger = PeriodicTrigger(self, name, interval_s, payload_fn,
+                                  jitter=jitter, rng=rng)
         first = interval_s if start_after_s is None else start_after_s
-        self.sim.schedule_after(first, trigger._fire)
+        self.sim.schedule_after(trigger._delay(first), trigger._fire)
         return trigger
 
     def warm_pool_size(self, name: str) -> int:
@@ -352,21 +411,38 @@ class FaasPlatform:
         Provisioned sandboxes are created immediately (off the request
         path), never expire, and are never evicted; they are billed per
         GB-second at the provisioned rate whether or not traffic arrives
-        (see :meth:`provisioned_cost_usd`).  Currently only increases are
-        supported.
+        (see :meth:`provisioned_cost_usd`).  Lowering the count retires
+        idle provisioned sandboxes newest-first; still-executing ones
+        demote to ordinary warm sandboxes (their standing charge stops
+        immediately and they pick up a normal keep-alive window when
+        they finish).
         """
         spec = self.spec(name)
         if count < 0:
             raise ValueError("count must be nonnegative")
         pool_key = self._pool_key(spec)
-        existing = sum(
-            1 for sandbox in self._idle[pool_key] if sandbox.provisioned
-        )
+        idle_provisioned = [
+            sandbox for sandbox in self._idle[pool_key] if sandbox.provisioned
+        ]
+        busy_provisioned = [
+            sandbox
+            for sandbox in self._executing.values()
+            if sandbox.provisioned and self._pool_key(sandbox.spec) == pool_key
+        ]
+        existing = len(idle_provisioned) + len(busy_provisioned)
         if count < existing:
-            raise ValueError(
-                f"{name}: lowering provisioned concurrency ({existing} -> "
-                f"{count}) is not supported"
-            )
+            excess = existing - count
+            for sandbox in list(reversed(idle_provisioned))[:excess]:
+                self._retire_sandbox(sandbox)  # records the series drop
+                excess -= 1
+            for sandbox in busy_provisioned[:excess]:
+                sandbox.provisioned = False
+                self._provisioned_memory_mb -= sandbox.spec.memory_mb
+            if excess:
+                self.metrics.series("provisioned_memory_mb").record(
+                    self.sim.now, self._provisioned_memory_mb
+                )
+            return
         for __ in range(count - existing):
             # Always create fresh sandboxes: reusing warm ones would just
             # shuffle the pool instead of adding standing capacity.
@@ -382,6 +458,17 @@ class FaasPlatform:
             self.sim.now, self._provisioned_memory_mb
         )
 
+    def provisioned_count(self, name: str) -> int:
+        """Provisioned sandboxes (idle or executing) for ``name``'s pool."""
+        pool_key = self._pool_key(self.spec(name))
+        idle = sum(1 for s in self._idle[pool_key] if s.provisioned)
+        busy = sum(
+            1
+            for s in self._executing.values()
+            if s.provisioned and self._pool_key(s.spec) == pool_key
+        )
+        return idle + busy
+
     def provisioned_cost_usd(
         self, start: float = 0.0, end: typing.Optional[float] = None
     ) -> float:
@@ -392,6 +479,117 @@ class FaasPlatform:
         end = self.sim.now if end is None else end
         gb_s = series.integral(start, end) / 1024.0
         return gb_s * self.config.calibration.price_per_provisioned_gb_s
+
+    # ------------------------------------------------------------------
+    # Control-plane actuation (taureau.control)
+    # ------------------------------------------------------------------
+
+    def set_keep_alive(self, name: str,
+                       keep_alive_s: typing.Optional[float]) -> None:
+        """Override the warm keep-alive window for one function.
+
+        ``None`` clears the override (back to the platform-wide
+        ``PlatformConfig.keep_alive_s`` / calibration default); ``0``
+        disables warm reuse for the function.  The override applies to
+        sandboxes *returned to the pool* after this call — already-idle
+        sandboxes keep their scheduled expiry.  Under ``app_sandboxing``
+        the pool is shared per tenant but the window is still chosen by
+        the function that returns the sandbox.
+        """
+        self.spec(name)
+        if keep_alive_s is None:
+            self._keep_alive_overrides.pop(name, None)
+            return
+        if keep_alive_s < 0:
+            raise ValueError("keep_alive_s must be nonnegative")
+        self._keep_alive_overrides[name] = float(keep_alive_s)
+
+    def keep_alive_for(self, name: str) -> float:
+        """The effective keep-alive window for ``name``."""
+        return self._keep_alive_overrides.get(
+            name, self.config.effective_keep_alive()
+        )
+
+    def set_concurrency_limit(self, name: str,
+                              limit: typing.Optional[int]) -> None:
+        """Cap concurrent executions of one function (scaling actuator).
+
+        Overrides the function's deploy-time ``reserved_concurrency``;
+        ``None`` clears the override.  Raising the limit immediately
+        re-dispatches parked work.
+        """
+        self.spec(name)
+        if limit is None:
+            self._concurrency_overrides.pop(name, None)
+        else:
+            if limit < 1:
+                raise ValueError("limit must be at least 1 (or None to clear)")
+            self._concurrency_overrides[name] = int(limit)
+        self._drain_pending()
+
+    def concurrency_limit_for(self, name: str) -> typing.Optional[int]:
+        """The effective per-function concurrency cap (``None`` = unlimited)."""
+        override = self._concurrency_overrides.get(name)
+        if override is not None:
+            return override
+        return self.spec(name).reserved_concurrency
+
+    def prewarm(self, name: str, count: int) -> int:
+        """Create up to ``count`` warm sandboxes for ``name`` ahead of demand.
+
+        Pre-warmed sandboxes behave like ordinary warm sandboxes — they
+        expire after the function's keep-alive window and are evictable
+        under memory pressure — but they accrue a standing charge at the
+        provisioned-concurrency rate until first reuse or expiry (see
+        :meth:`prewarm_cost_usd`), so pre-warming is never free.  Returns
+        the number actually created (cluster capacity permitting).
+        """
+        spec = self.spec(name)
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        created = 0
+        for __ in range(count):
+            sandbox = self._create_sandbox(spec)
+            if sandbox is None:
+                break
+            sandbox.prewarmed = True
+            self._account_prewarm(spec.memory_mb)
+            self._return_to_pool(sandbox)
+            created += 1
+        if created:
+            self.metrics.counter("prewarmed_sandboxes").add(created)
+        return created
+
+    def _account_prewarm(self, delta_mb: float) -> None:
+        self._prewarmed_memory_mb += delta_mb
+        self.metrics.series("prewarmed_memory_mb").record(
+            self.sim.now, self._prewarmed_memory_mb
+        )
+
+    def prewarm_cost_usd(
+        self, start: float = 0.0, end: typing.Optional[float] = None
+    ) -> float:
+        """The standing charge for pre-warmed (not yet reused) sandboxes."""
+        series = self.metrics.series("prewarmed_memory_mb")
+        if not len(series):
+            return 0.0
+        end = self.sim.now if end is None else end
+        gb_s = series.integral(start, end) / 1024.0
+        return gb_s * self.config.calibration.price_per_provisioned_gb_s
+
+    def pending_count(self, name: typing.Optional[str] = None) -> int:
+        """Parked (queued-on-throttle) attempts, optionally per function."""
+        if name is None:
+            return len(self._pending)
+        return sum(1 for a in self._pending if a.spec.name == name)
+
+    def running_for(self, name: str) -> int:
+        """Currently executing invocations of one function."""
+        return self._running_per_function.get(name, 0)
+
+    def function_names(self) -> list:
+        """Registered function names in deployment order."""
+        return list(self._functions)
 
     @property
     def running_count(self) -> int:
@@ -500,7 +698,9 @@ class FaasPlatform:
         ):
             self._park_or_throttle(attempt)
             return
-        reserved = attempt.spec.reserved_concurrency
+        reserved = self._concurrency_overrides.get(
+            attempt.spec.name, attempt.spec.reserved_concurrency
+        )
         if (
             reserved is not None
             and self._running_per_function[attempt.spec.name] >= reserved
@@ -561,7 +761,9 @@ class FaasPlatform:
             record = attempt.record
             record.status = InvocationStatus.THROTTLED
             limit = self.config.concurrency_limit
-            reserved = attempt.spec.reserved_concurrency
+            reserved = self._concurrency_overrides.get(
+                attempt.spec.name, attempt.spec.reserved_concurrency
+            )
             record.error = ThrottledError(
                 f"{record.function_name}: throttled at {self._running} "
                 f"running invocations (platform limit "
@@ -602,6 +804,10 @@ class FaasPlatform:
             if sandbox.spec.memory_mb >= spec.memory_mb:
                 del idle[position]
                 sandbox.expiry_token = None
+                if sandbox.prewarmed:
+                    # First reuse ends the pre-warm standing charge.
+                    sandbox.prewarmed = False
+                    self._account_prewarm(-sandbox.spec.memory_mb)
                 return sandbox, False
         return self._create_sandbox(spec), True
 
@@ -673,6 +879,9 @@ class FaasPlatform:
             self.metrics.series("provisioned_memory_mb").record(
                 self.sim.now, self._provisioned_memory_mb
             )
+        if sandbox.prewarmed:
+            sandbox.prewarmed = False
+            self._account_prewarm(-sandbox.spec.memory_mb)
         sandbox.dead = True
         sandbox.destroy()
 
@@ -680,7 +889,9 @@ class FaasPlatform:
         if sandbox.provisioned:
             self._idle[self._pool_key(sandbox.spec)].append(sandbox)
             return
-        keep_alive = self.config.effective_keep_alive()
+        keep_alive = self._keep_alive_overrides.get(
+            sandbox.spec.name, self.config.effective_keep_alive()
+        )
         if keep_alive <= 0:
             self._retire_sandbox(sandbox)
             return

@@ -14,9 +14,22 @@ entry point that wires them together:
 >>> record = app.invoke_sync("hello", "there")
 >>> print(app.trace(record.trace_id).render())   # doctest: +SKIP
 
-Tracing is on by default (pass ``tracing=False`` for a bare platform);
-subsystems attach through ``with_jiffy`` / ``with_pulsar`` /
-``with_kvstore`` / ``with_blobstore`` and are wired both as handler
+Tracing is on by default (pass ``tracing=False`` for a bare platform).
+Subsystems attach through the fluent ``with_*`` builders — every one
+returns the platform itself, so a whole stack reads as one chain:
+
+>>> app = (taureau.Platform(seed=7)
+...        .with_jiffy()
+...        .with_pulsar()
+...        .with_monitoring()
+...        .with_control())
+
+The attached handles are read-only properties: ``app.jiffy`` (client),
+``app.pulsar`` (functions runtime), ``app.kv`` / ``app.blob`` / ``app.db``
+/ ``app.sns`` (stores), ``app.chaos`` (controller), ``app.resilience``
+(invoker), ``app.control`` (control loop), ``app.monitor`` and
+``app.workload_trace``; custom-named stores come back via
+:meth:`Platform.subsystem`.  Everything is wired both as handler
 services and into the shared trace/metric surface.  The old
 constructors remain supported — the facade only composes them.
 """
@@ -118,8 +131,12 @@ class Platform:
         self.monitor: typing.Optional[Monitor] = None
         #: The trace scheduled by :meth:`with_workload`, if any.
         self.workload_trace = None
-        #: Installed by :meth:`with_chaos`.
-        self.chaos = None
+        #: Installed by :meth:`with_chaos` (read via :attr:`chaos`).
+        self._chaos = None
+        #: Installed by :meth:`with_control` (read via :attr:`control`).
+        self._control = None
+        #: The Jiffy client handle (read via :attr:`jiffy`).
+        self._jiffy = None
         #: Installed by :meth:`with_resilience`.
         self._resilience_policy = None
         #: Clients whose operations the fault plane guards.
@@ -147,40 +164,110 @@ class Platform:
     def wire_service(self, name: str, client) -> None:
         self.faas.wire_service(name, client)
 
-    def invoke(self, name: str, payload: object = None, parent=None) -> Event:
-        self._poke_monitor()
+    def invoke(self, name: str, payload: object = None, *args,
+               parent=None) -> Event:
+        if args:
+            parent = FaasPlatform._legacy_positional_parent(
+                "invoke", args, parent
+            )
+        self._poke_loops()
         return self.faas.invoke(name, payload, parent=parent)
 
-    def invoke_sync(self, name: str, payload: object = None,
+    def invoke_sync(self, name: str, payload: object = None, *args,
                     parent=None) -> InvocationRecord:
-        self._poke_monitor()
+        """Invoke and drain; returns the final
+        :class:`~taureau.core.function.InvocationRecord` (same shape as
+        the :meth:`invoke` event's result)."""
+        if args:
+            parent = FaasPlatform._legacy_positional_parent(
+                "invoke_sync", args, parent
+            )
+        self._poke_loops()
         return self.faas.invoke_sync(name, payload, parent=parent)
 
-    def schedule_periodic(self, name: str, interval_s: float, payload_fn=None,
-                          start_after_s=None):
-        self._poke_monitor()
+    def schedule_periodic(self, name: str, interval_s: float, *,
+                          payload_fn=None, start_after_s=None,
+                          jitter: float = 0.0):
+        self._poke_loops()
         return self.faas.schedule_periodic(
-            name, interval_s, payload_fn=payload_fn, start_after_s=start_after_s
+            name, interval_s, payload_fn=payload_fn,
+            start_after_s=start_after_s, jitter=jitter,
         )
 
     def run(self, until=None):
         """Advance the shared simulation (see :meth:`Simulation.run`)."""
-        self._poke_monitor()
+        self._poke_loops()
         return self.sim.run(until=until)
 
     def total_cost_usd(self) -> float:
         return self.faas.total_cost_usd()
 
     # ------------------------------------------------------------------
+    # Attached-subsystem properties (the read side of the fluent API)
+    # ------------------------------------------------------------------
+
+    @property
+    def jiffy(self):
+        """The :class:`~taureau.jiffy.JiffyClient`, or ``None``."""
+        return self._jiffy
+
+    @property
+    def pulsar(self):
+        """The :class:`~taureau.pulsar.FunctionsRuntime`, or ``None``."""
+        return self._subsystems.get("pulsar")
+
+    @property
+    def kv(self):
+        """The default-named (``"kv"``) key-value store, or ``None``."""
+        return self._subsystems.get("kv")
+
+    @property
+    def blob(self):
+        """The default-named (``"blob"``) blob store, or ``None``."""
+        return self._subsystems.get("blob")
+
+    @property
+    def db(self):
+        """The default-named (``"db"``) serverless database, or ``None``."""
+        return self._subsystems.get("db")
+
+    @property
+    def sns(self):
+        """The default-named (``"sns"``) notification service, or ``None``."""
+        return self._subsystems.get("sns")
+
+    @property
+    def chaos(self):
+        """The :class:`~taureau.chaos.ChaosController`, or ``None``."""
+        return self._chaos
+
+    @property
+    def resilience(self):
+        """The :class:`~taureau.chaos.ResilientInvoker`, or ``None``."""
+        return self.faas._resilience
+
+    @property
+    def control(self):
+        """The :class:`~taureau.control.ControlLoop`, or ``None``."""
+        return self._control
+
+    def subsystem(self, name: str):
+        """An attached subsystem by its wire name (custom-named stores)."""
+        if name not in self._subsystems:
+            raise KeyError(f"no subsystem named {name!r} is attached")
+        return self._subsystems[name]
+
+    # ------------------------------------------------------------------
     # Subsystem attachment
     # ------------------------------------------------------------------
 
-    def with_jiffy(self, **controller_kwargs):
-        """Attach a Jiffy ephemeral-state layer; returns the client.
+    def with_jiffy(self, **controller_kwargs) -> "Platform":
+        """Attach a Jiffy ephemeral-state layer; returns ``self``.
 
-        The client is wired as the ``"jiffy"`` handler service, so
-        handlers reach it via ``ctx.service("jiffy")`` and its I/O shows
-        up as ``jiffy.*`` child spans on traced invocations.
+        The client (:attr:`jiffy`) is wired as the ``"jiffy"`` handler
+        service, so handlers reach it via ``ctx.service("jiffy")`` and
+        its I/O shows up as ``jiffy.*`` child spans on traced
+        invocations.
         """
         from taureau.jiffy import JiffyClient, JiffyController
 
@@ -188,15 +275,17 @@ class Platform:
         client = JiffyClient(controller)
         self.wire_service("jiffy", client)
         self._subsystems["jiffy"] = controller
+        self._jiffy = client
         self._gate_client(client, "jiffy")
-        return client
+        return self
 
     def with_pulsar(self, broker_count: int = 3, bookie_count: int = 3,
-                    **cluster_kwargs):
-        """Attach a Pulsar cluster + functions runtime; returns the runtime.
+                    **cluster_kwargs) -> "Platform":
+        """Attach a Pulsar cluster + functions runtime; returns ``self``.
 
         The cluster is wired as the ``"pulsar"`` handler service; the
-        returned runtime exposes ``.cluster`` for topic administration.
+        runtime (:attr:`pulsar`) exposes ``.cluster`` for topic
+        administration.
         """
         from taureau.pulsar import FunctionsRuntime, PulsarCluster
 
@@ -211,25 +300,49 @@ class Platform:
             runtime.default_max_redeliveries = (
                 self._resilience_policy.max_redeliveries
             )
-        return runtime
+        return self
 
-    def with_kvstore(self, name: str = "kv", **kwargs):
+    def with_kvstore(self, name: str = "kv", **kwargs) -> "Platform":
+        """Attach a key-value store as service ``name``; returns ``self``
+        (the store is :attr:`kv`, or :meth:`subsystem` for custom names)."""
         from taureau.baas import KvStore
 
         store = KvStore(self.sim, name=name, **kwargs)
         self.wire_service(name, store)
         self._subsystems[name] = store
         self._gate_client(store, f"baas.{name}")
-        return store
+        return self
 
-    def with_blobstore(self, name: str = "blob", **kwargs):
+    def with_blobstore(self, name: str = "blob", **kwargs) -> "Platform":
+        """Attach a blob store as service ``name``; returns ``self``
+        (the store is :attr:`blob`, or :meth:`subsystem` for custom names)."""
         from taureau.baas import BlobStore
 
         store = BlobStore(self.sim, name=name, **kwargs)
         self.wire_service(name, store)
         self._subsystems[name] = store
         self._gate_client(store, f"baas.{name}")
-        return store
+        return self
+
+    def with_database(self, name: str = "db", **kwargs) -> "Platform":
+        """Attach a serverless (MVCC) database as service ``name``;
+        returns ``self`` (the store is :attr:`db`)."""
+        from taureau.baas import ServerlessDatabase
+
+        store = ServerlessDatabase(self.sim, name=name, **kwargs)
+        self.wire_service(name, store)
+        self._subsystems[name] = store
+        return self
+
+    def with_notifications(self, name: str = "sns", **kwargs) -> "Platform":
+        """Attach a pub/sub notification service as ``name``; returns
+        ``self`` (the service is :attr:`sns`)."""
+        from taureau.baas import NotificationService
+
+        service = NotificationService(self.sim, **kwargs)
+        self.wire_service(name, service)
+        self._subsystems[name] = service
+        return self
 
     def orchestrator(self, **kwargs):
         """An :class:`~taureau.orchestration.Orchestrator` over this platform.
@@ -247,11 +360,12 @@ class Platform:
     def with_workload(
         self,
         workload,
+        *,
         function: typing.Optional[str] = None,
         payload_fn=None,
         fire=None,
         chunk_size: int = 200_000,
-    ):
+    ) -> "Platform":
         """Schedule a trace-driven workload onto this platform; run later.
 
         ``workload`` is a :class:`~taureau.workload.WorkloadSpec` (a
@@ -267,7 +381,8 @@ class Platform:
         ``fire(index)`` instead; look columns up on the returned trace.
         Scheduling is chunked bulk posts of ``chunk_size`` arrivals, so
         ten-million-invocation traces keep the kernel's pending set
-        small.  Returns the trace; call :meth:`run` to execute it.
+        small.  Returns ``self``; the scheduled trace is
+        :attr:`workload_trace` and :meth:`run` executes it.
         """
         from taureau.workload import WorkloadSpec, generate_trace, replay_trace
 
@@ -299,55 +414,79 @@ class Platform:
                     ),
                 )
 
-        self._poke_monitor()
+        self._poke_loops()
         replay_trace(self.sim, trace, fire, chunk_size=chunk_size)
         self.workload_trace = trace
-        return trace
+        return self
 
     # ------------------------------------------------------------------
     # Chaos engineering & resilience
     # ------------------------------------------------------------------
 
-    def with_chaos(self, plan):
+    def with_chaos(self, plan) -> "Platform":
         """Install a :class:`~taureau.chaos.FaultPlan` on this platform.
 
         The plan is compiled immediately against the current simulation:
         every fault's firing instant is drawn from dedicated
         ``sim.rng`` streams, so a given master seed replays the identical
         fault sequence (``verify_determinism`` covers chaos runs).
-        Returns the :class:`~taureau.chaos.ChaosController`, whose
+        Returns ``self``; the compiled
+        :class:`~taureau.chaos.ChaosController` is :attr:`chaos` and its
         ``chaos.*`` metrics join :meth:`dashboard`.
         """
         from taureau.chaos import ChaosController
 
-        if self.chaos is not None:
+        if self._chaos is not None:
             raise RuntimeError("a chaos plan is already installed")
-        self.chaos = ChaosController(self, plan)
-        self._subsystems["chaos"] = self.chaos
+        self._chaos = ChaosController(self, plan)
+        self._subsystems["chaos"] = self._chaos
         for client in self._gated_clients:
-            client.faults = self.chaos
-        return self.chaos
+            client.faults = self._chaos
+        return self
 
-    def with_resilience(self, policy=None):
+    def with_resilience(self, policy=None) -> "Platform":
         """Install a :class:`~taureau.chaos.ResiliencePolicy` platform-wide.
 
         FaaS invocations (orchestration and Pulsar triggers included) go
-        through a :class:`~taureau.chaos.ResilientInvoker`; guarded
-        BaaS/Jiffy clients retry injected faults in place; the Pulsar
-        Functions runtime adopts ``policy.max_redeliveries`` as its
-        dead-letter default.  Returns the invoker.
+        through a :class:`~taureau.chaos.ResilientInvoker`
+        (:attr:`resilience`); guarded BaaS/Jiffy clients retry injected
+        faults in place; the Pulsar Functions runtime adopts
+        ``policy.max_redeliveries`` as its dead-letter default.  Returns
+        ``self``.
         """
         from taureau.chaos import ResiliencePolicy
 
         policy = policy if policy is not None else ResiliencePolicy()
         self._resilience_policy = policy
-        invoker = self.faas.with_resilience(policy)
+        self.faas.with_resilience(policy)
         for client in self._gated_clients:
             client.resilience = policy.retry
         pulsar = self._subsystems.get("pulsar")
         if pulsar is not None:
             pulsar.default_max_redeliveries = policy.max_redeliveries
-        return invoker
+        return self
+
+    def with_control(self, policies=(), interval_s: float = 5.0) -> "Platform":
+        """Install a closed-loop :class:`~taureau.control.ControlLoop`.
+
+        ``policies`` are :class:`~taureau.control.Policy` instances
+        ticked in order every ``interval_s`` simulated seconds; each
+        gets a read-only :class:`~taureau.control.SignalView` and the
+        shared :class:`~taureau.control.Actuator`.  When monitoring is
+        (or later becomes) installed, SLO burn-rate alerts feed the
+        view via ``Monitor.on_alert``.  Returns ``self``; the loop is
+        :attr:`control`.
+        """
+        from taureau.control import ControlLoop
+
+        if self._control is not None:
+            raise RuntimeError("a control loop is already installed")
+        self._control = ControlLoop(
+            self.faas, policies, interval_s=interval_s,
+            monitor=lambda: self.monitor,
+        )
+        self._control.ensure_running()
+        return self
 
     def _gate_client(self, client, component: str) -> None:
         client.fault_component = component
@@ -425,7 +564,7 @@ class Platform:
     # ------------------------------------------------------------------
 
     def with_monitoring(self, rules=None, slos=None,
-                        interval_s: float = 1.0) -> Monitor:
+                        interval_s: float = 1.0) -> "Platform":
         """Install a virtual-time :class:`~taureau.obs.Monitor`.
 
         ``rules`` are :class:`~taureau.obs.RecordingRule`\\ s, ``slos``
@@ -433,7 +572,8 @@ class Platform:
         through the returned monitor.  The monitor scrapes
         :meth:`registries` live every ``interval_s`` simulated seconds
         while the simulation has work, and its alert fire/resolve events
-        are deterministic under a fixed seed.
+        are deterministic under a fixed seed.  Returns ``self``; the
+        monitor is :attr:`monitor`.
         """
         if self.monitor is None:
             # Exclude the monitor's own results registry from its scrape
@@ -452,11 +592,14 @@ class Platform:
         for slo in slos or ():
             self.monitor.add_slo(slo)
         self.monitor.ensure_running()
-        return self.monitor
+        return self
 
-    def _poke_monitor(self) -> None:
+    def _poke_loops(self) -> None:
+        """Re-arm the virtual-time loops (monitor, control) on new work."""
         if self.monitor is not None:
             self.monitor.ensure_running()
+        if self._control is not None:
+            self._control.ensure_running()
 
     def alerts(self) -> list:
         """The append-only alert fire/resolve event log (empty if unmonitored)."""

@@ -45,6 +45,7 @@ from taureau.obs.slo import (
     AlertEvent,
     BurnRatePolicy,
     Monitor,
+    MonitorReentrancyError,
     RecordingRule,
     SloObjective,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "Alert",
     "AlertEvent",
     "Monitor",
+    "MonitorReentrancyError",
     # profiling
     "folded_stacks",
     "folded_profile",

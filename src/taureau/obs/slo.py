@@ -33,7 +33,18 @@ __all__ = [
     "Alert",
     "AlertEvent",
     "Monitor",
+    "MonitorReentrancyError",
 ]
+
+
+class MonitorReentrancyError(RuntimeError):
+    """An alert callback re-entered :meth:`Monitor.tick`.
+
+    Alert listeners run *inside* an evaluation pass; calling ``tick()``
+    from one would re-sample the metric windows mid-evaluation and
+    corrupt the window deltas.  Schedule follow-up work on the
+    simulation instead (``sim.schedule_after(0, ...)``).
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -266,6 +277,7 @@ class Monitor:
         self._windows: typing.Dict[str, _Window] = {}
         self._alert_states: typing.List[_AlertState] = []
         self._scheduled = False
+        self._in_tick = False
 
     # ------------------------------------------------------------------
     # Configuration
@@ -296,9 +308,18 @@ class Monitor:
             self._alert_states.append(_AlertState(slo, policy))
         return slo
 
-    def on_alert(self, callback: typing.Callable) -> None:
-        """Register ``callback(alert, event)`` for fire/resolve events."""
+    def on_alert(self, callback: typing.Callable) -> typing.Callable:
+        """Register ``callback(alert, event)`` for fire/resolve events.
+
+        Any number of callbacks may be registered; they are dispatched
+        in registration order on every fire/resolve (deterministic —
+        the order is part of the determinism contract).  Callbacks run
+        inside the evaluation pass, so re-entering :meth:`tick` from one
+        raises :class:`MonitorReentrancyError`.  Returns ``callback``
+        so the method can be used as a decorator.
+        """
         self.listeners.append(callback)
+        return callback
 
     def _reserve_window(self, source: str, horizon_s: float) -> None:
         window = self._windows.get(source)
@@ -315,15 +336,19 @@ class Monitor:
         """(Re)arm the tick loop; idempotent, called by the facade."""
         if not self._scheduled:
             self._scheduled = True
+            self.sim.daemon_scheduled()
             self.sim.schedule_after(self.interval_s, self._tick)
 
     def _tick(self) -> None:
+        self.sim.daemon_fired()
         self._scheduled = False
         self.tick()
-        # Self-reschedule only while the workload has pending events;
-        # otherwise sim.run() would never drain.  ensure_running() rearms
-        # the loop when new work arrives.
-        if self.sim.has_work():
+        # Self-reschedule only while the workload has pending foreground
+        # events; otherwise sim.run() would never drain.  (Foreground
+        # excludes other housekeeping loops' ticks — a Monitor and a
+        # ControlLoop must not keep each other alive.)  ensure_running()
+        # rearms the loop when new work arrives.
+        if self.sim.has_foreground_work():
             self.ensure_running()
 
     # ------------------------------------------------------------------
@@ -332,17 +357,26 @@ class Monitor:
 
     def tick(self) -> None:
         """Evaluate everything once at the current virtual time."""
-        now = self.sim.now
-        self.ticks += 1
-        self._sample_sources(now)
-        for rule in self.rules:
-            value = self._evaluate_rule(rule, now)
-            if value is not None:
-                self.results.series(rule.name).record(now, value)
-        for slo in self.slos:
-            self._record_slo(slo, now)
-        for state in self._alert_states:
-            self._evaluate_alert(state, now)
+        if self._in_tick:
+            raise MonitorReentrancyError(
+                "Monitor.tick() re-entered from an alert callback; "
+                "schedule follow-up work with sim.schedule_after instead"
+            )
+        self._in_tick = True
+        try:
+            now = self.sim.now
+            self.ticks += 1
+            self._sample_sources(now)
+            for rule in self.rules:
+                value = self._evaluate_rule(rule, now)
+                if value is not None:
+                    self.results.series(rule.name).record(now, value)
+            for slo in self.slos:
+                self._record_slo(slo, now)
+            for state in self._alert_states:
+                self._evaluate_alert(state, now)
+        finally:
+            self._in_tick = False
 
     def _lookup(self, name: str):
         for registry in self._registries():

@@ -106,6 +106,10 @@ class Simulation:
         # and the run loops.
         self._drain_run = self._drain_run
         self._seq = 0
+        #: Pending housekeeping ("daemon") ticks — self-rescheduling
+        #: virtual-time loops (Monitor, ControlLoop) that must not keep
+        #: the run alive on their own.  See :meth:`has_foreground_work`.
+        self._daemon_pending = 0
         self._running = False
         #: Deadline a ``run(until=<time>)`` call is honoring, consulted by
         #: the sorted-run drain so bulk batches pause at the boundary too.
@@ -312,6 +316,28 @@ class Simulation:
         if self._queue is None:
             return bool(self._heap)
         return bool(self._queue)
+
+    def daemon_scheduled(self) -> None:
+        """Count one pending housekeeping tick (see :meth:`has_foreground_work`)."""
+        self._daemon_pending += 1
+
+    def daemon_fired(self) -> None:
+        """Balance a prior :meth:`daemon_scheduled` once the tick runs."""
+        if self._daemon_pending > 0:
+            self._daemon_pending -= 1
+
+    def has_foreground_work(self) -> bool:
+        """Whether any *non-daemon* work remains scheduled.
+
+        Self-rescheduling virtual-time loops (``Monitor``,
+        ``ControlLoop``) re-arm only while this holds.  If they checked
+        :meth:`has_work` instead, two concurrent loops would each see
+        the other's pending tick and keep the simulation alive forever.
+        Bulk sorted-run entries count as one pending item, which is
+        enough: any such entry is foreground work by definition.
+        """
+        pending = len(self._heap) if self._queue is None else len(self._queue)
+        return pending > self._daemon_pending
 
     def step(self) -> None:
         """Pop and execute the single next scheduled item."""

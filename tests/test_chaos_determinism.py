@@ -28,7 +28,7 @@ def poisson_plan():
 
 def install(seed):
     app = taureau.Platform(seed=seed, machines=2)
-    controller = app.with_chaos(poisson_plan())
+    controller = app.with_chaos(poisson_plan()).chaos
     return app, controller
 
 
@@ -59,11 +59,11 @@ class TestScheduleDeterminism:
             FaultPlan()
             .crash_machine(rate_hz=0.2, start_s=0.0, end_s=50.0)
             .crash_sandbox(rate_hz=0.1, start_s=0.0, end_s=50.0)
-        )
+        ).chaos
         sibling = taureau.Platform(seed=9)
         alone = sibling.with_chaos(
             FaultPlan().crash_sandbox(rate_hz=0.1, start_s=0.0, end_s=50.0)
-        )
+        ).chaos
         # Stream names carry the spec index, so reindexing shifts times —
         # compare the sandbox spec at the SAME index instead.
         third = taureau.Platform(seed=9)
@@ -71,7 +71,7 @@ class TestScheduleDeterminism:
             FaultPlan()
             .crash_machine(at_s=1.0)
             .crash_sandbox(rate_hz=0.1, start_s=0.0, end_s=50.0)
-        )
+        ).chaos
         sandbox_times = [
             t for t, kind, __, __i in both.fault_schedule()
             if kind == "sandbox_crash"
@@ -87,8 +87,8 @@ class TestScheduleDeterminism:
 def full_stack_scenario(app):
     """FaaS + Pulsar + Jiffy + BaaS workload under a mixed fault plan."""
     app.with_kvstore()
-    jiffy_client = app.with_jiffy()
-    runtime = app.with_pulsar(broker_count=3, bookie_count=3, ack_quorum=1)
+    jiffy_client = app.with_jiffy().jiffy
+    runtime = app.with_pulsar(broker_count=3, bookie_count=3, ack_quorum=1).pulsar
     runtime.cluster.create_topic("jobs")
 
     def handler(event, ctx):

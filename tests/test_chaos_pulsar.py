@@ -18,7 +18,7 @@ from taureau.pulsar import PulsarFunction
 
 
 def attach_pulsar(app, topic="events", partitions=3):
-    runtime = app.with_pulsar(broker_count=3, bookie_count=3)
+    runtime = app.with_pulsar(broker_count=3, bookie_count=3).pulsar
     runtime.cluster.create_topic(topic, partitions=partitions)
     return runtime
 
@@ -52,7 +52,7 @@ class TestBrokerCrash:
 
     def test_last_live_broker_is_never_crashed(self):
         app = taureau.Platform(seed=0)
-        runtime = app.with_pulsar(broker_count=1, bookie_count=3)
+        runtime = app.with_pulsar(broker_count=1, bookie_count=3).pulsar
         runtime.cluster.create_topic("t")
         app.with_chaos(FaultPlan().crash_broker(at_s=1.0))
         app.run()
@@ -184,7 +184,7 @@ class TestExperimentHarness:
             # outage (a crashed-quorum append acks at t=inf by design).
             runtime = app.with_pulsar(
                 broker_count=3, bookie_count=3, ack_quorum=1
-            )
+            ).pulsar
             runtime.cluster.create_topic("events", partitions=3)
             runtime.deploy(PulsarFunction(
                 "count",

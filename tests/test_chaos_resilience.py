@@ -97,7 +97,7 @@ def flaky_platform(fail_first, policy, seed=0, **spec_kwargs):
             raise RuntimeError("flaky failure")
         return "ok"
 
-    invoker = app.with_resilience(policy)
+    invoker = app.with_resilience(policy).resilience
     return app, invoker, attempts
 
 
@@ -232,7 +232,7 @@ class TestSandboxCrash:
 class TestGuardedClients:
     def test_partition_raises_fault_injected(self):
         app = taureau.Platform(seed=0)
-        kv = app.with_kvstore()
+        kv = app.with_kvstore().kv
         app.with_chaos(FaultPlan().partition("baas.kv", 0.0, 10.0))
         with pytest.raises(FaultInjected) as excinfo:
             kv.put("k", 1)

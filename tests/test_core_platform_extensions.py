@@ -74,13 +74,25 @@ class TestProvisionedConcurrency:
         assert cost == pytest.approx(expected, rel=1e-6)
         assert platform.total_cost_usd() == 0.0  # no invocations billed
 
-    def test_lowering_provisioned_rejected(self):
+    def test_lowering_provisioned_retires_idle(self):
         sim = Simulation(seed=0)
         platform = FaasPlatform(sim)
-        platform.register(FunctionSpec(name="api", handler=work))
-        platform.set_provisioned_concurrency("api", 2)
-        with pytest.raises(ValueError, match="lowering"):
-            platform.set_provisioned_concurrency("api", 1)
+        platform.register(
+            FunctionSpec(name="api", handler=work, memory_mb=512)
+        )
+        platform.set_provisioned_concurrency("api", 3)
+        assert platform.provisioned_count("api") == 3
+        platform.set_provisioned_concurrency("api", 1)
+        assert platform.provisioned_count("api") == 1
+        assert platform.warm_pool_size("api") == 1
+        # Standing-charge accounting follows the retirement immediately.
+        assert platform._provisioned_memory_mb == 512.0
+        sim.run(until=3600.0)
+        calibration = platform.config.calibration
+        expected = 1 * 0.5 * 3600.0 * calibration.price_per_provisioned_gb_s
+        assert platform.provisioned_cost_usd() == pytest.approx(
+            expected, rel=1e-6
+        )
 
     def test_unknown_function_rejected(self):
         platform = FaasPlatform(Simulation(seed=0))

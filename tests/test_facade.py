@@ -112,7 +112,7 @@ class TestSubsystems:
     def test_merged_snapshot_spans_subsystems(self):
         app = taureau.Platform(seed=9)
         app.with_jiffy()
-        runtime = app.with_pulsar()
+        runtime = app.with_pulsar().pulsar
         runtime.cluster.create_topic("t")
 
         @app.function("emit")
@@ -134,3 +134,102 @@ class TestSubsystems:
 
         record = app.invoke_sync("f")
         assert app.last_trace().trace_id == record.trace_id
+
+
+class TestFluentChaining:
+    def test_every_builder_returns_the_platform(self):
+        app = taureau.Platform(seed=14)
+        chained = (
+            app.with_jiffy()
+            .with_pulsar()
+            .with_kvstore()
+            .with_blobstore()
+            .with_database()
+            .with_notifications()
+            .with_resilience()
+            .with_monitoring()
+            .with_control()
+        )
+        assert chained is app
+
+    def test_subsystem_properties(self):
+        from taureau.control import ControlLoop
+
+        app = (taureau.Platform(seed=14)
+               .with_jiffy().with_pulsar().with_kvstore().with_blobstore()
+               .with_database().with_notifications().with_control())
+        assert app.jiffy is not None
+        assert app.pulsar is app._subsystems["pulsar"]
+        assert app.kv is app._subsystems["kv"]
+        assert app.blob is app._subsystems["blob"]
+        assert app.db is app._subsystems["db"]
+        assert app.sns is app._subsystems["sns"]
+        assert isinstance(app.control, ControlLoop)
+        assert app.chaos is None  # no plan installed
+        assert app.subsystem("kv") is app.kv
+        with pytest.raises(KeyError):
+            app.subsystem("ghost")
+
+    def test_with_control_twice_rejected(self):
+        app = taureau.Platform(seed=14).with_control()
+        with pytest.raises(RuntimeError, match="already installed"):
+            app.with_control()
+
+    def test_quickstart_chain_from_the_issue(self):
+        # The canonical chain the API redesign promises.
+        app = (taureau.Platform(seed=7)
+               .with_jiffy()
+               .with_pulsar()
+               .with_monitoring()
+               .with_control())
+        assert app.monitor is not None and app.control is not None
+
+        @app.function("noop")
+        def noop(event, ctx):
+            return event
+
+        assert app.invoke_sync("noop", 1).response == 1
+
+
+class TestCallSignatureHygiene:
+    def build(self):
+        app = taureau.Platform(seed=15)
+
+        @app.function("echo")
+        def echo(event, ctx):
+            ctx.charge(0.001)
+            return event
+
+        return app
+
+    def test_parent_is_keyword_only_with_deprecation_shim(self):
+        app = self.build()
+        parent = app.invoke_sync("echo", "a")
+        span = app.trace(parent.trace_id).root
+        with pytest.warns(DeprecationWarning, match="parent"):
+            record = app.invoke_sync("echo", "b", span)
+        assert record.succeeded
+        keyword = app.invoke_sync("echo", "c", parent=span)
+        assert keyword.succeeded
+        with pytest.raises(TypeError):
+            app.invoke_sync("echo", "d", span, span)
+
+    def test_invoke_shim_matches_invoke_sync(self):
+        app = self.build()
+        parent = app.invoke_sync("echo", "a")
+        span = app.trace(parent.trace_id).root
+        with pytest.warns(DeprecationWarning, match="parent"):
+            event = app.invoke("echo", "b", span)
+        app.run()
+        assert event.value.succeeded
+
+    def test_periodic_knobs_are_keyword_only(self):
+        app = self.build()
+        with pytest.raises(TypeError):
+            app.schedule_periodic("echo", 1.0, lambda tick: tick)
+        trigger = app.schedule_periodic(
+            "echo", 1.0, payload_fn=lambda tick: tick, jitter=0.5
+        )
+        app.run(until=6.2)
+        trigger.cancel()
+        assert len(trigger.events) >= 4

@@ -258,3 +258,56 @@ class TestSelfScheduling:
         first, second = run(), run()
         assert first == second
         assert any(kind == "fire" for _n, kind, _t, _s in first)
+
+
+class TestAlertCallbackRegistration:
+    def build(self):
+        sim, registry, monitor = make_monitor()
+        monitor.add_slo(SloObjective(
+            "avail", objective=0.9, window_s=60.0,
+            good="app.good", total="app.total",
+            burn_policies=(BurnRatePolicy(3.0, 6.0, 2.0, severity="page"),),
+        ))
+        return sim, registry, monitor
+
+    def burn(self, sim, registry, monitor, ticks=8):
+        total = registry.counter("total")
+        for _ in range(ticks):
+            sim.run(until=sim.now + 1.0)
+            total.add(10)  # 100% errors
+            monitor.tick()
+
+    def test_multiple_callbacks_fire_in_registration_order(self):
+        sim, registry, monitor = self.build()
+        order = []
+        monitor.on_alert(lambda alert, event: order.append("first"))
+        monitor.on_alert(lambda alert, event: order.append("second"))
+        monitor.on_alert(lambda alert, event: order.append("third"))
+        self.burn(sim, registry, monitor)
+        assert order, "the outage must page"
+        # Every emission reaches every listener, in registration order.
+        assert order == ["first", "second", "third"] * (len(order) // 3)
+
+    def test_on_alert_returns_the_callback(self):
+        __, __reg, monitor = self.build()
+        def listener(alert, event):
+            pass
+        assert monitor.on_alert(listener) is listener
+
+    def test_callback_reentering_tick_raises_named_error(self):
+        from taureau.obs import MonitorReentrancyError
+
+        sim, registry, monitor = self.build()
+        monitor.on_alert(lambda alert, event: monitor.tick())
+        with pytest.raises(MonitorReentrancyError, match="re-entered"):
+            self.burn(sim, registry, monitor)
+
+    def test_tick_usable_again_after_reentrancy_error(self):
+        from taureau.obs import MonitorReentrancyError
+
+        sim, registry, monitor = self.build()
+        bomb = monitor.on_alert(lambda alert, event: monitor.tick())
+        with pytest.raises(MonitorReentrancyError):
+            self.burn(sim, registry, monitor)
+        monitor.listeners.remove(bomb)
+        self.burn(sim, registry, monitor, ticks=2)  # no residual lock

@@ -242,8 +242,8 @@ class TestPlatformTracing:
 class TestFullStackPropagation:
     def _build(self, seed=7):
         app = taureau.Platform(seed=seed)
-        jiffy = app.with_jiffy()
-        runtime = app.with_pulsar()
+        jiffy = app.with_jiffy().jiffy
+        runtime = app.with_pulsar().pulsar
         runtime.cluster.create_topic("events")
         seen = []
         runtime.deploy(

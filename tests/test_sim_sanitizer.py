@@ -149,7 +149,7 @@ class TestSharedStateDetection:
 
     def test_pulsar_function_mutating_payload_is_flagged(self):
         app = taureau.Platform(seed=7, sanitize=True)
-        runtime = app.with_pulsar(broker_count=1, bookie_count=2)
+        runtime = app.with_pulsar(broker_count=1, bookie_count=2).pulsar
         runtime.cluster.create_topic("orders")
         from taureau.pulsar import PulsarFunction
 

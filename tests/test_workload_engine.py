@@ -229,7 +229,9 @@ class TestPlatformWithWorkload:
 
     def test_spec_generates_and_invokes(self):
         app, handled = self._app()
-        trace = app.with_workload(small_spec(mean_rps=5.0), function="handler")
+        trace = app.with_workload(
+            small_spec(mean_rps=5.0), function="handler"
+        ).workload_trace
         assert app.workload_trace is trace
         app.run()
         assert len(handled) == len(trace)
@@ -239,21 +241,25 @@ class TestPlatformWithWorkload:
         first, __ = self._app()
         second, __ = self._app()
         assert numpy.array_equal(
-            first.with_workload(small_spec(), function="handler").times,
-            second.with_workload(small_spec(), function="handler").times,
+            first.with_workload(small_spec(), function="handler")
+            .workload_trace.times,
+            second.with_workload(small_spec(), function="handler")
+            .workload_trace.times,
         )
 
     def test_prebuilt_trace_replayed_as_is(self):
         app, handled = self._app()
         trace = generate_trace(small_spec(mean_rps=2.0), seed=77)
-        assert app.with_workload(trace, function="handler") is trace
+        assert app.with_workload(trace, function="handler").workload_trace is trace
         app.run()
         assert len(handled) == len(trace)
 
     def test_custom_fire_bypasses_faas(self):
         app, handled = self._app()
         seen = []
-        trace = app.with_workload(small_spec(mean_rps=2.0), fire=seen.append)
+        trace = app.with_workload(
+            small_spec(mean_rps=2.0), fire=seen.append
+        ).workload_trace
         app.run()
         assert seen == list(range(len(trace)))
         assert not handled
