@@ -11,9 +11,14 @@ in an event-driven fashion."  This example serves a small blog: static
 assets from the blob store, pages and comments from the transactional
 database, under a day of diurnal traffic — then prints the latency
 profile and compares the serverless bill against a peak-sized VM fleet.
+
+The run is captured by the run recorder and rendered to a
+self-contained HTML explorer (``examples/web_application_run.html``,
+gitignored) — open it in any browser to scrub through the day.
 """
 
 import math
+import pathlib
 import random
 
 import taureau
@@ -30,7 +35,8 @@ HORIZON_S = 6 * 3600.0  # a quarter day keeps the run snappy
 
 
 def main():
-    app = taureau.Platform(seed=9).with_blobstore().with_database()
+    app = (taureau.Platform(seed=9).with_blobstore().with_database()
+           .with_recorder(interval_s=60.0))
     blob, db = app.blob, app.db
     db.create_table("posts")
     db.create_table("comments")
@@ -118,6 +124,11 @@ def main():
     print(f"  reserved VM  : ${vm_cost:.6f} ({vms} instance for peak)")
     print(f"  savings      : {vm_cost / faas_cost:.0f}x")
     assert ok and vm_cost > faas_cost
+
+    out = pathlib.Path(__file__).with_name("web_application_run.html")
+    report = app.save_report(str(out))
+    print(f"  run explorer : {report} "
+          f"({app.recorder.ticks} samples at 60s cadence)")
     print("web application OK")
 
 

@@ -64,4 +64,10 @@ python scripts/control_smoke.py
 echo "== bench smoke: control plane vs static baseline =="
 python benchmarks/bench_control_plane.py --smoke
 
+echo "== report smoke: run-explorer byte-stability + self-containedness =="
+python scripts/report_smoke.py
+
+echo "== bench smoke: run-recorder overhead =="
+python benchmarks/bench_report_overhead.py --smoke
+
 echo "check.sh: all gates passed"

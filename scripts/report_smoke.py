@@ -1,0 +1,170 @@
+"""Run-explorer smoke gate: the HTML report is byte-stable and offline.
+
+Run from the repo root (check.sh does)::
+
+    PYTHONPATH=src python scripts/report_smoke.py
+
+Asserts the run recorder contracts ISSUE 8 introduced:
+
+1. a chaos + control + monitoring scenario recorded twice under the
+   same seed renders **byte-identical** artifact JSON and HTML;
+2. a different master seed renders a *different* report (the gate is
+   comparing live output, not two constants);
+3. the HTML is fully self-contained — no external URLs, no script/style
+   imports, artifact JSON inlined — so the file opens with no network;
+4. the artifact round-trips: ``load(save(a)) == a`` exactly, and a
+   version-skewed document raises the named ``ArtifactVersionError``;
+5. the recorder actually sampled: queue/warm/cold/SLO lanes are
+   present, the chaos plan fired, and the control plane actuated.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+import taureau
+from taureau.chaos import FaultPlan, ResiliencePolicy, RetryPolicy
+from taureau.control import PredictivePrewarm, ReactiveConcurrency
+from taureau.obs import (
+    ArtifactVersionError,
+    BurnRatePolicy,
+    RunArtifact,
+    SloObjective,
+    render_report,
+)
+from taureau.workload import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    tenants=200,
+    functions_per_tenant=2,
+    horizon_s=90.0,
+    mean_rps=15.0,
+    peak_to_mean=4.0,
+    period_s=90.0,
+    phases=3,
+)
+
+
+def build_run(seed=2026):
+    app = (
+        taureau.Platform(seed=seed, machines=2)
+        .with_resilience(ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=2),
+            breaker_failure_threshold=6,
+        ))
+        .with_chaos(
+            FaultPlan()
+            .crash_sandbox(rate_hz=0.1, start_s=0.0, end_s=60.0)
+            .crash_machine(at_s=20.0)
+        )
+        .with_monitoring(slos=[SloObjective(
+            "fast", objective=0.95, window_s=60.0,
+            latency="faas.e2e_latency_s", threshold_s=0.5,
+            burn_policies=(BurnRatePolicy(20.0, 40.0, 1.5, severity="page"),),
+        )], interval_s=5.0)
+        .with_control(
+            [ReactiveConcurrency(high_queue=3, step=4),
+             PredictivePrewarm(min_arrivals=4)],
+            interval_s=5.0,
+        )
+        .with_recorder(interval_s=5.0)
+    )
+
+    @app.function("handler", memory_mb=128, reserved_concurrency=2)
+    def handler(event, ctx):
+        ctx.charge(0.25)
+        return event["tenant"]
+
+    app.with_workload(SPEC, function="handler")
+    app.run(until=180.0)
+    return app
+
+
+def check_self_contained(html) -> list:
+    problems = []
+    for marker in ("http:", "https:", "//cdn", "<script src", "<link",
+                   "@import", "url("):
+        if marker in html:
+            problems.append(f"external reference marker {marker!r} found")
+    if not html.startswith("<!DOCTYPE html>"):
+        problems.append("missing doctype")
+    if '<script id="taureau-data" type="application/json">' not in html:
+        problems.append("inline artifact JSON block missing")
+    return problems
+
+
+def main() -> int:
+    first = build_run()
+    second = build_run()
+    artifact = first.run_artifact()
+    if artifact.to_json() != second.run_artifact().to_json():
+        print("report_smoke: same-seed artifact JSON DIFFERS")
+        return 1
+
+    html = render_report(artifact)
+    if html != render_report(second.run_artifact()):
+        print("report_smoke: same-seed HTML DIFFERS")
+        return 1
+
+    reseeded = build_run(seed=31337)
+    if reseeded.run_artifact().to_json() == artifact.to_json():
+        print("report_smoke: reseeded run produced the IDENTICAL artifact "
+              "(the byte-equality gate is vacuous)")
+        return 1
+
+    problems = check_self_contained(html)
+    if problems:
+        print("report_smoke: HTML is not self-contained:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "run.json")
+        artifact.save(path)
+        if RunArtifact.load(path) != artifact:
+            print("report_smoke: save/load round-trip is not exact")
+            return 1
+        skewed = json.loads(artifact.to_json())
+        skewed["artifact_version"] = 999
+        skew_path = os.path.join(tmp, "skewed.json")
+        with open(skew_path, "w", encoding="utf-8") as handle:
+            json.dump(skewed, handle)
+        try:
+            RunArtifact.load(skew_path)
+        except ArtifactVersionError:
+            pass
+        else:
+            print("report_smoke: version skew did not raise "
+                  "ArtifactVersionError")
+            return 1
+
+    data = artifact.data
+    series = data["samples"]["series"]
+    for lane in ("faas.queue_depth", "faas.warm_pool", "faas.cold_fraction",
+                 'slo_error_ratio{slo="fast"}'):
+        if lane not in series:
+            print(f"report_smoke: sampled lane {lane!r} missing")
+            return 1
+    if not data["events"]["faults"]:
+        print("report_smoke: the chaos plan never fired")
+        return 1
+    if not data["events"]["actions"]:
+        print("report_smoke: the control plane never actuated")
+        return 1
+
+    ticks = first.recorder.ticks
+    print(
+        f"report_smoke OK: {ticks} samples x {len(series)} lanes, "
+        f"{len(data['events']['faults'])} faults / "
+        f"{len(data['events']['actions'])} actions / "
+        f"{len(data['events']['alerts'])} alerts overlaid, "
+        f"{len(data['traces'])} traces embedded, "
+        f"HTML {len(html)} bytes, byte-stable and self-contained"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

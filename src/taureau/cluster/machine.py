@@ -98,9 +98,17 @@ class Cluster:
     def homogeneous(
         cls, count: int, cpu_cores: float = 16.0, memory_mb: float = 65536.0
     ) -> "Cluster":
-        """A cluster of ``count`` identical machines."""
+        """A cluster of ``count`` identical machines.
+
+        Machine ids are cluster-local (``m0`` ... ``m<count-1>``) rather
+        than drawn from the process-global counter, so same-seed
+        platforms built in one process agree on machine names — the run
+        recorder's byte-stability contract depends on it.
+        """
         capacity = ResourceVector(cpu_cores=cpu_cores, memory_mb=memory_mb)
-        return cls(Machine(capacity) for _ in range(count))
+        return cls(
+            Machine(capacity, machine_id=f"m{index}") for index in range(count)
+        )
 
     def add_machine(self, machine: Machine) -> None:
         self.machines.append(machine)

@@ -137,6 +137,8 @@ class Platform:
         self._control = None
         #: The Jiffy client handle (read via :attr:`jiffy`).
         self._jiffy = None
+        #: Installed by :meth:`with_recorder` (read via :attr:`recorder`).
+        self._recorder = None
         #: Installed by :meth:`with_resilience`.
         self._resilience_policy = None
         #: Clients whose operations the fault plane guards.
@@ -250,6 +252,11 @@ class Platform:
     def control(self):
         """The :class:`~taureau.control.ControlLoop`, or ``None``."""
         return self._control
+
+    @property
+    def recorder(self):
+        """The :class:`~taureau.obs.RunRecorder`, or ``None``."""
+        return self._recorder
 
     def subsystem(self, name: str):
         """An attached subsystem by its wire name (custom-named stores)."""
@@ -595,11 +602,13 @@ class Platform:
         return self
 
     def _poke_loops(self) -> None:
-        """Re-arm the virtual-time loops (monitor, control) on new work."""
+        """Re-arm the virtual-time loops (monitor, control, recorder)."""
         if self.monitor is not None:
             self.monitor.ensure_running()
         if self._control is not None:
             self._control.ensure_running()
+        if self._recorder is not None:
+            self._recorder.ensure_running()
 
     def alerts(self) -> list:
         """The append-only alert fire/resolve event log (empty if unmonitored)."""
@@ -608,15 +617,129 @@ class Platform:
         return list(self.monitor.events)
 
     def prometheus(self) -> str:
-        """The whole stack in Prometheus text exposition format."""
-        return to_prometheus(self.registries())
+        """The whole stack in Prometheus text exposition format.
+
+        The document carries a trailing synthetic ``taureau_run_info``
+        gauge (seed / config-digest labels, virtual end time value) so
+        an exported snapshot identifies its run without a side channel.
+        """
+        return to_prometheus(self.registries(), run_info=self.run_info())
 
     def dashboard(self) -> dict:
         """One JSON-able health document: metrics + rules + SLOs + alerts
-        (+ sanitizer findings when ``sanitize=True``)."""
+        (+ sanitizer findings when ``sanitize=True``, + the chaos
+        ``faults`` and control-plane ``actions`` event logs when those
+        subsystems are installed, + the ``run_info`` identity block)."""
         return dashboard_snapshot(
-            self.registries(), monitor=self.monitor, sanitizer=self.sanitizer
+            self.registries(),
+            monitor=self.monitor,
+            sanitizer=self.sanitizer,
+            chaos=self._chaos,
+            control=self._control,
+            run_info=self.run_info(),
         )
+
+    def config_digest(self) -> str:
+        """A short stable digest of the platform's construction recipe.
+
+        Hashes the construction surface that shapes simulated behaviour
+        — cluster shape, service names, and the :class:`PlatformConfig`
+        policy knobs (calibration and scheduler by class name — their
+        instances carry no stable identity).  Deliberately excluded:
+        the seed (it labels the *run*, not the configuration) and the
+        behaviour-neutral host knobs ``queue`` / ``tracing`` /
+        ``sanitize`` — the heap and wheel backends pop identical event
+        sequences, so they must share a digest.
+        """
+        import hashlib
+        import json
+
+        kwargs = self._init_kwargs
+        config = kwargs["config"]
+        config_desc = None
+        if config is not None:
+            config_desc = {
+                "keep_alive_s": config.keep_alive_s,
+                "concurrency_limit": config.concurrency_limit,
+                "queue_on_throttle": config.queue_on_throttle,
+                "app_sandboxing": config.app_sandboxing,
+                "calibration": type(config.calibration).__name__,
+                "scheduler": type(config.scheduler).__name__,
+            }
+        services = kwargs["services"]
+        recipe = {
+            "machines": kwargs["machines"],
+            "machine_cores": kwargs["machine_cores"],
+            "machine_memory_mb": kwargs["machine_memory_mb"],
+            "services": sorted(services) if services else [],
+            "config": config_desc,
+        }
+        blob = json.dumps(recipe, sort_keys=True).encode("utf-8")
+        return hashlib.blake2b(blob, digest_size=8).hexdigest()
+
+    def run_info(self) -> dict:
+        """The run's identity document: seed, virtual time, config digest."""
+        return {
+            "seed": self._init_kwargs["seed"],
+            "virtual_time_s": self.sim.now,
+            "config_digest": self.config_digest(),
+        }
+
+    # ------------------------------------------------------------------
+    # Run recorder + HTML run explorer
+    # ------------------------------------------------------------------
+
+    def with_recorder(
+        self,
+        interval_s: float = 1.0,
+        max_traces: int = 50,
+        max_function_lanes: int = 16,
+        max_topic_lanes: int = 32,
+    ) -> "Platform":
+        """Install a :class:`~taureau.obs.RunRecorder` daemon.
+
+        Samples queue depth, warm pools, cold fraction, topic backlogs,
+        SLO burn lanes and breaker states every ``interval_s`` simulated
+        seconds (same daemon discipline as the monitor: an idle recorder
+        never keeps ``sim.run()`` alive).  Returns ``self``; the
+        recorder is :attr:`recorder`, its output :meth:`run_artifact`
+        and :meth:`save_report`.
+        """
+        from taureau.obs import RunRecorder
+
+        if self._recorder is not None:
+            raise RuntimeError("a run recorder is already installed")
+        self._recorder = RunRecorder(
+            self,
+            interval_s=interval_s,
+            max_traces=max_traces,
+            max_function_lanes=max_function_lanes,
+            max_topic_lanes=max_topic_lanes,
+        )
+        self._recorder.ensure_running()
+        return self
+
+    def run_artifact(self):
+        """The recorded run as a versioned :class:`~taureau.obs.RunArtifact`."""
+        if self._recorder is None:
+            raise RuntimeError(
+                "no run recorder installed; call with_recorder() first"
+            )
+        return self._recorder.artifact()
+
+    def save_report(self, path) -> str:
+        """Render the recorded run as one self-contained HTML page.
+
+        Writes the run explorer (see :mod:`taureau.obs.report`) to
+        ``path`` and returns the path.  Byte-identical across same-seed
+        runs; no external references, so the file opens anywhere.
+        """
+        from taureau.obs import render_report
+
+        html = render_report(self.run_artifact())
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        return path
 
     # ------------------------------------------------------------------
     # Determinism verification (taureau.lint layer 2)

@@ -104,8 +104,13 @@ class MemoryNode:
 
     _ids = itertools.count()
 
-    def __init__(self, block_count: int, block_size_mb: float):
-        self.node_id = f"mn{next(MemoryNode._ids)}"
+    def __init__(
+        self,
+        block_count: int,
+        block_size_mb: float,
+        node_id: typing.Optional[str] = None,
+    ):
+        self.node_id = node_id or f"mn{next(MemoryNode._ids)}"
         self.block_size_mb = block_size_mb
         self.alive = True
         self.blocks = [Block(self, block_size_mb) for _ in range(block_count)]
@@ -135,8 +140,12 @@ class BlockPool:
             raise ValueError("pool dimensions must be positive")
         self.sim = sim
         self.block_size_mb = block_size_mb
+        # Explicit pool-local ids: the global MemoryNode counter would
+        # make same-seed runs in one process disagree on node names,
+        # which run artifacts (taureau.obs.record) must not.
         self.nodes = [
-            MemoryNode(blocks_per_node, block_size_mb) for _ in range(node_count)
+            MemoryNode(blocks_per_node, block_size_mb, node_id=f"mn{index}")
+            for index in range(node_count)
         ]
         self.metrics = MetricRegistry(namespace="jiffy.pool")
         # Interleave nodes so consecutive allocations round-robin across

@@ -29,6 +29,7 @@ from taureau.obs.metrics import (
     MetricRegistry,
     TimeSeries,
     dashboard_snapshot,
+    run_info_lines,
     to_prometheus,
     validate_prometheus,
 )
@@ -40,6 +41,13 @@ from taureau.obs.profile import (
     render_cost_table,
     validate_folded,
 )
+from taureau.obs.record import (
+    ARTIFACT_VERSION,
+    ArtifactVersionError,
+    RunArtifact,
+    RunRecorder,
+)
+from taureau.obs.report import render_report
 from taureau.obs.slo import (
     Alert,
     AlertEvent,
@@ -76,8 +84,15 @@ __all__ = [
     "TimeSeries",
     "MetricRegistry",
     "to_prometheus",
+    "run_info_lines",
     "validate_prometheus",
     "dashboard_snapshot",
+    # run explorer (recorder + HTML report)
+    "ARTIFACT_VERSION",
+    "ArtifactVersionError",
+    "RunArtifact",
+    "RunRecorder",
+    "render_report",
     # SLO / rule engine
     "RecordingRule",
     "BurnRatePolicy",

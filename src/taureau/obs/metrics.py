@@ -42,6 +42,7 @@ __all__ = [
     "TimeSeries",
     "MetricRegistry",
     "to_prometheus",
+    "run_info_lines",
     "validate_prometheus",
     "dashboard_snapshot",
 ]
@@ -108,14 +109,40 @@ def _family_label_pairs(family, key: tuple):
     return list(zip(family.label_names, key))
 
 
-def to_prometheus(registries: typing.Iterable[MetricRegistry]) -> str:
+def run_info_lines(run_info: dict) -> typing.List[str]:
+    """The synthetic ``taureau_run_info`` exposition lines.
+
+    A self-describing pseudo-metric (same idea as Prometheus's own
+    ``build_info``): the sample value is the virtual end time of the
+    run, and ``seed`` / ``config_digest`` labels identify exactly which
+    platform produced the snapshot — so an exported document can be
+    matched back to its run without any side channel.
+    """
+    labels = _prom_labels([
+        ("config_digest", str(run_info.get("config_digest", ""))),
+        ("seed", str(run_info.get("seed", ""))),
+    ])
+    return [
+        "# TYPE taureau_run_info gauge",
+        f"taureau_run_info{labels} "
+        f"{_prom_float(float(run_info.get('virtual_time_s', 0.0)))}",
+    ]
+
+
+def to_prometheus(
+    registries: typing.Iterable[MetricRegistry],
+    run_info: typing.Optional[dict] = None,
+) -> str:
     """All metrics of ``registries`` in Prometheus text exposition format.
 
     Counters and gauges become single samples, time series a gauge of
     their last value, histograms the standard cumulative ``_bucket`` /
     ``_sum`` / ``_count`` triple with geometric ``le`` bounds, and
     labeled families one sample (or triple) per child.  Output order is
-    fully deterministic.
+    fully deterministic.  When ``run_info`` (seed, virtual end time,
+    config digest — see ``Platform.run_info``) is given, a trailing
+    synthetic ``taureau_run_info`` gauge makes the document
+    self-describing.
     """
     lines: typing.List[str] = []
 
@@ -157,6 +184,8 @@ def to_prometheus(registries: typing.Iterable[MetricRegistry]) -> str:
                             name, child, _family_label_pairs(metric, key)
                         )
                     )
+    if run_info is not None:
+        lines.extend(run_info_lines(run_info))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -172,15 +201,21 @@ _TYPE_LINE = re.compile(
 )
 
 
-def validate_prometheus(text: str) -> typing.List[str]:
+def validate_prometheus(
+    text: str, require_run_info: bool = False
+) -> typing.List[str]:
     """Structurally check exposition ``text``; returns a problem list.
 
     An empty list means every line is a well-formed ``# TYPE`` comment
     or a ``name{labels} value`` sample, and every sample was preceded by
-    a TYPE declaration for its metric family.
+    a TYPE declaration for its metric family.  With
+    ``require_run_info=True`` the document must additionally carry the
+    synthetic ``taureau_run_info`` gauge with its ``seed`` and
+    ``config_digest`` labels (see :func:`run_info_lines`).
     """
     problems: typing.List[str] = []
     declared: set = set()
+    run_info_sample: typing.Optional[str] = None
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line:
             problems.append(f"line {lineno}: empty line inside exposition")
@@ -195,9 +230,20 @@ def validate_prometheus(text: str) -> typing.List[str]:
             problems.append(f"line {lineno}: malformed sample {line!r}")
             continue
         metric = re.split(r"[{ ]", line, maxsplit=1)[0]
+        if metric == "taureau_run_info":
+            run_info_sample = line
         base = re.sub(r"_(bucket|sum|count)$", "", metric)
         if metric not in declared and base not in declared:
             problems.append(f"line {lineno}: sample {metric!r} missing TYPE")
+    if require_run_info:
+        if run_info_sample is None:
+            problems.append("missing taureau_run_info sample")
+        else:
+            for label in ("seed=", "config_digest="):
+                if label not in run_info_sample:
+                    problems.append(
+                        f"taureau_run_info sample missing {label[:-1]} label"
+                    )
     return problems
 
 
@@ -205,6 +251,9 @@ def dashboard_snapshot(
     registries: typing.Iterable[MetricRegistry],
     monitor=None,
     sanitizer=None,
+    chaos=None,
+    control=None,
+    run_info: typing.Optional[dict] = None,
 ) -> dict:
     """One JSON-able document describing the whole stack's health.
 
@@ -213,12 +262,19 @@ def dashboard_snapshot(
     each recording rule's latest value, ``slos`` the error-budget state,
     and ``alerts`` the full fire/resolve event log.  When a
     :class:`~taureau.lint.RaceSanitizer` is given its determinism
-    findings are exported under ``sanitizer``.
+    findings are exported under ``sanitizer``.  When a
+    :class:`~taureau.chaos.ChaosController` is given its ``FaultEvent``
+    log is exported under ``faults``; when a
+    :class:`~taureau.control.ControlLoop` is given its actuator's action
+    log is exported under ``actions``; ``run_info`` (if given) embeds
+    the run's identity document verbatim (see ``Platform.run_info``).
     """
     merged: dict = {}
     for registry in registries:
         merged.update(registry.snapshot())
     document: dict = {"metrics": merged}
+    if run_info is not None:
+        document["run_info"] = dict(run_info)
     if monitor is not None:
         document["rules"] = monitor.rule_values()
         document["slos"] = monitor.slo_status()
@@ -239,5 +295,26 @@ def dashboard_snapshot(
                 "message": finding.message,
             }
             for finding in sanitizer.findings
+        ]
+    if chaos is not None:
+        document["faults"] = [
+            {
+                "time": event.time,
+                "kind": event.kind,
+                "target": event.target,
+                "detail": event.detail,
+            }
+            for event in chaos.events
+        ]
+    if control is not None:
+        document["actions"] = [
+            {
+                "time": action.time,
+                "policy": action.policy,
+                "verb": action.verb,
+                "function": action.function,
+                "value": action.value,
+            }
+            for action in control.actuator.actions
         ]
     return document

@@ -227,3 +227,58 @@ class TestPrometheusExposition:
         text = to_prometheus([registry])
         assert '\\"' in text and "\\\\" in text
         assert validate_prometheus(text) == []
+
+
+class TestRunInfo:
+    """The synthetic taureau_run_info gauge makes snapshots self-describing."""
+
+    RUN_INFO = {"seed": 42, "virtual_time_s": 120.5, "config_digest": "ab12cd34ef56ab78"}
+
+    def build_registry(self):
+        registry = MetricRegistry(namespace="faas")
+        registry.counter("invocations").add(3)
+        return registry
+
+    def test_run_info_sample_appended_and_validates(self):
+        text = to_prometheus([self.build_registry()], run_info=self.RUN_INFO)
+        assert text.endswith(
+            "# TYPE taureau_run_info gauge\n"
+            'taureau_run_info{config_digest="ab12cd34ef56ab78",seed="42"} 120.5\n'
+        )
+        assert validate_prometheus(text) == []
+        assert validate_prometheus(text, require_run_info=True) == []
+
+    def test_omitted_run_info_leaves_output_byte_identical(self):
+        assert to_prometheus([self.build_registry()]) == to_prometheus(
+            [self.build_registry()], run_info=None
+        )
+
+    def test_validator_requires_run_info_when_asked(self):
+        text = to_prometheus([self.build_registry()])
+        assert validate_prometheus(text) == []
+        problems = validate_prometheus(text, require_run_info=True)
+        assert problems == ["missing taureau_run_info sample"]
+
+    def test_validator_checks_run_info_labels(self):
+        text = (
+            "# TYPE taureau_run_info gauge\n"
+            'taureau_run_info{seed="42"} 1'
+        )
+        problems = validate_prometheus(text, require_run_info=True)
+        assert any("config_digest" in p for p in problems)
+
+    def test_platform_prometheus_is_self_describing(self):
+        import taureau
+
+        app = taureau.Platform(seed=5)
+
+        @app.function("f")
+        def f(event, ctx):
+            return event
+
+        app.invoke("f", 1)
+        app.run()
+        text = app.prometheus()
+        assert validate_prometheus(text, require_run_info=True) == []
+        assert 'seed="5"' in text
+        assert app.config_digest() in text

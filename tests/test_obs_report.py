@@ -1,0 +1,204 @@
+"""Tests for the run recorder + HTML run explorer (taureau.obs.record/report).
+
+The load-bearing property is the determinism contract extended to whole
+run documents: two same-seed runs of a chaos + control scenario must
+produce **byte-identical** ``RunArtifact`` JSON and rendered HTML, a
+reseeded run must differ, and ``load(save(a)) == a`` exactly.  The
+recorder is also a kernel daemon, so it must never keep a drained
+simulation alive.
+"""
+
+import pytest
+
+import taureau
+from taureau.chaos import FaultPlan, ResiliencePolicy, RetryPolicy
+from taureau.control import ReactiveConcurrency
+from taureau.obs import (
+    ARTIFACT_VERSION,
+    ArtifactVersionError,
+    BurnRatePolicy,
+    RunArtifact,
+    SloObjective,
+    render_report,
+)
+
+
+def build_run(seed=7, interval_s=2.0, until=40.0):
+    """One chaos + control + monitoring run with the recorder attached."""
+    app = (
+        taureau.Platform(seed=seed, machines=2)
+        .with_resilience(ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=1),
+            breaker_failure_threshold=3,
+            breaker_reset_timeout_s=10.0,
+        ))
+        .with_chaos(
+            FaultPlan().crash_sandbox(rate_hz=0.3, start_s=0.0, end_s=30.0)
+        )
+        .with_monitoring(slos=[SloObjective(
+            "fast", objective=0.9, window_s=30.0,
+            latency="faas.e2e_latency_s", threshold_s=0.2,
+            burn_policies=(BurnRatePolicy(10.0, 20.0, 1.2, severity="page"),),
+        )], interval_s=2.0)
+        .with_control(
+            [ReactiveConcurrency(high_queue=2, step=2)], interval_s=2.0
+        )
+        .with_recorder(interval_s=interval_s)
+    )
+
+    @app.function("work", memory_mb=128, reserved_concurrency=1)
+    def work(event, ctx):
+        ctx.charge(0.05)
+        return event
+
+    app.schedule_periodic("work", 0.1)
+    app.run(until=until)
+    return app
+
+
+class TestRunArtifact:
+    def test_same_seed_runs_are_byte_identical(self):
+        first = build_run(seed=7).run_artifact()
+        second = build_run(seed=7).run_artifact()
+        assert first == second
+        assert first.to_json() == second.to_json()
+        assert render_report(first) == render_report(second)
+
+    def test_reseeded_run_differs(self):
+        first = build_run(seed=7).run_artifact()
+        other = build_run(seed=1234).run_artifact()
+        assert first != other
+        assert first.to_json() != other.to_json()
+
+    def test_save_load_round_trip_is_exact(self, tmp_path):
+        artifact = build_run().run_artifact()
+        path = tmp_path / "run.json"
+        artifact.save(path)
+        loaded = RunArtifact.load(path)
+        assert loaded == artifact
+        assert loaded.to_json() == artifact.to_json()
+
+    def test_version_mismatch_raises_named_error(self, tmp_path):
+        artifact = build_run().run_artifact()
+        artifact.data["artifact_version"] = ARTIFACT_VERSION + 1
+        path = tmp_path / "skewed.json"
+        artifact.save(path)
+        with pytest.raises(ArtifactVersionError):
+            RunArtifact.load(path)
+        with pytest.raises(ArtifactVersionError):
+            render_report(artifact)
+        with pytest.raises(ArtifactVersionError):
+            RunArtifact.from_json('{"artifact_version": null}')
+
+    def test_artifact_carries_every_documented_section(self):
+        app = build_run()
+        data = app.run_artifact().data
+        assert data["artifact_version"] == ARTIFACT_VERSION
+        info = data["run_info"]
+        assert info["seed"] == 7
+        assert info["virtual_time_s"] == app.sim.now
+        assert info["config_digest"] == app.config_digest()
+        samples = data["samples"]
+        assert len(samples["times"]) == app.recorder.ticks > 0
+        series = samples["series"]
+        assert "faas.queue_depth" in series
+        assert 'warm_pool{function="work"}' in series
+        assert "faas.cold_fraction" in series
+        assert 'slo_error_ratio{slo="fast"}' in series
+        assert 'breaker{function="work"}' in series
+        # Every lane is padded to the shared time axis.
+        for lane in series.values():
+            assert len(lane) == len(samples["times"])
+        events = data["events"]
+        assert set(events) == {"alerts", "faults", "actions", "breakers"}
+        assert events["faults"], "the chaos plan should have fired"
+        assert data["traces"], "tracing is on; span trees belong in the artifact"
+        assert all(
+            set(t) == {"trace_id", "spans", "critical_path"}
+            for t in data["traces"]
+        )
+        assert data["flamegraph"] == app.profile()
+        assert "work" in data["cost"]["by_function"]
+        assert data["topology"]["functions"] == ["work"]
+        assert len(data["topology"]["machines"]) == 2
+        assert "metrics" in data["dashboard"]
+
+    def test_dashboard_folds_in_fault_and_action_logs(self):
+        app = build_run()
+        dashboard = app.dashboard()
+        assert dashboard["run_info"] == app.run_info()
+        assert dashboard["faults"] == app.run_artifact().data["events"]["faults"]
+        assert "actions" in dashboard
+        # A bare platform exports neither log (nothing installed to feed them).
+        bare = taureau.Platform(seed=1)
+        assert "faults" not in bare.dashboard()
+        assert "actions" not in bare.dashboard()
+
+
+class TestRecorderDaemon:
+    def test_recorder_does_not_keep_a_drained_simulation_alive(self):
+        app = taureau.Platform(seed=3).with_recorder(interval_s=0.5)
+
+        @app.function("f")
+        def f(event, ctx):
+            ctx.charge(0.01)
+            return event
+
+        for index in range(5):
+            app.invoke("f", index)
+        app.run()  # must terminate without an `until` bound
+        assert app.recorder.ticks > 0
+        overhead = app.recorder.overhead()
+        assert overhead["ticks"] == app.recorder.ticks
+        assert overhead["points"] >= overhead["ticks"]
+
+    def test_recorder_rearms_across_separate_bursts(self):
+        app = taureau.Platform(seed=3).with_recorder(interval_s=0.5)
+
+        @app.function("f")
+        def f(event, ctx):
+            return event
+
+        app.invoke("f", 1)
+        app.run()
+        first_ticks = app.recorder.ticks
+        app.invoke("f", 2)
+        app.run()
+        assert app.recorder.ticks > first_ticks
+
+    def test_second_recorder_rejected_and_interval_validated(self):
+        app = taureau.Platform(seed=3).with_recorder()
+        with pytest.raises(RuntimeError):
+            app.with_recorder()
+        with pytest.raises(ValueError):
+            taureau.Platform(seed=3).with_recorder(interval_s=0.0)
+
+    def test_run_artifact_requires_a_recorder(self):
+        with pytest.raises(RuntimeError):
+            taureau.Platform(seed=3).run_artifact()
+
+
+class TestRenderedReport:
+    def test_report_is_one_self_contained_html_file(self, tmp_path):
+        app = build_run(until=20.0)
+        path = tmp_path / "run.html"
+        assert app.save_report(path) == path
+        html = path.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<html") == 1
+        # Zero external references of any kind: no URLs, no src= imports.
+        assert "http" not in html
+        assert "<script src" not in html
+        assert "<link" not in html
+        # The artifact rides inline and the inline-script guard held.
+        assert '<script id="taureau-data" type="application/json">' in html
+        assert "</scr" + "ipt>" in html
+        payload = html.split('type="application/json">', 1)[1]
+        payload = payload.split("</script>", 1)[0]
+        import json
+
+        assert json.loads(payload) == app.run_artifact().data
+
+    def test_render_accepts_artifact_or_data_dict(self):
+        artifact = build_run(until=10.0).run_artifact()
+        assert render_report(artifact) == render_report(artifact.data)
