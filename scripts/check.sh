@@ -22,8 +22,11 @@ else
     echo "== ruff not installed; skipping lint =="
 fi
 
-echo "== taurlint: determinism static analysis =="
-python -m taureau.lint src tests benchmarks scripts
+echo "== taurlint: determinism static analysis (per-file + whole-program) =="
+python -m taureau.lint src tests benchmarks scripts examples --flow
+
+echo "== lint smoke: self-hosting + byte-determinism + wiring audit =="
+python scripts/lint_smoke.py
 
 echo "== pytest (tier-1) =="
 python -m pytest -x -q
@@ -69,5 +72,8 @@ python scripts/report_smoke.py
 
 echo "== bench smoke: run-recorder overhead =="
 python benchmarks/bench_report_overhead.py --smoke
+
+echo "== bench smoke: incremental lint speedup =="
+python benchmarks/bench_lint_scale.py --smoke
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,81 @@
+"""Lint smoke gate: the whole-program analysis must be self-hosting-clean
+and byte-deterministic.
+
+Run from the repo root (check.sh does)::
+
+    PYTHONPATH=src python scripts/lint_smoke.py
+
+Asserts the three layer-3 static-analysis contracts:
+
+1. ``python -m taureau.lint <all paths> --flow`` reports **zero**
+   findings — the repo passes its own interprocedural determinism
+   rules (TAU101–TAU106) on top of the per-file set;
+2. a cold-cache run and a warm-cache run over the same tree emit
+   **byte-identical** JSON — the incremental cache is an accelerator,
+   never an output influence;
+3. the wiring-time handler audit (``Platform.with_audit``) accepts a
+   clean handler and surfaces an ``audit`` block in ``dashboard()``.
+"""
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+
+from taureau.lint.cli import main as lint_main
+
+PATHS = ["src", "tests", "benchmarks", "scripts", "examples"]
+
+
+def run_lint(cache_path: str) -> tuple:
+    """One in-process CLI run; returns (exit_code, stdout_bytes)."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = lint_main(
+            PATHS + ["--flow", "--flow-cache", cache_path, "--format", "json"]
+        )
+    return code, buffer.getvalue().encode("utf-8")
+
+
+def check_self_hosting() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = os.path.join(tmp, "cache.json")
+        cold_code, cold_out = run_lint(cache)   # no cache file yet
+        warm_code, warm_out = run_lint(cache)   # fully warm
+        assert cold_code == 0, (
+            "flow lint found problems:\n" + cold_out.decode("utf-8")
+        )
+        assert warm_code == 0, "warm run regressed the exit code"
+        assert cold_out == warm_out, (
+            "cold and warm cache runs emitted different JSON — the cache "
+            "is influencing output"
+        )
+    print(f"lint_smoke: flow sweep clean over {', '.join(PATHS)}")
+    print("lint_smoke: cold == warm JSON (byte-identical)")
+
+
+def check_audit() -> None:
+    import taureau
+
+    app = taureau.Platform(seed=7).with_audit(strict=True)
+
+    @app.function("clean")
+    def clean(event, ctx):
+        ctx.charge(0.01)
+        return {"ok": True}
+
+    assert app.auditor.clean(), app.auditor.findings
+    assert app.dashboard()["audit"] == []
+    print("lint_smoke: wiring-time audit accepts a clean handler")
+
+
+def main() -> int:
+    check_self_hosting()
+    check_audit()
+    print("lint_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

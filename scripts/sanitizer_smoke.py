@@ -77,7 +77,8 @@ def check_detection() -> None:
     def leaky_scenario(platform):
         @platform.function("leaky")
         def leaky(event, ctx):
-            leak["calls"] += 1
+            # The leak is the point: verify_determinism must catch it.
+            leak["calls"] += 1  # taurlint: disable=TAU105
             ctx.charge(0.01 * leak["calls"])
 
         platform.invoke("leaky")

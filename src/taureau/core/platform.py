@@ -239,13 +239,23 @@ class FaasPlatform:
         #: Installed by :meth:`with_resilience`; ``None`` keeps the bare
         #: invoke path (one attribute check per invocation).
         self._resilience = None
+        #: Called with each :class:`FunctionSpec` at registration time;
+        #: installed by ``Platform.with_audit()`` (the wiring-time
+        #: determinism audit).  ``None`` keeps registration bare.
+        self.audit_hook = None
 
     # ------------------------------------------------------------------
     # Deployment API
     # ------------------------------------------------------------------
 
     def register(self, spec: FunctionSpec) -> FunctionSpec:
-        """Deploy a function; replaces any previous version of the name."""
+        """Deploy a function; replaces any previous version of the name.
+
+        When an :attr:`audit_hook` is installed it sees every spec at
+        wiring time — a strict hook raises, rejecting the deployment.
+        """
+        if self.audit_hook is not None:
+            self.audit_hook(spec)
         self._functions[spec.name] = spec
         return spec
 

@@ -139,6 +139,8 @@ class Platform:
         self._jiffy = None
         #: Installed by :meth:`with_recorder` (read via :attr:`recorder`).
         self._recorder = None
+        #: Installed by :meth:`with_audit` (read via :attr:`auditor`).
+        self._auditor = None
         #: Installed by :meth:`with_resilience`.
         self._resilience_policy = None
         #: Clients whose operations the fault plane guards.
@@ -637,6 +639,7 @@ class Platform:
             chaos=self._chaos,
             control=self._control,
             run_info=self.run_info(),
+            audit=self._auditor,
         )
 
     def config_digest(self) -> str:
@@ -749,6 +752,59 @@ class Platform:
     def sanitizer(self):
         """The installed :class:`~taureau.lint.RaceSanitizer`, or ``None``."""
         return self.sim.sanitizer
+
+    # ------------------------------------------------------------------
+    # Wiring-time handler audit (taureau.lint layer 3)
+    # ------------------------------------------------------------------
+
+    @property
+    def auditor(self):
+        """The installed :class:`~taureau.lint.HandlerAuditor`, or ``None``."""
+        return self._auditor
+
+    def with_audit(self, strict: bool = False) -> "Platform":
+        """Audit every registered handler for determinism hazards.
+
+        Installs a :class:`~taureau.lint.HandlerAuditor` as the FaaS
+        platform's registration hook: each handler is checked at wiring
+        time for shared mutable captures (TAU105) and direct
+        nondeterminism sources — wall clock, unseeded randomness,
+        environment reads (TAU101/102/103).  Handlers already
+        registered are audited immediately.  Findings accumulate on
+        :attr:`auditor` and surface in :meth:`dashboard` under
+        ``audit`` beside the runtime sanitizer's; ``strict=True``
+        raises :class:`~taureau.lint.AuditError` at registration
+        instead, rejecting the deployment.
+
+        >>> app = taureau.Platform(seed=7).with_audit()
+        >>> app.dashboard()["audit"]
+        []
+        """
+        from taureau.lint.flow import HandlerAuditor
+
+        if self._auditor is None:
+            self._auditor = HandlerAuditor(strict=strict)
+        else:
+            self._auditor.strict = strict
+        self.faas.audit_hook = self._auditor.audit_spec
+        for name in sorted(self.faas._functions):
+            self._auditor.audit_spec(self.faas._functions[name])
+        return self
+
+    def audit(self) -> list:
+        """Audit all currently-registered handlers, returning findings.
+
+        One-shot form of :meth:`with_audit`: runs the same wiring-time
+        checks over every deployed function *now* (installing the
+        auditor if absent) and returns the accumulated
+        :class:`~taureau.lint.AuditFinding` list.
+        """
+        if self._auditor is None:
+            self.with_audit(strict=False)
+        else:
+            for name in sorted(self.faas._functions):
+                self._auditor.audit_spec(self.faas._functions[name])
+        return list(self._auditor.findings)
 
     def verify_determinism(self, scenario, until=None, runs: int = 2):
         """Run ``scenario`` on ``runs`` fresh same-seed platforms and compare.

@@ -18,11 +18,30 @@ package turns that contract into tooling:
   cross-sandbox mutation of shared Python objects that bypasses the
   simulated stores; ``Platform.verify_determinism(scenario)`` is the
   run-twice digest check.
+
+- **Layer 3, the whole-program analysis** (:mod:`taureau.lint.flow`):
+  a project indexer and call graph over which nondeterminism *taint*
+  propagates — scheduled callbacks and FaaS handlers that reach the
+  wall clock, unseeded randomness, or ``os.environ`` through any call
+  chain are flagged (TAU101–TAU106) with the chain printed.  Run it
+  as ``python -m taureau.lint src --flow``; an incremental
+  blake2b-keyed cache keeps warm re-analysis fast.
+  :class:`~taureau.lint.flow.HandlerAuditor` applies the same checks
+  to live callables at ``Platform`` wiring time.
 """
 
 from taureau.lint.baseline import Baseline
-from taureau.lint.config import LintConfig, load_config
+from taureau.lint.config import LintConfig, UnknownRuleError, load_config
 from taureau.lint.engine import Finding, LintEngine, LintReport, Rule
+from taureau.lint.flow import (
+    AuditError,
+    AuditFinding,
+    FlowAnalysis,
+    FlowResult,
+    HandlerAuditor,
+    all_flow_rules,
+    flow_rule_index,
+)
 from taureau.lint.rules import all_rules
 from taureau.lint.sanitizer import (
     DeterminismReport,
@@ -32,9 +51,14 @@ from taureau.lint.sanitizer import (
 )
 
 __all__ = [
+    "AuditError",
+    "AuditFinding",
     "Baseline",
     "DeterminismReport",
     "Finding",
+    "FlowAnalysis",
+    "FlowResult",
+    "HandlerAuditor",
     "LintConfig",
     "LintEngine",
     "LintReport",
@@ -42,6 +66,9 @@ __all__ = [
     "Rule",
     "SanitizerError",
     "SanitizerFinding",
+    "UnknownRuleError",
+    "all_flow_rules",
     "all_rules",
+    "flow_rule_index",
     "load_config",
 ]

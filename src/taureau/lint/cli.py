@@ -8,9 +8,11 @@ in the library:  # taurlint: disable-file=TAU016
 Examples::
 
     python -m taureau.lint src tests benchmarks scripts
+    python -m taureau.lint src --flow --jobs 4
     python -m taureau.lint src --format json
     python -m taureau.lint src --write-baseline lint-baseline.json
     python -m taureau.lint --list-rules
+    python -m taureau.lint --explain TAU101
 """
 
 from __future__ import annotations
@@ -22,11 +24,15 @@ import sys
 import typing
 
 from taureau.lint.baseline import Baseline
-from taureau.lint.config import LintConfig, load_config
+from taureau.lint.config import LintConfig, UnknownRuleError, load_config
 from taureau.lint.engine import LintEngine
+from taureau.lint.flow import FlowAnalysis, all_flow_rules, flow_rule_index
 from taureau.lint.rules import all_rules
 
 __all__ = ["main", "build_parser"]
+
+#: Default incremental-cache filename, created under the config root.
+FLOW_CACHE_NAME = ".taurlint_cache.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,9 +50,56 @@ def build_parser() -> argparse.ArgumentParser:
                         help="capture current findings as the baseline and exit 0")
     parser.add_argument("--no-config", action="store_true",
                         help="ignore [tool.taurlint] in pyproject.toml")
+    parser.add_argument("--flow", action="store_true",
+                        help="also run the whole-program (interprocedural) "
+                             "analysis: TAU101-TAU106")
+    parser.add_argument("--flow-cache", metavar="PATH",
+                        help="incremental analysis cache location "
+                             f"(default: <config root>/{FLOW_CACHE_NAME}; "
+                             "'-' disables caching)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parse files on N processes during --flow")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--explain", metavar="CODE",
+                        help="print the full documentation for one rule and exit")
     return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name:26s} {rule.summary}")
+    for info in all_flow_rules():
+        print(f"{info.code}  {info.name:26s} {info.summary} [--flow]")
+    return 0
+
+
+def _explain(code: str) -> int:
+    code = code.strip().upper()
+    flow = flow_rule_index().get(code)
+    if flow is not None:
+        print(f"{flow.code} [{flow.name}] (whole-program, needs --flow)")
+        print(f"  {flow.summary}")
+        print()
+        print(f"  {flow.explain}")
+        if flow.default_excludes:
+            print()
+            print(f"  Never fires under: {', '.join(flow.default_excludes)}")
+        return 0
+    for rule in all_rules():
+        if rule.code == code:
+            print(f"{rule.code} [{rule.name}] (per-file)")
+            print(f"  {rule.summary}")
+            scoping = []
+            if rule.default_includes:
+                scoping.append(f"only under {', '.join(rule.default_includes)}")
+            if rule.default_excludes:
+                scoping.append(f"never under {', '.join(rule.default_excludes)}")
+            if scoping:
+                print(f"  Scope: {'; '.join(scoping)}")
+            return 0
+    print(f"error: unknown rule code: {code}", file=sys.stderr)
+    return 2
 
 
 def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
@@ -54,9 +107,9 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.code}  {rule.name:26s} {rule.summary}")
-        return 0
+        return _list_rules()
+    if args.explain:
+        return _explain(args.explain)
 
     config = LintConfig() if args.no_config else load_config()
     if args.select:
@@ -67,10 +120,11 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         ]
 
     known = {rule.code for rule in all_rules()}
-    requested = set(config.select or []) | set(config.ignore)
-    unknown = sorted(requested - known)
-    if unknown:
-        print(f"error: unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
+    known |= {info.code for info in all_flow_rules()}
+    try:
+        config.validate(known)
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
     baseline = None
@@ -93,8 +147,42 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    engine = LintEngine(all_rules(), config=config, baseline=baseline)
-    report = engine.run(args.paths)
+    # Baseline subtraction happens *after* the optional flow merge, so
+    # the engine runs without one and the CLI applies it uniformly.
+    engine = LintEngine(all_rules(), config=config, known_codes=known)
+    try:
+        report = engine.run(args.paths)
+        if args.flow:
+            if args.flow_cache == "-":
+                cache_path = None
+            else:
+                cache_path = args.flow_cache or os.path.join(
+                    config.root, FLOW_CACHE_NAME
+                )
+            flow = FlowAnalysis(
+                config=config, cache_path=cache_path, jobs=args.jobs
+            )
+            flow_result = flow.run(args.paths)
+            report.findings.extend(flow_result.findings)
+            report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+            known_errors = set(report.parse_errors)
+            report.parse_errors.extend(
+                error
+                for error in flow_result.parse_errors
+                if error not in known_errors
+            )
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if baseline is not None:
+        kept = []
+        for finding in report.findings:
+            if baseline.covers(finding):
+                report.baselined += 1
+            else:
+                kept.append(finding)
+        report.findings = kept
 
     if args.write_baseline:
         Baseline.from_findings(report.findings).dump(args.write_baseline)

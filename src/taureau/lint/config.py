@@ -26,7 +26,24 @@ try:
 except ImportError:  # pragma: no cover - py<3.11 fallback, config optional
     tomllib = None
 
-__all__ = ["LintConfig", "load_config"]
+__all__ = ["LintConfig", "UnknownRuleError", "load_config"]
+
+
+class UnknownRuleError(ValueError):
+    """A rule code that no registered rule (per-file or flow) declares.
+
+    Raised instead of silently ignoring the code: a typo in a
+    ``# taurlint: disable=`` comment or a ``[tool.taurlint]`` list
+    would otherwise *look* like a suppression while suppressing
+    nothing.
+    """
+
+    def __init__(self, codes: typing.Sequence[str], where: str):
+        self.codes = sorted(set(codes))
+        self.where = where
+        super().__init__(
+            f"unknown rule code(s) {', '.join(self.codes)} in {where}"
+        )
 
 
 @dataclasses.dataclass
@@ -40,6 +57,20 @@ class LintConfig:
     )
     #: Directory the config file was found in; paths are relative to it.
     root: str = "."
+
+    def validate(self, known: typing.Set[str]) -> None:
+        """Raise :class:`UnknownRuleError` for codes no rule declares."""
+        if self.select is not None:
+            unknown = sorted(set(self.select) - known)
+            if unknown:
+                raise UnknownRuleError(unknown, "select")
+        unknown = sorted(set(self.ignore) - known)
+        if unknown:
+            raise UnknownRuleError(unknown, "ignore")
+        for prefix, codes in self.per_path.items():
+            unknown = sorted(set(codes) - known)
+            if unknown:
+                raise UnknownRuleError(unknown, f"per-path {prefix!r}")
 
     def rule_enabled(self, code: str, path: str) -> bool:
         if self.select is not None and code not in self.select:

@@ -203,10 +203,21 @@ class LintReport:
 class LintEngine:
     """Runs a rule set over sources, applying scoping and suppressions."""
 
-    def __init__(self, rules: typing.Sequence[Rule], config=None, baseline=None):
+    def __init__(
+        self,
+        rules: typing.Sequence[Rule],
+        config=None,
+        baseline=None,
+        known_codes: typing.Optional[typing.Set[str]] = None,
+    ):
         self.rules = list(rules)
         self.config = config
         self.baseline = baseline
+        #: When set, ``# taurlint: disable=`` codes outside this set
+        #: raise :class:`~taureau.lint.config.UnknownRuleError` instead
+        #: of silently suppressing nothing.  ``None`` skips validation
+        #: (embedding callers that only use a rule subset).
+        self.known_codes = known_codes
 
     # ------------------------------------------------------------------
     # Discovery
@@ -302,6 +313,17 @@ class LintEngine:
             return
         ctx = FileContext(path, source, tree)
         line_suppressions, file_suppressions = self._suppressions(ctx.lines)
+        if self.known_codes is not None:
+            from taureau.lint.config import UnknownRuleError
+
+            used: set = set(file_suppressions)
+            for codes in line_suppressions.values():
+                used.update(codes)
+            unknown = sorted(used - self.known_codes)
+            if unknown:
+                raise UnknownRuleError(
+                    unknown, f"suppression comment in {path}"
+                )
         for rule in self._rules_for(path):
             for finding in rule.check(ctx):
                 if finding.rule in file_suppressions:

@@ -1,0 +1,218 @@
+"""Wiring-time determinism audit of user-registered handler functions.
+
+The lint CLI sees files; :class:`HandlerAuditor` sees the *live*
+callables a program hands to ``Platform.register`` — including handlers
+defined in notebooks, REPLs, or modules the lint sweep never visits.
+For each handler it combines:
+
+- **runtime closure inspection** — ``__closure__`` cells holding
+  mutable containers are shared-state hazards even before any source
+  is parsed (two sandboxes race on the same cell object); and
+- **static analysis of the handler source** (when ``inspect`` can
+  retrieve it) — the handler-facing subset of the flow rules: mutation
+  of captured/module-global state (TAU105) and direct nondeterminism
+  sources (wall clock, global/unseeded randomness, environment reads —
+  TAU101/102/103), reusing the same indexer the CLI uses.
+
+Findings surface in ``Platform.dashboard()`` beside the runtime race
+sanitizer's, closing the loop the Le Taureau verifiability argument
+asks for: hazards are reported where the operator already looks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import textwrap
+import typing
+
+from taureau.lint.flow.graph import ProjectGraph, emit_findings, propagate
+from taureau.lint.flow.index import summarize_source
+
+__all__ = ["AuditError", "AuditFinding", "HandlerAuditor"]
+
+_MUTABLE_CELL_TYPES = (list, dict, set, bytearray)
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditFinding:
+    """One determinism hazard on a registered handler."""
+
+    rule: str  #: TAU1xx flow code
+    function: str  #: registered function name
+    line: int  #: line within the handler source (0 when runtime-only)
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.rule}] {self.function}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "function": self.function,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class AuditError(RuntimeError):
+    """Raised by strict audits when a handler fails the contract."""
+
+    def __init__(self, findings: typing.Sequence[AuditFinding]):
+        self.findings = list(findings)
+        rendered = "; ".join(f.render() for f in findings)
+        super().__init__(f"handler audit failed: {rendered}")
+
+
+class HandlerAuditor:
+    """Audits handler callables as they are wired onto a platform."""
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        #: Accumulated findings across every audited registration.
+        self.findings: typing.List[AuditFinding] = []
+        self._audited: typing.Set[typing.Tuple[str, int]] = set()
+
+    def clean(self) -> bool:
+        return not self.findings
+
+    def audit_spec(self, spec) -> typing.List[AuditFinding]:
+        """Audit one :class:`FunctionSpec` (the registration hook)."""
+        return self.audit_callable(spec.name, spec.handler)
+
+    def audit_callable(self, name: str, handler) -> typing.List[AuditFinding]:
+        """Audit one callable; findings accumulate on :attr:`findings`."""
+        code = getattr(handler, "__code__", None)
+        identity = (name, id(code) if code is not None else id(handler))
+        if identity in self._audited:
+            return []
+        self._audited.add(identity)
+        found = list(self._closure_findings(name, handler))
+        found.extend(self._source_findings(name, handler))
+        # Deterministic order, dedup (closure + static can agree).
+        unique = sorted(set(found), key=lambda f: (f.line, f.rule, f.message))
+        self.findings.extend(unique)
+        if self.strict and unique:
+            raise AuditError(unique)
+        return unique
+
+    # ------------------------------------------------------------------
+    # Runtime closure inspection
+    # ------------------------------------------------------------------
+
+    def _closure_findings(
+        self, name: str, handler
+    ) -> typing.Iterator[AuditFinding]:
+        code = getattr(handler, "__code__", None)
+        cells = getattr(handler, "__closure__", None)
+        if code is None or not cells:
+            return
+        for varname, cell in zip(code.co_freevars, cells):
+            try:
+                value = cell.cell_contents
+            except ValueError:  # empty cell
+                continue
+            if isinstance(value, _MUTABLE_CELL_TYPES):
+                yield AuditFinding(
+                    rule="TAU105",
+                    function=name,
+                    line=0,
+                    message=(
+                        f"captures mutable {type(value).__name__} "
+                        f"`{varname}` from its enclosing scope; concurrent "
+                        "sandboxes share that object — keep state in the "
+                        "simulated stores (ctx.service) instead"
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Static source inspection (handler-facing flow subset)
+    # ------------------------------------------------------------------
+
+    def _source_findings(
+        self, name: str, handler
+    ) -> typing.Iterator[AuditFinding]:
+        try:
+            source = textwrap.dedent(inspect.getsource(handler))
+        except (OSError, TypeError):
+            return
+        summary = summarize_source(source, path=f"<handler:{name}>")
+        if summary.parse_error is not None:
+            return
+        # Decorator forms reach here with the decorator line attached;
+        # summarize_source parses them fine.  Treat every function in
+        # the snippet as handler-facing so nested defs are covered too.
+        for info in summary.functions.values():
+            info.is_handler = True
+        graph = ProjectGraph({summary.path: summary})
+        taint = propagate(graph)
+        for finding in emit_findings(graph, taint):
+            yield AuditFinding(
+                rule=finding.rule,
+                function=name,
+                line=finding.line,
+                message=finding.message,
+            )
+        yield from self._global_mutations(name, handler, source)
+
+    def _global_mutations(
+        self, name: str, handler, source: str
+    ) -> typing.Iterator[AuditFinding]:
+        """Mutations of module globals the source snippet cannot see.
+
+        ``inspect.getsource`` returns only the ``def`` block, so the
+        static pass has no module scope; the live ``__globals__``
+        supplies it — a mutated name bound to a mutable container in
+        the handler's module is shared across every sandbox.
+        """
+        import ast
+
+        from taureau.lint.flow.index import _all_args, _assigned_names, _mutations
+
+        code = getattr(handler, "__code__", None)
+        namespace = getattr(handler, "__globals__", None)
+        if code is None or namespace is None:
+            return
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return
+        node = next(
+            (
+                n
+                for n in ast.walk(tree)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ),
+            None,
+        )
+        if node is None:
+            return
+        freevars = set(code.co_freevars)
+        params = {arg.arg for arg in _all_args(node.args)}
+        assigned = _assigned_names(node)
+        declared_global: typing.Set[str] = set()
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Global):
+                declared_global.update(stmt.names)
+        seen: typing.Set[str] = set()
+        for varname, line, what in _mutations(node):
+            if varname in params or varname in freevars or varname in seen:
+                continue
+            if varname in declared_global:
+                continue  # the static pass already reports the rebind
+            if varname in assigned:
+                continue
+            value = namespace.get(varname)
+            if isinstance(value, _MUTABLE_CELL_TYPES):
+                seen.add(varname)
+                yield AuditFinding(
+                    rule="TAU105",
+                    function=name,
+                    line=line,
+                    message=(
+                        f"mutates module-global {type(value).__name__} "
+                        f"`{varname}` ({what}); sandboxes share that object "
+                        "— keep state in the simulated stores "
+                        "(ctx.service) instead"
+                    ),
+                )

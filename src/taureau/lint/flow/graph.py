@@ -1,0 +1,420 @@
+"""Call-graph construction and nondeterminism-taint propagation.
+
+Takes the per-file :class:`~taureau.lint.flow.index.ModuleSummary` set
+and produces whole-program findings:
+
+1. A **symbol registry** maps dotted names to project functions, with
+   module-name prefix matching (``taureau.sim.engine.Simulation.step``)
+   and module-level assignment aliases followed transitively
+   (``util._now`` → ``time.time``).
+2. **Taint propagation** runs one deterministic fixed point per taint
+   kind (wall-clock, randomness, environment, plus the ``sched``
+   ability used by TAU104), keeping the *shortest, lexicographically
+   smallest* call chain to a source so diagnostics and their
+   fingerprints are byte-stable.
+3. **Entry points** — registered handlers, callbacks handed to the
+   scheduling APIs, ``sim.process`` generators — are where taint
+   becomes a finding: every call site inside simulation-ordered code
+   that reaches a source is flagged with the full chain.
+
+The propagation is incremental-friendly: :func:`propagate` accepts a
+``frozen`` taint table (from the cache) for modules whose transitive
+callees did not change, and only recomputes the rest.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from taureau.lint.engine import Finding
+from taureau.lint.flow.index import CallSite, FunctionInfo, ModuleSummary
+from taureau.lint.flow.rules import (
+    ENV_SOURCES,
+    RANDOM_SOURCES,
+    SOURCE_SUPPRESSION_CODES,
+    TAINT_RULES,
+    UNSEEDED_CONSTRUCTORS,
+    WALL_CLOCK_SOURCES,
+    flow_rule_index,
+)
+
+__all__ = ["ProjectGraph", "propagate", "emit_findings"]
+
+_SCHED_SUFFIXES = (
+    "schedule_at",
+    "schedule_after",
+    "schedule_many",
+    "schedule_periodic",
+    "invoke",
+    "invoke_sync",
+    "heappush",
+    "publish",
+)
+
+#: Taint kinds propagated along call edges.  ``sched`` is an *ability*
+#: (the function makes event order observable), not a violation.
+KINDS = ("wall-clock", "random", "env", "sched")
+
+_MAX_ALIAS_HOPS = 8
+
+
+class ProjectGraph:
+    """The resolved whole-program view over a set of module summaries."""
+
+    def __init__(self, summaries: typing.Dict[str, ModuleSummary]):
+        #: path → summary, and the module-name index over it.
+        self.summaries = summaries
+        self.by_module: typing.Dict[str, ModuleSummary] = {}
+        for summary in summaries.values():
+            self.by_module[summary.module] = summary
+        #: function qualname → (summary, FunctionInfo)
+        self.functions: typing.Dict[
+            str, typing.Tuple[ModuleSummary, FunctionInfo]
+        ] = {}
+        for summary in summaries.values():
+            for qual, info in summary.functions.items():
+                self.functions[info.qualname] = (summary, info)
+        self._resolve_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, dotted: str) -> typing.Optional[str]:
+        """Project function qualname behind a dotted name, or ``None``.
+
+        Follows module-level assignment aliases up to a small hop
+        bound, so ``pkg.util.run`` where ``util.py`` says
+        ``run = impl.main`` resolves to ``pkg.impl.main``.
+        """
+        cached = self._resolve_cache.get(dotted, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        resolved = self._resolve_uncached(dotted, hops=0)
+        self._resolve_cache[dotted] = resolved
+        return resolved
+
+    def _resolve_uncached(self, dotted: str, hops: int) -> typing.Optional[str]:
+        if hops > _MAX_ALIAS_HOPS:
+            return None
+        if dotted in self.functions:
+            return dotted
+        # Longest module-name prefix match: "a.b.c.f" → module "a.b.c",
+        # symbol "f" (or "a.b" + "c.f" for methods/nested defs).
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            summary = self.by_module.get(module)
+            if summary is None:
+                continue
+            symbol = ".".join(parts[cut:])
+            info = summary.functions.get(symbol)
+            if info is not None:
+                return info.qualname
+            root = parts[cut]
+            target = summary.aliases.get(root)
+            if target is not None:
+                tail = ".".join(parts[cut + 1 :])
+                follow = f"{target}.{tail}" if tail else target
+                return self._resolve_uncached(follow, hops + 1)
+            return None
+        return None
+
+    def source_kind(self, call: CallSite) -> typing.Optional[str]:
+        """The taint kind a call *directly* introduces, if any."""
+        name = self.follow_alias(call.name)
+        if name in WALL_CLOCK_SOURCES:
+            return "wall-clock"
+        if name in RANDOM_SOURCES or name.startswith("secrets."):
+            return "random"
+        if name in ENV_SOURCES or name.startswith("os.environ."):
+            return "env"
+        if name in UNSEEDED_CONSTRUCTORS and not call.has_args:
+            return "random"
+        last = name.rsplit(".", 1)[-1]
+        if last in _SCHED_SUFFIXES or last == "send":
+            return "sched"
+        return None
+
+    def follow_alias(self, dotted: str) -> str:
+        """Resolve cross-module assignment aliases to their final target."""
+        seen = 0
+        while seen <= _MAX_ALIAS_HOPS:
+            parts = dotted.split(".")
+            replaced = False
+            for cut in range(len(parts) - 1, 0, -1):
+                module = ".".join(parts[:cut])
+                summary = self.by_module.get(module)
+                if summary is None:
+                    continue
+                root = parts[cut]
+                target = summary.aliases.get(root)
+                if target is not None:
+                    tail = ".".join(parts[cut + 1 :])
+                    dotted = f"{target}.{tail}" if tail else target
+                    replaced = True
+                break
+            if not replaced:
+                return dotted
+            seen += 1
+        return dotted
+
+    # ------------------------------------------------------------------
+    # Dependency edges (for cache invalidation)
+    # ------------------------------------------------------------------
+
+    def file_dependencies(self) -> typing.Dict[str, typing.Set[str]]:
+        """path → set of project paths it depends on (calls into or
+        imports), the edge set the incremental cache invalidates over."""
+        deps: typing.Dict[str, typing.Set[str]] = {
+            path: set() for path in self.summaries
+        }
+        module_paths = {
+            summary.module: summary.path for summary in self.summaries.values()
+        }
+        for path, summary in self.summaries.items():
+            for imported in summary.imported_modules:
+                target = self._module_path_for(imported, module_paths)
+                if target is not None and target != path:
+                    deps[path].add(target)
+            for info in summary.functions.values():
+                for call in info.calls:
+                    qual = self.resolve(call.name)
+                    if qual is None:
+                        continue
+                    target = self.functions[qual][0].path
+                    if target != path:
+                        deps[path].add(target)
+        return deps
+
+    @staticmethod
+    def _module_path_for(
+        dotted: str, module_paths: typing.Dict[str, str]
+    ) -> typing.Optional[str]:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in module_paths:
+                return module_paths[candidate]
+        return None
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def entry_points(self) -> typing.Dict[str, str]:
+        """qualname → entry kind (``handler`` / ``scheduled``)."""
+        entries: typing.Dict[str, str] = {}
+        for summary in sorted(self.summaries.values(), key=lambda s: s.path):
+            for info in summary.functions.values():
+                if info.is_handler:
+                    entries[info.qualname] = "handler"
+            for dotted, _line in summary.registrations:
+                qual = self.resolve(dotted)
+                if qual is not None and qual not in entries:
+                    entries[qual] = "scheduled"
+        return entries
+
+
+_MISSING = object()
+
+
+def propagate(
+    graph: ProjectGraph,
+    frozen: typing.Optional[typing.Dict[str, typing.Dict[str, list]]] = None,
+) -> typing.Dict[str, typing.Dict[str, list]]:
+    """Fixed-point taint propagation over the call graph.
+
+    Returns ``qualname → {kind: chain}`` where ``chain`` is the list of
+    steps from (excluding) the function down to the source symbol, e.g.
+    ``["util.clock", "time.time"]``.  ``frozen`` supplies cached taint
+    for functions whose transitive callees are unchanged; those entries
+    are trusted verbatim and never recomputed.
+    """
+    frozen = frozen or {}
+    taint: typing.Dict[str, typing.Dict[str, list]] = {}
+    edges: typing.Dict[str, typing.List[typing.Tuple[str, str]]] = {}
+    for qual in sorted(graph.functions):
+        if qual in frozen:
+            taint[qual] = {k: list(v) for k, v in frozen[qual].items()}
+            continue
+        summary, info = graph.functions[qual]
+        mine: typing.Dict[str, list] = {}
+        outgoing: typing.List[typing.Tuple[str, str]] = []
+        for call in info.calls:
+            kind = graph.source_kind(call)
+            if kind is not None:
+                if kind != "sched" and _source_suppressed(summary, kind, call.line):
+                    continue
+                symbol = graph.follow_alias(call.name)
+                chain = [symbol]
+                if kind not in mine or _chain_key(chain) < _chain_key(mine[kind]):
+                    mine[kind] = chain
+                continue
+            callee = graph.resolve(call.name)
+            if callee is not None and callee != qual:
+                outgoing.append((callee, call.name))
+        taint[qual] = mine
+        edges[qual] = outgoing
+
+    # Deterministic worklist fixed point over the non-frozen functions.
+    changed = True
+    while changed:
+        changed = False
+        for qual in sorted(edges):
+            mine = taint[qual]
+            for callee, display in edges[qual]:
+                for kind, chain in taint.get(callee, {}).items():
+                    candidate = [display] + chain
+                    current = mine.get(kind)
+                    if current is None or _chain_key(candidate) < _chain_key(current):
+                        mine[kind] = candidate
+                        changed = True
+    return taint
+
+
+def _chain_key(chain: list) -> tuple:
+    return (len(chain), tuple(chain))
+
+
+def _source_suppressed(summary: ModuleSummary, kind: str, line: int) -> bool:
+    return any(
+        summary.suppressed(code, line)
+        for code in SOURCE_SUPPRESSION_CODES.get(kind, ())
+    )
+
+
+def emit_findings(
+    graph: ProjectGraph,
+    taint: typing.Dict[str, typing.Dict[str, list]],
+    rule_enabled=None,
+    line_text=None,
+) -> typing.List[Finding]:
+    """All whole-program findings, sorted like engine findings.
+
+    ``rule_enabled(code, path)`` applies ``[tool.taurlint]`` scoping;
+    suppression comments stored in the summaries are honored at the
+    finding line.  ``line_text(path, line)`` supplies the offending
+    line's source text so fingerprints survive line-number churn the
+    same way per-file findings do.
+    """
+    index = flow_rule_index()
+    findings: typing.List[Finding] = []
+
+    def enabled(code: str, path: str) -> bool:
+        if not index[code].applies_to(path):
+            return False
+        return rule_enabled is None or rule_enabled(code, path)
+
+    def add(summary, info, code, line, message):
+        if not enabled(code, summary.path):
+            return
+        if summary.suppressed(code, line):
+            return
+        rule = index[code]
+        snippet = line_text(summary.path, line) if line_text else ""
+        findings.append(
+            Finding(
+                rule=code,
+                name=rule.name,
+                path=summary.path,
+                line=line,
+                col=info.col,
+                message=message,
+                snippet=snippet or info.snippet,
+            )
+        )
+
+    entries = graph.entry_points()
+    for qual in sorted(entries):
+        kind_label = entries[qual]
+        summary, info = graph.functions[qual]
+        seen: set = set()
+        for call in info.calls:
+            # A direct source call in an entry point.
+            direct_kind = graph.source_kind(call)
+            if direct_kind in TAINT_RULES:
+                if not _source_suppressed(summary, direct_kind, call.line):
+                    code = TAINT_RULES[direct_kind]
+                    if (code, call.line) not in seen:
+                        seen.add((code, call.line))
+                        symbol = graph.follow_alias(call.name)
+                        add(
+                            summary,
+                            info,
+                            code,
+                            call.line,
+                            f"{kind_label} `{_short(qual)}` reads "
+                            f"nondeterministic `{symbol}` directly; "
+                            + _remedy(direct_kind),
+                        )
+                continue
+            callee = graph.resolve(call.name)
+            if callee is None or callee == qual:
+                continue
+            for kind, chain in sorted(taint.get(callee, {}).items()):
+                if kind not in TAINT_RULES:
+                    continue
+                code = TAINT_RULES[kind]
+                if (code, call.line) in seen:
+                    continue
+                seen.add((code, call.line))
+                rendered = " -> ".join([_short(qual), call.name] + chain)
+                add(
+                    summary,
+                    info,
+                    code,
+                    call.line,
+                    f"{kind_label} `{_short(qual)}` calls nondeterministic "
+                    f"`{call.name}()` via chain {rendered}; "
+                    + _remedy(kind),
+                )
+
+    # TAU104: set-iteration loops whose body (transitively) schedules.
+    for path in sorted(graph.summaries):
+        summary = graph.summaries[path]
+        for qual in sorted(summary.functions):
+            info = summary.functions[qual]
+            seen_loops: set = set()
+            for dotted, line in info.set_loop_calls:
+                callee = graph.resolve(dotted)
+                if callee is None or callee == info.qualname:
+                    continue
+                chain = taint.get(callee, {}).get("sched")
+                if chain is None or line in seen_loops:
+                    continue
+                seen_loops.add(line)
+                rendered = " -> ".join([dotted] + chain)
+                add(
+                    summary,
+                    info,
+                    "TAU104",
+                    line,
+                    f"loop over an unordered set calls `{dotted}()` which "
+                    f"schedules events via chain {rendered}; iteration "
+                    "order becomes hash-dependent — iterate sorted(...) "
+                    "or an insertion-ordered dict",
+                )
+
+    # Local findings computed at index time (TAU105 / TAU106).
+    for path in sorted(graph.summaries):
+        summary = graph.summaries[path]
+        for qual in sorted(summary.functions):
+            info = summary.functions[qual]
+            for code, line, message in info.local_findings:
+                add(summary, info, code, line, message)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _short(qualname: str) -> str:
+    return qualname.rsplit(".", 1)[-1]
+
+
+def _remedy(kind: str) -> str:
+    return {
+        "wall-clock": "simulated behaviour must come from Simulation.now",
+        "random": "draw from sim.rng.stream(name) so runs replay",
+        "env": "take configuration as explicit parameters",
+    }[kind]

@@ -1,0 +1,190 @@
+"""The whole-program analysis driver: discovery → summaries → findings.
+
+:class:`FlowAnalysis` stitches the stages together and owns the
+incremental story:
+
+- every file is read and blake2b-hashed each run (that is the cheap,
+  always-correct part);
+- files whose digest matches the cache reuse their summary without
+  parsing — ``--jobs N`` parallelizes the parses that remain;
+- taint is recomputed only for changed files and their
+  reverse-dependency closure (callers, transitively); every other
+  function's cached taint is frozen into the fixed point;
+- findings are re-emitted every run from the complete taint table, so
+  two runs over the same tree produce byte-identical output whether
+  the cache was cold or warm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from taureau.lint.engine import Finding, LintEngine
+from taureau.lint.flow.cache import FlowCache
+from taureau.lint.flow.graph import ProjectGraph, emit_findings, propagate
+from taureau.lint.flow.index import ModuleSummary, source_key, summarize_source
+
+__all__ = ["FlowAnalysis", "FlowResult"]
+
+
+@dataclasses.dataclass
+class FlowResult:
+    """Findings plus the incremental bookkeeping the tests/benches pin."""
+
+    findings: typing.List[Finding]
+    parse_errors: typing.List[str]
+    files_analyzed: int
+    #: files parsed this run (cache misses); cold run == files_analyzed.
+    parsed: typing.List[str]
+    #: files whose taint was recomputed: the changed set plus its
+    #: reverse-dependency closure.
+    revisited: typing.List[str]
+
+
+class FlowAnalysis:
+    """One configured whole-program analysis over a path set."""
+
+    def __init__(self, config=None, cache_path: typing.Optional[str] = None,
+                 jobs: int = 1):
+        self.config = config
+        self.cache = FlowCache(cache_path)
+        self.jobs = max(1, int(jobs))
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self, paths: typing.Sequence[str]) -> FlowResult:
+        engine = LintEngine([], config=self.config)
+        sources: typing.Dict[str, str] = {}
+        parse_errors: typing.List[str] = []
+        for path in engine.discover(paths):
+            normalized = engine._normalize(path)
+            if engine._excluded(normalized):
+                continue
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    sources[normalized] = handle.read()
+            except OSError as exc:
+                parse_errors.append(f"{normalized}: {exc}")
+        return self._analyze(sources, parse_errors)
+
+    def run_sources(self, sources: typing.Dict[str, str]) -> FlowResult:
+        """Analyze in-memory modules (the fixture-test surface)."""
+        return self._analyze(dict(sources), [])
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    def _analyze(
+        self,
+        sources: typing.Dict[str, str],
+        parse_errors: typing.List[str],
+    ) -> FlowResult:
+        summaries: typing.Dict[str, ModuleSummary] = {}
+        to_parse: typing.List[str] = []
+        for path in sorted(sources):
+            key = source_key(sources[path])
+            cached = self.cache.cached_summary(path, key)
+            if cached is not None:
+                summaries[path] = cached
+            else:
+                to_parse.append(path)
+        for path, summary in self._summarize(to_parse, sources):
+            summaries[path] = summary
+        for path in sorted(summaries):
+            error = summaries[path].parse_error
+            if error is not None:
+                parse_errors.append(error)
+
+        graph = ProjectGraph(summaries)
+        changed = set(to_parse)
+        # Files present last run but gone now also invalidate callers —
+        # but the edges pointing at a removed file only exist in the
+        # *previous* graph, so its reverse closure is computed there.
+        removed = set(self.cache.summaries) - set(summaries)
+        revisited = self._reverse_closure(graph, changed | removed)
+        if removed:
+            previous = ProjectGraph(self.cache.summaries)
+            revisited |= self._reverse_closure(previous, removed)
+        revisited &= set(summaries)
+        frozen: typing.Dict[str, dict] = {}
+        for path in summaries:
+            if path in revisited:
+                continue
+            for qualname, kinds in self.cache.taint.get(path, {}).items():
+                frozen[qualname] = kinds
+        taint = propagate(graph, frozen=frozen)
+
+        def line_text(path: str, line: int) -> str:
+            lines = sources.get(path, "").splitlines()
+            return lines[line - 1] if 1 <= line <= len(lines) else ""
+
+        rule_enabled = (
+            self.config.rule_enabled if self.config is not None else None
+        )
+        findings = emit_findings(
+            graph, taint, rule_enabled=rule_enabled, line_text=line_text
+        )
+
+        taint_by_file: typing.Dict[str, dict] = {path: {} for path in summaries}
+        for qualname, kinds in taint.items():
+            entry = graph.functions.get(qualname)
+            if entry is not None and kinds:
+                taint_by_file[entry[0].path][qualname] = kinds
+        self.cache.save(summaries, taint_by_file)
+
+        return FlowResult(
+            findings=findings,
+            parse_errors=sorted(parse_errors),
+            files_analyzed=len(summaries),
+            parsed=sorted(to_parse),
+            revisited=sorted(revisited),
+        )
+
+    def _summarize(
+        self,
+        to_parse: typing.List[str],
+        sources: typing.Dict[str, str],
+    ) -> typing.Iterator[typing.Tuple[str, ModuleSummary]]:
+        if self.jobs > 1 and len(to_parse) > 1:
+            import concurrent.futures
+
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs
+            ) as pool:
+                for path, summary in zip(
+                    to_parse,
+                    pool.map(
+                        summarize_source,
+                        [sources[path] for path in to_parse],
+                        to_parse,
+                        chunksize=max(1, len(to_parse) // (self.jobs * 4)),
+                    ),
+                ):
+                    yield path, summary
+            return
+        for path in to_parse:
+            yield path, summarize_source(sources[path], path)
+
+    @staticmethod
+    def _reverse_closure(
+        graph: ProjectGraph, seeds: typing.Set[str]
+    ) -> typing.Set[str]:
+        """Seeds plus every file that (transitively) depends on one."""
+        deps = graph.file_dependencies()
+        reverse: typing.Dict[str, typing.Set[str]] = {}
+        for path, targets in deps.items():
+            for target in targets:
+                reverse.setdefault(target, set()).add(path)
+        closure = set(seeds)
+        frontier = list(seeds)
+        while frontier:
+            current = frontier.pop()
+            for dependent in reverse.get(current, ()):
+                if dependent not in closure:
+                    closure.add(dependent)
+                    frontier.append(dependent)
+        return closure

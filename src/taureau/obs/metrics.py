@@ -254,6 +254,7 @@ def dashboard_snapshot(
     chaos=None,
     control=None,
     run_info: typing.Optional[dict] = None,
+    audit=None,
 ) -> dict:
     """One JSON-able document describing the whole stack's health.
 
@@ -268,6 +269,9 @@ def dashboard_snapshot(
     :class:`~taureau.control.ControlLoop` is given its actuator's action
     log is exported under ``actions``; ``run_info`` (if given) embeds
     the run's identity document verbatim (see ``Platform.run_info``).
+    When a :class:`~taureau.lint.flow.HandlerAuditor` is given, its
+    wiring-time findings are exported under ``audit`` beside the
+    sanitizer's runtime ones.
     """
     merged: dict = {}
     for registry in registries:
@@ -296,6 +300,8 @@ def dashboard_snapshot(
             }
             for finding in sanitizer.findings
         ]
+    if audit is not None:
+        document["audit"] = [finding.to_dict() for finding in audit.findings]
     if chaos is not None:
         document["faults"] = [
             {

@@ -199,8 +199,7 @@ class RunRecorder:
         """(Re)arm the sampling loop; idempotent, called by the facade."""
         if not self._scheduled:
             self._scheduled = True
-            self.sim.daemon_scheduled()
-            self.sim.schedule_after(self.interval_s, self._tick)
+            self.sim.schedule_daemon(self.interval_s, self._tick)
 
     def _tick(self) -> None:
         self.sim.daemon_fired()

@@ -148,6 +148,18 @@ class Simulation:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         self.schedule_at(self.now + delay, callback, *args)
 
+    def schedule_daemon(self, delay: float, callback, *args) -> None:
+        """Schedule a housekeeping tick after ``delay`` seconds.
+
+        Pairs :meth:`daemon_scheduled` with the schedule so the tick is
+        invisible to :meth:`has_foreground_work` — a daemon re-arming
+        through this method can never keep :meth:`run` alive on its
+        own.  The callback must call :meth:`daemon_fired` when it runs
+        (the Monitor/ControlLoop/RunRecorder tick discipline).
+        """
+        self.daemon_scheduled()
+        self.schedule_after(delay, callback, *args)
+
     def schedule_many(
         self,
         whens: typing.Sequence[float],

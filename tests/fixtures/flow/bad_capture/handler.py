@@ -1,0 +1,8 @@
+"""A handler sharing a module-global dict across sandboxes."""
+
+CACHE = {}
+
+
+def on_event(event, ctx):
+    CACHE[event["id"]] = event
+    return len(CACHE)

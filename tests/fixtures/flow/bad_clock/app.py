@@ -1,0 +1,11 @@
+"""Entry: a scheduled callback two hops away from the clock."""
+
+from . import helpers
+
+
+def tick(sim):
+    helpers.mark({})
+
+
+def build(sim):
+    sim.schedule_after(5.0, tick)

@@ -1,0 +1,9 @@
+"""Leaf helper: the wall-clock read hides behind a module alias."""
+
+import time
+
+_now = time.time
+
+
+def stamp():
+    return _now()

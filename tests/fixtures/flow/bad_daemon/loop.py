@@ -1,0 +1,18 @@
+"""Daemon ticks that break the daemon_scheduled/daemon_fired protocol."""
+
+
+class Loop:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def _tick(self):
+        self.sim.daemon_fired()
+        while True:
+            self.drain()
+
+    def _tick2(self):
+        self.sim.daemon_fired()
+        self.sim.schedule_after(1.0, self._tick2)
+
+    def drain(self):
+        pass

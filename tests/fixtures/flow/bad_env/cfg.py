@@ -1,0 +1,7 @@
+"""Leaf helper: configuration from the process environment."""
+
+from os import environ
+
+
+def region():
+    return environ.get("REGION", "local")

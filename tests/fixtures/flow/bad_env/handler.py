@@ -1,0 +1,5 @@
+from . import cfg
+
+
+def on_event(event, ctx):
+    return cfg.region()

@@ -1,0 +1,9 @@
+"""Leaf helper: an unseeded RNG behind a module alias."""
+
+import random
+
+_mk = random.Random
+
+
+def sample():
+    return _mk().random()

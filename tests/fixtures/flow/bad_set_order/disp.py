@@ -1,0 +1,5 @@
+"""Leaf helper: the scheduling call the loop cannot see."""
+
+
+def dispatch(sim, item):
+    sim.schedule_after(1.0, item)

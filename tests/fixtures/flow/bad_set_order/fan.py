@@ -1,0 +1,6 @@
+from . import disp
+
+
+def fan_out(sim, items):
+    for item in set(items):
+        disp.dispatch(sim, item)

@@ -1,0 +1,7 @@
+"""State lives in the simulated store, not the module."""
+
+
+def on_event(event, ctx):
+    store = ctx.service("db")
+    store.put("events", event["id"], event, ctx=ctx)
+    return event["id"]

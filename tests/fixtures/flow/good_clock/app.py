@@ -1,0 +1,9 @@
+from . import helpers
+
+
+def tick(sim):
+    helpers.mark(sim, {})
+
+
+def build(sim):
+    sim.schedule_after(5.0, tick)

@@ -1,0 +1,6 @@
+from . import util
+
+
+def mark(sim, record):
+    record["t"] = util.stamp(sim)
+    return record

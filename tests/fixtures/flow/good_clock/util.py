@@ -1,0 +1,5 @@
+"""Leaf helper: timestamps come from the simulation clock."""
+
+
+def stamp(sim):
+    return sim.now

@@ -1,0 +1,18 @@
+"""The Monitor/ControlLoop re-arm discipline, in miniature."""
+
+
+class Loop:
+    def __init__(self, sim):
+        self.sim = sim
+        self._scheduled = False
+
+    def ensure_running(self):
+        if not self._scheduled:
+            self._scheduled = True
+            self.sim.schedule_daemon(1.0, self._tick)
+
+    def _tick(self):
+        self.sim.daemon_fired()
+        self._scheduled = False
+        if self.sim.has_foreground_work():
+            self.ensure_running()

@@ -1,0 +1,5 @@
+"""Leaf helper: configuration travels as a parameter."""
+
+
+def region(settings):
+    return settings.get("region", "local")

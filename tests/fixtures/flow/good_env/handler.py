@@ -1,0 +1,7 @@
+from . import cfg
+
+SETTINGS = {"region": "sim-1"}
+
+
+def on_event(event, ctx):
+    return cfg.region(dict(SETTINGS))

@@ -1,0 +1,9 @@
+from . import gen
+
+
+def job(sim):
+    return gen.sample(sim.rng.stream("fixture"))
+
+
+def build(sim):
+    sim.schedule_at(0.0, job)

@@ -1,0 +1,5 @@
+"""Leaf helper: the caller supplies a seeded stream."""
+
+
+def sample(rng):
+    return rng.random()

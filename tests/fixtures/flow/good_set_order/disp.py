@@ -1,0 +1,2 @@
+def dispatch(sim, item):
+    sim.schedule_after(1.0, item)

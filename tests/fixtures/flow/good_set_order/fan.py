@@ -1,0 +1,6 @@
+from . import disp
+
+
+def fan_out(sim, items):
+    for item in sorted(set(items)):
+        disp.dispatch(sim, item)

@@ -1,0 +1,151 @@
+"""The wiring-time handler audit: auditor, platform hook, dashboard.
+
+Handlers in this file are deliberately defined at module or closure
+scope — ``inspect.getsource`` must be able to retrieve them for the
+static half of the audit (stdin/REPL handlers fall back to the
+runtime-only closure checks).
+"""
+
+import importlib.util
+
+import pytest
+
+import taureau
+from taureau.lint import AuditError, HandlerAuditor
+
+MODULE_CACHE = {}
+
+# A wall-clock-reading handler would trip the repo's own --flow sweep
+# (and a suppression comment would ride along in getsource and silence
+# the auditor), so it is materialized into a real file per test.
+CLOCK_SOURCE = """\
+import time
+
+
+def clock_reader(event, ctx):
+    return {"t": time.time()}
+"""
+
+
+def load_clock_reader(tmp_path):
+    path = tmp_path / "clock_fixture.py"
+    path.write_text(CLOCK_SOURCE)
+    spec = importlib.util.spec_from_file_location("clock_fixture", str(path))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.clock_reader
+
+
+def global_mutator(event, ctx):
+    MODULE_CACHE[event["id"]] = event
+    return len(MODULE_CACHE)
+
+
+def clean_handler(event, ctx):
+    ctx.charge(0.01)
+    return {"ok": True}
+
+
+def make_capture_handler():
+    seen = []
+
+    def capture_handler(event, ctx):
+        seen.append(event)
+        return len(seen)
+
+    return capture_handler
+
+
+class TestHandlerAuditor:
+    def test_clean_handler_passes(self):
+        auditor = HandlerAuditor()
+        assert auditor.audit_callable("clean", clean_handler) == []
+        assert auditor.clean()
+
+    def test_module_global_mutation_flagged(self):
+        auditor = HandlerAuditor()
+        found = auditor.audit_callable("mutator", global_mutator)
+        assert [f.rule for f in found] == ["TAU105"]
+        assert "MODULE_CACHE" in found[0].message
+
+    def test_direct_clock_read_flagged(self, tmp_path):
+        auditor = HandlerAuditor()
+        found = auditor.audit_callable("clock", load_clock_reader(tmp_path))
+        assert [f.rule for f in found] == ["TAU101"]
+        assert "time.time" in found[0].message
+
+    def test_mutable_closure_capture_flagged(self):
+        auditor = HandlerAuditor()
+        found = auditor.audit_callable("capture", make_capture_handler())
+        rules = {f.rule for f in found}
+        assert rules == {"TAU105"}
+        assert any("seen" in f.message for f in found)
+
+    def test_findings_accumulate_across_handlers(self, tmp_path):
+        auditor = HandlerAuditor()
+        auditor.audit_callable("mutator", global_mutator)
+        auditor.audit_callable("clock", load_clock_reader(tmp_path))
+        assert len(auditor.findings) == 2
+        assert not auditor.clean()
+
+    def test_reaudit_of_same_callable_is_idempotent(self):
+        auditor = HandlerAuditor()
+        auditor.audit_callable("mutator", global_mutator)
+        auditor.audit_callable("mutator", global_mutator)
+        assert len(auditor.findings) == 1
+
+    def test_strict_raises_with_findings_attached(self, tmp_path):
+        auditor = HandlerAuditor(strict=True)
+        with pytest.raises(AuditError) as exc_info:
+            auditor.audit_callable("clock", load_clock_reader(tmp_path))
+        assert [f.rule for f in exc_info.value.findings] == ["TAU101"]
+
+    def test_finding_render_and_dict(self):
+        auditor = HandlerAuditor()
+        finding = auditor.audit_callable("mutator", global_mutator)[0]
+        assert finding.render().startswith("[TAU105] mutator:")
+        assert set(finding.to_dict()) == {"rule", "function", "line", "message"}
+
+
+class TestPlatformIntegration:
+    def test_with_audit_hooks_registration(self):
+        app = taureau.Platform(seed=7).with_audit()
+        app.function("mutator")(global_mutator)
+        assert [f.rule for f in app.auditor.findings] == ["TAU105"]
+
+    def test_with_audit_retro_audits_existing_functions(self):
+        app = taureau.Platform(seed=7)
+        app.function("mutator")(global_mutator)
+        app.with_audit()
+        assert [f.rule for f in app.auditor.findings] == ["TAU105"]
+
+    def test_strict_audit_rejects_deployment(self, tmp_path):
+        app = taureau.Platform(seed=7).with_audit(strict=True)
+        with pytest.raises(AuditError):
+            app.function("clock")(load_clock_reader(tmp_path))
+        assert "clock" not in app.faas._functions
+
+    def test_audit_method_returns_findings(self):
+        app = taureau.Platform(seed=7)
+        app.function("mutator")(global_mutator)
+        findings = app.audit()
+        assert [f.rule for f in findings] == ["TAU105"]
+
+    def test_dashboard_surfaces_audit_beside_sanitizer(self):
+        app = taureau.Platform(seed=7, sanitize=True).with_audit()
+        app.function("mutator")(global_mutator)
+        document = app.dashboard()
+        assert "sanitizer" in document
+        assert [entry["rule"] for entry in document["audit"]] == ["TAU105"]
+
+    def test_dashboard_has_no_audit_key_without_auditor(self):
+        app = taureau.Platform(seed=7)
+        assert "audit" not in app.dashboard()
+
+    def test_clean_platform_stays_clean_end_to_end(self):
+        app = taureau.Platform(seed=7).with_audit(strict=True)
+        app.function("clean")(clean_handler)
+        app.invoke("clean", {"id": 1})
+        app.run()
+        assert app.auditor.clean()
+        assert app.dashboard()["audit"] == []

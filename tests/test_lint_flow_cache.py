@@ -1,0 +1,172 @@
+"""The incremental flow cache: invalidation, byte-identity, robustness.
+
+The contract: a warm run re-parses only files whose content digest
+changed, re-propagates taint only over the changed set plus its
+reverse-dependency closure, and emits findings byte-identical to a
+cold run over the same tree — the cache accelerates, it never
+influences output.
+"""
+
+import json
+import os
+
+from taureau.lint.flow import FlowAnalysis
+
+SOURCES = {
+    "app/util.py": (
+        "import time\n\n_now = time.time\n\n\ndef stamp():\n    return _now()\n"
+    ),
+    "app/helpers.py": (
+        "from app import util\n"
+        "\n"
+        "\n"
+        "def mark(record):\n"
+        "    record[\"t\"] = util.stamp()\n"
+        "    return record\n"
+    ),
+    "app/main.py": (
+        "from app import helpers\n"
+        "\n"
+        "\n"
+        "def tick(sim):\n"
+        "    helpers.mark({})\n"
+        "\n"
+        "\n"
+        "def build(sim):\n"
+        "    sim.schedule_after(5.0, tick)\n"
+    ),
+    "app/leaf.py": "def unrelated():\n    return 1\n",
+}
+
+
+def analysis(tmp_path, jobs: int = 1) -> FlowAnalysis:
+    return FlowAnalysis(cache_path=str(tmp_path / "cache.json"), jobs=jobs)
+
+
+class TestCacheLifecycle:
+    def test_cold_run_parses_everything(self, tmp_path):
+        result = analysis(tmp_path).run_sources(SOURCES)
+        assert sorted(result.parsed) == sorted(SOURCES)
+        assert result.files_analyzed == len(SOURCES)
+
+    def test_warm_run_parses_nothing(self, tmp_path):
+        analysis(tmp_path).run_sources(SOURCES)
+        warm = analysis(tmp_path).run_sources(SOURCES)
+        assert warm.parsed == []
+        assert warm.revisited == []
+
+    def test_warm_findings_match_cold_byte_for_byte(self, tmp_path):
+        cold = analysis(tmp_path).run_sources(SOURCES)
+        warm = analysis(tmp_path).run_sources(SOURCES)
+        assert [f.fingerprint() for f in cold.findings] == [
+            f.fingerprint() for f in warm.findings
+        ]
+        assert [(f.rule, f.path, f.line, f.message) for f in cold.findings] == [
+            (f.rule, f.path, f.line, f.message) for f in warm.findings
+        ]
+
+    def test_leaf_edit_revisits_only_the_leaf(self, tmp_path):
+        analysis(tmp_path).run_sources(SOURCES)
+        edited = dict(SOURCES)
+        edited["app/leaf.py"] = "def unrelated():\n    return 2\n"
+        result = analysis(tmp_path).run_sources(edited)
+        assert result.parsed == ["app/leaf.py"]
+        assert result.revisited == ["app/leaf.py"]
+
+    def test_dependency_edit_revisits_the_reverse_closure(self, tmp_path):
+        analysis(tmp_path).run_sources(SOURCES)
+        edited = dict(SOURCES)
+        # A comment-only change to the deepest helper: its callers (the
+        # whole chain) must be revisited, the unrelated leaf must not.
+        edited["app/util.py"] = SOURCES["app/util.py"] + "\n# touched\n"
+        result = analysis(tmp_path).run_sources(edited)
+        assert result.parsed == ["app/util.py"]
+        assert result.revisited == [
+            "app/helpers.py",
+            "app/main.py",
+            "app/util.py",
+        ]
+        # Findings are unchanged by a comment edit.
+        assert [f.rule for f in result.findings] == ["TAU101"]
+
+    def test_behaviour_edit_updates_findings_through_the_cache(self, tmp_path):
+        analysis(tmp_path).run_sources(SOURCES)
+        fixed = dict(SOURCES)
+        fixed["app/util.py"] = "def stamp(sim):\n    return sim.now\n"
+        fixed["app/helpers.py"] = (
+            "from app import util\n"
+            "\n"
+            "\n"
+            "def mark(record):\n"
+            "    record[\"t\"] = util.stamp(None)\n"
+            "    return record\n"
+        )
+        result = analysis(tmp_path).run_sources(fixed)
+        assert result.findings == []
+
+    def test_removed_file_invalidates_its_dependents(self, tmp_path):
+        analysis(tmp_path).run_sources(SOURCES)
+        shrunk = {k: v for k, v in SOURCES.items() if k != "app/util.py"}
+        result = analysis(tmp_path).run_sources(shrunk)
+        # util's callers must be re-propagated; the finding dissolves
+        # because the chain no longer resolves to a source.
+        assert "app/helpers.py" in result.revisited
+        assert result.findings == []
+
+
+class TestCacheRobustness:
+    def test_missing_cache_is_a_cold_run(self, tmp_path):
+        result = analysis(tmp_path).run_sources(SOURCES)
+        assert [f.rule for f in result.findings] == ["TAU101"]
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json")
+        result = analysis(tmp_path).run_sources(SOURCES)
+        assert sorted(result.parsed) == sorted(SOURCES)
+        assert [f.rule for f in result.findings] == ["TAU101"]
+
+    def test_version_skew_degrades_to_cold(self, tmp_path):
+        analysis(tmp_path).run_sources(SOURCES)
+        path = tmp_path / "cache.json"
+        data = json.loads(path.read_text())
+        data["version"] = 999
+        path.write_text(json.dumps(data))
+        result = analysis(tmp_path).run_sources(SOURCES)
+        assert sorted(result.parsed) == sorted(SOURCES)
+
+    def test_no_cache_path_never_writes(self, tmp_path):
+        result = FlowAnalysis().run_sources(SOURCES)
+        assert [f.rule for f in result.findings] == ["TAU101"]
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cache_file_is_canonical_json(self, tmp_path):
+        analysis(tmp_path).run_sources(SOURCES)
+        blob = (tmp_path / "cache.json").read_text()
+        document = json.loads(blob)
+        assert blob == json.dumps(
+            document, sort_keys=True, separators=(",", ":")
+        )
+
+
+class TestParallelParsing:
+    def test_jobs_parallel_matches_serial(self, tmp_path):
+        serial = FlowAnalysis().run_sources(SOURCES)
+        parallel = FlowAnalysis(jobs=2).run_sources(SOURCES)
+        assert [f.fingerprint() for f in serial.findings] == [
+            f.fingerprint() for f in parallel.findings
+        ]
+        assert [f.message for f in serial.findings] == [
+            f.message for f in parallel.findings
+        ]
+
+    def test_jobs_parallel_on_disk_fixture(self, monkeypatch):
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        monkeypatch.chdir(repo_root)
+        root = os.path.join("tests", "fixtures", "flow", "bad_clock")
+        serial = FlowAnalysis().run([root])
+        parallel = FlowAnalysis(jobs=2).run([root])
+        assert [f.message for f in serial.findings] == [
+            f.message for f in parallel.findings
+        ]
+        assert len(serial.findings) == 1
