@@ -55,6 +55,12 @@ python scripts/chaos_smoke.py
 echo "== bench smoke: chaos overhead + recovery =="
 python benchmarks/bench_chaos_overhead.py --smoke
 
+echo "== durable smoke: journaled replay determinism =="
+python scripts/durable_smoke.py
+
+echo "== bench smoke: durable recovery vs re-execution =="
+python benchmarks/bench_durable_recovery.py --smoke
+
 echo "== bench smoke: simulation kernel =="
 python benchmarks/bench_sim_kernel.py --smoke
 

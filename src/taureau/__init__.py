@@ -14,7 +14,9 @@ A Look Forward" (SIGMOD 2020).  The library provides:
 - :mod:`taureau.sketches` — mergeable data sketches;
 - :mod:`taureau.analytics` — serverless analytics workloads;
 - :mod:`taureau.ml` — serverless machine-learning workloads;
-- :mod:`taureau.obs` — distributed tracing and critical-path analysis.
+- :mod:`taureau.obs` — distributed tracing and critical-path analysis;
+- :mod:`taureau.durable` — durable execution (journaled replay,
+  exactly-once effects, crash recovery).
 
 The stable entry point is :class:`taureau.Platform`, which wires a
 simulation, a tracer, and a FaaS platform together::

@@ -70,6 +70,16 @@ class BlobStore:
     # Data path
     # ------------------------------------------------------------------
 
+    # Writes route through the durable-execution journal when the
+    # calling context carries one (``with_durability``); reads stay
+    # live (idempotent).
+    @staticmethod
+    def _journaled(ctx, label: str, fn):
+        journal = getattr(ctx, "journal", None) if ctx is not None else None
+        if journal is None:
+            return fn()
+        return journal.apply(ctx, label, fn)
+
     def put(
         self,
         key: str,
@@ -78,6 +88,18 @@ class BlobStore:
         size_mb: typing.Optional[float] = None,
     ) -> None:
         """Store ``value`` under ``key`` (overwrites)."""
+        return self._journaled(
+            ctx, f"baas.blob.{self.name}.put:{key}",
+            lambda: self._put(key, value, ctx, size_mb),
+        )
+
+    def _put(
+        self,
+        key: str,
+        value: object,
+        ctx,
+        size_mb: typing.Optional[float],
+    ) -> None:
         self._guard(ctx, "put")
         size = estimate_size_mb(value) if size_mb is None else size_mb
         if size < 0:
@@ -109,6 +131,12 @@ class BlobStore:
         return key in self._blobs
 
     def delete(self, key: str, ctx=None) -> None:
+        return self._journaled(
+            ctx, f"baas.blob.{self.name}.delete:{key}",
+            lambda: self._delete(key, ctx),
+        )
+
+    def _delete(self, key: str, ctx) -> None:
         self._guard(ctx, "delete")
         blob = self._blobs.pop(key, None)
         if blob is None:

@@ -154,6 +154,26 @@ class ServerlessDatabase:
         return Transaction(self, ctx)
 
     def commit(self, txn: Transaction) -> None:
+        # The commit is the atomic effect of a transaction, so it is the
+        # unit the durable-execution journal dedups: a retried attempt
+        # replays a journaled commit (validation and apply both skipped
+        # — the first attempt already applied it) instead of writing
+        # twice.  Auto-commit put/delete inherit this via their txn.
+        ctx = txn._ctx
+        journal = getattr(ctx, "journal", None) if ctx is not None else None
+        if journal is None:
+            return self._commit(txn)
+        label = (
+            f"baas.db.{self.name}.commit:"
+            f"{len(txn._writes)}w{len(txn._deletes)}d"
+        )
+        result = journal.apply(ctx, label, lambda: self._commit(txn))
+        # A replayed commit never ran in this attempt; reflect that the
+        # transaction is settled (no-op after a real commit).
+        txn.committed = True
+        return result
+
+    def _commit(self, txn: Transaction) -> None:
         if txn.committed:
             raise ValueError("transaction committed twice")
         # Validate: every row read must still be at its observed version.
@@ -205,6 +225,15 @@ class ServerlessDatabase:
         A retried function attempt calling with the same token gets the
         memoized result instead of re-applying the side effect.
         """
+        journal = getattr(ctx, "journal", None) if ctx is not None else None
+        if journal is not None:
+            return journal.apply(
+                ctx, f"baas.db.{self.name}.execute_once:{token}",
+                lambda: self._execute_once(token, action, ctx),
+            )
+        return self._execute_once(token, action, ctx)
+
+    def _execute_once(self, token, action, ctx):
         self._charge(ctx, 0.0)
         if token in self._idempotency_results:
             self.metrics.counter("idempotent_hits").add()

@@ -56,8 +56,27 @@ class KvStore:
             self.faults.guard(self.fault_component, op, ctx=ctx,
                               policy=self.resilience)
 
+    # Writes route through the durable-execution journal when the
+    # calling context carries one (``with_durability``): the journal
+    # executes the mutation exactly once and replays its recorded
+    # result on retried attempts.  Reads stay live — they are
+    # idempotent, and a fresh read after a replayed write observes the
+    # state that write actually produced.
+    @staticmethod
+    def _journaled(ctx, label: str, fn):
+        journal = getattr(ctx, "journal", None) if ctx is not None else None
+        if journal is None:
+            return fn()
+        return journal.apply(ctx, label, fn)
+
     def put(self, key: str, value: object, ctx=None, size_mb=None) -> int:
         """Unconditional write; returns the new version."""
+        return self._journaled(
+            ctx, f"baas.kv.{self.name}.put:{key}",
+            lambda: self._put(key, value, ctx, size_mb),
+        )
+
+    def _put(self, key: str, value: object, ctx, size_mb) -> int:
         self._guard(ctx, "put")
         size = estimate_size_mb(value) if size_mb is None else size_mb
         current = self._items.get(key)
@@ -76,6 +95,15 @@ class KvStore:
         :class:`ConditionFailed` on mismatch — the caller's cue that a
         concurrent (or re-executed) writer got there first.
         """
+        return self._journaled(
+            ctx, f"baas.kv.{self.name}.put_if_version:{key}",
+            lambda: self._put_if_version(key, value, expected_version,
+                                         ctx, size_mb),
+        )
+
+    def _put_if_version(
+        self, key: str, value: object, expected_version: int, ctx, size_mb
+    ) -> int:
         self._guard(ctx, "put_if_version")
         current = self._items.get(key)
         current_version = current.version if current else 0
@@ -85,7 +113,7 @@ class KvStore:
             raise ConditionFailed(
                 f"{key}: expected v{expected_version}, found v{current_version}"
             )
-        return self.put(key, value, ctx=None, size_mb=size_mb)
+        return self._put(key, value, None, size_mb)
 
     def get(self, key: str, ctx=None) -> object:
         self._guard(ctx, "get")
@@ -107,6 +135,12 @@ class KvStore:
         return item
 
     def delete(self, key: str, ctx=None) -> None:
+        return self._journaled(
+            ctx, f"baas.kv.{self.name}.delete:{key}",
+            lambda: self._delete(key, ctx),
+        )
+
+    def _delete(self, key: str, ctx) -> None:
         self._guard(ctx, "delete")
         if key not in self._items:
             raise KeyError(key)
@@ -115,10 +149,22 @@ class KvStore:
         self.metrics.counter("deletes").add()
 
     def counter_add(self, key: str, delta: float = 1.0, ctx=None) -> float:
-        """Atomic numeric increment (creates the counter at 0)."""
+        """Atomic numeric increment (creates the counter at 0).
+
+        The read-modify-write journals as one effect: a retried
+        invocation replays the recorded post-increment value instead of
+        incrementing again (the classic duplicate-effect hazard of
+        at-least-once retries).
+        """
+        return self._journaled(
+            ctx, f"baas.kv.{self.name}.counter_add:{key}",
+            lambda: self._counter_add(key, delta, ctx),
+        )
+
+    def _counter_add(self, key: str, delta: float, ctx) -> float:
         item = self._items.get(key)
         value = (item.value if item else 0.0) + delta
-        self.put(key, value, ctx=ctx, size_mb=0.0)
+        self._put(key, value, ctx, 0.0)
         return value
 
     def keys(self, prefix: str = "") -> list:

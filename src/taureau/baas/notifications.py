@@ -52,7 +52,21 @@ class NotificationService:
 
         Delivery is asynchronous with a small per-subscriber latency, so
         subscribers observe the message strictly after the publish.
+
+        With durable execution installed the publish journals as one
+        effect: a retried publisher attempt replays the journaled
+        subscriber count instead of fanning the message out again — the
+        classic duplicate-notification hazard of at-least-once retries.
         """
+        journal = getattr(ctx, "journal", None) if ctx is not None else None
+        if journal is not None:
+            return journal.apply(
+                ctx, f"baas.sns.publish:{topic}",
+                lambda: self._publish(topic, message, ctx),
+            )
+        return self._publish(topic, message, ctx)
+
+    def _publish(self, topic: str, message: object, ctx) -> int:
         subscribers = self._topic(topic)
         if ctx is not None:
             ctx.add_io(self.calibration.kv_base_latency_s)

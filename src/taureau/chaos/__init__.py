@@ -24,7 +24,10 @@ from taureau.chaos.experiment import (
     InvariantResult,
     all_executions_terminated,
     all_invocations_terminated,
+    exactly_once_effects,
+    no_double_billing,
     no_inflight_messages,
+    no_lost_acked_work,
 )
 from taureau.chaos.faults import (
     ChaosController,
@@ -53,5 +56,8 @@ __all__ = [
     "RetryPolicy",
     "all_executions_terminated",
     "all_invocations_terminated",
+    "exactly_once_effects",
+    "no_double_billing",
     "no_inflight_messages",
+    "no_lost_acked_work",
 ]

@@ -29,6 +29,9 @@ __all__ = [
     "all_invocations_terminated",
     "no_inflight_messages",
     "all_executions_terminated",
+    "exactly_once_effects",
+    "no_lost_acked_work",
+    "no_double_billing",
 ]
 
 
@@ -79,6 +82,69 @@ def all_executions_terminated(app) -> typing.Tuple[bool, str]:
         family = registry.labeled_counter("executions_by", ("outcome",))
         finished += sum(child.value for _key, child in family.items())
     return finished == started, f"{finished:g}/{started:g} executions terminal"
+
+
+def exactly_once_effects(app) -> typing.Tuple[bool, str]:
+    """No journaled side effect was applied more than once.
+
+    The durable-execution contract: retries and recoveries replay the
+    journal, so every effect position of every entry executed for real
+    exactly once — and the replay cursor never ran past a log.  Passes
+    vacuously (with a say-so) when durability is not installed.
+    """
+    manager = app._subsystems.get("durable")
+    if manager is None:
+        return True, "no durable layer installed"
+    duplicates = manager.journal.duplicate_executions()
+    overruns = sum(
+        1 for entry in manager.journal.entries.values()
+        if entry.cursor > len(entry.effects)
+    )
+    journaled = manager.metrics.counter("effects_journaled").value
+    replayed = manager.metrics.counter("effects_replayed").value
+    detail = (
+        f"{journaled:g} effects journaled, {replayed:g} replayed, "
+        f"{duplicates} duplicate applications"
+    )
+    return duplicates == 0 and overruns == 0, detail
+
+
+def no_lost_acked_work(app) -> typing.Tuple[bool, str]:
+    """Every journal entry settled, and no fault took work down with it.
+
+    Checks the durable layer's liveness half: after the drain there is
+    no entry still open (accepted work that silently vanished) and no
+    entry whose terminal failure was fault-caused (an injected fault
+    the recovery manager failed to replay around).  Pulsar in-flight
+    deliveries must be acked too, when a cluster is attached.
+    """
+    manager = app._subsystems.get("durable")
+    if manager is None:
+        return True, "no durable layer installed"
+    open_entries = manager.journal.open_count()
+    unrecovered = sum(
+        1 for entry in manager.journal.entries.values()
+        if entry.completed and entry.last_error_kind is not None
+    )
+    inflight_ok, inflight_detail = no_inflight_messages(app)
+    detail = (
+        f"{open_entries} open entries, {unrecovered} fault-failed, "
+        f"{inflight_detail}"
+    )
+    return open_entries == 0 and unrecovered == 0 and inflight_ok, detail
+
+
+def no_double_billing(app) -> typing.Tuple[bool, str]:
+    """No 100ms billing slice was charged twice for the same work.
+
+    The platform counts ``billing.double_billed_slices`` whenever a
+    retried attempt re-bills ground an earlier attempt of the same
+    logical invocation already paid for; with durability installed the
+    journal's high-water-mark credit keeps the counter at zero.
+    """
+    metric = app.faas.metrics.find("billing.double_billed_slices")
+    slices = metric.value if metric is not None else 0.0
+    return slices == 0, f"{slices:g} double-billed slices"
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +213,7 @@ class ChaosExperiment:
         until=None,
         invariants: typing.Sequence[typing.Callable] = (),
         platform_kwargs: typing.Optional[dict] = None,
+        durability=None,
     ):
         self.scenario = scenario
         self.plan = plan
@@ -155,8 +222,15 @@ class ChaosExperiment:
         self.until = until
         self.invariants = list(invariants)
         self.platform_kwargs = dict(platform_kwargs or {})
+        #: ``True`` installs the durable layer with default policy;
+        #: a :class:`~taureau.durable.DurabilityPolicy` customizes it.
+        self.durability = durability
 
     def _setup(self, app) -> None:
+        if self.durability is not None:
+            app.with_durability(
+                None if self.durability is True else self.durability
+            )
         if self.policy is not None:
             app.with_resilience(self.policy)
         if self.plan is not None:

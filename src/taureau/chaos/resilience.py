@@ -30,10 +30,10 @@ class _Call:
 
     __slots__ = (
         "name", "payload", "parent", "done", "resolved", "retries_used",
-        "hedged", "live_tokens", "last_record",
+        "hedged", "live_tokens", "last_record", "journal_entry",
     )
 
-    def __init__(self, name, payload, parent, done):
+    def __init__(self, name, payload, parent, done, journal_entry=None):
         self.name = name
         self.payload = payload
         self.parent = parent
@@ -45,6 +45,10 @@ class _Call:
         #: attempt's token is removed, so its late completion is ignored.
         self.live_tokens: set = set()
         self.last_record: typing.Optional[InvocationRecord] = None
+        #: Durable-execution journal entry shared by every attempt of
+        #: this logical call (None when durability is off) — what makes
+        #: client-side retries replay instead of re-execute.
+        self.journal_entry = journal_entry
 
 
 class ResilientInvoker:
@@ -62,12 +66,17 @@ class ResilientInvoker:
 
     # ------------------------------------------------------------------
 
-    def invoke(self, name: str, payload: object = None, parent=None):
+    def invoke(self, name: str, payload: object = None, parent=None,
+               journal_entry=None):
         done = self.sim.event()
-        call = _Call(name, payload, parent, done)
+        call = _Call(name, payload, parent, done, journal_entry=journal_entry)
         breaker = self._breaker_for(name)
         if breaker is not None and not breaker.allow():
             self.metrics.counter("breaker_short_circuits").add()
+            if journal_entry is not None:
+                # The entry never ran; settle it so it does not read as
+                # lost in-flight work.
+                journal_entry.finalize("throttled")
             done.succeed(self._short_circuit_record(name, payload))
             return done
         self._launch(call)
@@ -81,7 +90,8 @@ class ResilientInvoker:
         token = object()
         call.live_tokens.add(token)
         event = self.platform._invoke_once(
-            call.name, call.payload, parent=call.parent
+            call.name, call.payload, parent=call.parent,
+            journal_entry=call.journal_entry,
         )
         event.add_callback(
             lambda ev, token=token: self._attempt_done(call, token, ev.value)
@@ -132,6 +142,18 @@ class ResilientInvoker:
             if self._budget_left is not None:
                 self._budget_left -= 1
             self._retry_metric("retry")
+            if call.journal_entry is None and call.last_record is not None:
+                # No journal: the relaunched attempt will re-bill the
+                # work the failed record already charged.  Count those
+                # slices as double-billed (the E43 baseline measure).
+                billed = call.last_record.billed_duration_s
+                if billed > 0:
+                    granularity = (
+                        self.platform.config.calibration.billing_granularity_s
+                    )
+                    self.metrics.counter("billing.double_billed_slices").add(
+                        int(round(billed / granularity))
+                    )
             delay = retry.backoff_s(call.retries_used - 1, self._rng)
             self.sim.schedule_after(delay, self._relaunch, call)
             return

@@ -143,6 +143,12 @@ class InvocationContext:
         #: trace downstream explicitly via :meth:`span_context`.
         self.tracer = tracer
         self.span = span
+        #: Durable execution: the attempt's journal binding (an
+        #: :class:`~taureau.durable.AttemptJournal`), installed by the
+        #: platform when ``with_durability`` is on.  ``None`` keeps the
+        #: bare at-least-once semantics.  Service clients and
+        #: :meth:`effect` route mutations through it.
+        self.journal = None
         self._span_stack: list = []
         self._accrued = base_duration
 
@@ -159,6 +165,21 @@ class InvocationContext:
 
     # Service clients call this; handlers normally never need to.
     add_io = charge
+
+    def effect(self, key: str, fn):
+        """Run ``fn`` exactly once across retries of this invocation.
+
+        The user-facing idempotency primitive of the durable layer:
+        the first attempt executes ``fn`` and journals its result under
+        ``key``; a retried attempt replays the journaled result instead
+        of calling ``fn`` again.  Without ``with_durability`` installed
+        this degrades to a plain call — handlers written against
+        ``ctx.effect`` keep working on an at-least-once platform, they
+        just lose the dedup.
+        """
+        if self.journal is None:
+            return fn()
+        return self.journal.apply(self, f"effect:{key}", fn)
 
     # ------------------------------------------------------------------
     # Tracing: the handler-side half of the obs subsystem.  Simulated

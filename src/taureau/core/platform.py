@@ -173,6 +173,9 @@ class _Attempt:
         #: Bumped per execution start; lets a forced (machine-failure)
         #: completion supersede the normally scheduled one.
         self.execution_epoch = 0
+        #: The durable-execution journal entry shared by every attempt
+        #: of this logical invocation (None when durability is off).
+        self.journal_entry = None
 
 
 class FaasPlatform:
@@ -239,6 +242,10 @@ class FaasPlatform:
         #: Installed by :meth:`with_resilience`; ``None`` keeps the bare
         #: invoke path (one attribute check per invocation).
         self._resilience = None
+        #: Installed by ``Platform.with_durability()``: the
+        #: :class:`~taureau.durable.DurabilityManager` that journals
+        #: effects, replays retries and re-drives fault-killed work.
+        self._durability = None
         #: Called with each :class:`FunctionSpec` at registration time;
         #: installed by ``Platform.with_audit()`` (the wiring-time
         #: determinism audit).  ``None`` keeps registration bare.
@@ -329,12 +336,19 @@ class FaasPlatform:
         """
         if args:
             parent = self._legacy_positional_parent("invoke", args, parent)
+        journal_entry = None
+        if self._durability is not None:
+            journal_entry = self._durability.open_entry(name)
         if self._resilience is not None:
-            return self._resilience.invoke(name, payload, parent=parent)
-        return self._invoke_once(name, payload, parent=parent)
+            return self._resilience.invoke(
+                name, payload, parent=parent, journal_entry=journal_entry
+            )
+        return self._invoke_once(
+            name, payload, parent=parent, journal_entry=journal_entry
+        )
 
     def _invoke_once(self, name: str, payload: object = None, *,
-                     parent=None) -> Event:
+                     parent=None, journal_entry=None) -> Event:
         """One platform-level invocation, bypassing client-side resilience."""
         spec = self.spec(name)
         last_arrival = self._last_arrival.get(name)
@@ -353,6 +367,9 @@ class FaasPlatform:
         self.metrics.counter("invocations").add()
         done = self.sim.event()
         attempt = _Attempt(spec, record, done)
+        if journal_entry is not None:
+            attempt.journal_entry = journal_entry
+            journal_entry.invocation_ids.append(record.invocation_id)
         tracer = self.sim.tracer
         if tracer is not None:
             attempt.span = tracer.start_span(
@@ -982,6 +999,12 @@ class FaasPlatform:
             tracer=self.sim.tracer if execute_span is not None else None,
             span=execute_span,
         )
+        entry = attempt.journal_entry
+        if entry is not None:
+            # Rewind the replay cursor: effects the previous attempt
+            # journaled will replay instead of re-applying.
+            entry.begin_attempt()
+            ctx.journal = self._durability.binding(entry)
         response: object = None
         error: typing.Optional[BaseException] = None
         try:
@@ -1051,7 +1074,8 @@ class FaasPlatform:
         self._running -= 1
         self._running_per_function[spec.name] -= 1
         self.metrics.series("running").record(self.sim.now, self._running)
-        self._bill(record, spec, exec_duration, span=attempt.span)
+        self._bill(record, spec, exec_duration, span=attempt.span,
+                   journal_entry=attempt.journal_entry)
         self._return_to_pool(sandbox)
         self._conclude(attempt, status, response, error, exec_duration)
 
@@ -1077,6 +1101,24 @@ class FaasPlatform:
             self._dispatch(attempt)
             self._drain_pending()
             return
+        if (
+            status is not InvocationStatus.OK
+            and attempt.journal_entry is not None
+            and self._durability is not None
+            and self._durability.should_recover(attempt.journal_entry, error)
+        ):
+            # Durable recovery: the ordinary retry budget is spent, but
+            # the failure was fault-injected, so the journal re-drives
+            # the invocation — replaying logged effects, not re-running
+            # them — without charging the user's retry allowance.
+            record.attempts += 1
+            delay = self._durability.recovery_delay(attempt.journal_entry)
+            if delay > 0:
+                self.sim.schedule_after(delay, self._recover_dispatch, attempt)
+            else:
+                self._dispatch(attempt)
+            self._drain_pending()
+            return
 
         record.status = status
         record.response = response
@@ -1096,7 +1138,16 @@ class FaasPlatform:
             self.metrics.counter("errors").add()
         if attempt.span is not None:
             attempt.span.finish(self.sim.now, status=status.value)
+        if attempt.journal_entry is not None and self._durability is not None:
+            self._durability.finalize(
+                attempt.journal_entry, status.value, error
+            )
         attempt.done.succeed(record)
+        self._drain_pending()
+
+    def _recover_dispatch(self, attempt: _Attempt) -> None:
+        """Re-dispatch a journal-recovered attempt after its backoff."""
+        self._dispatch(attempt)
         self._drain_pending()
 
     # ------------------------------------------------------------------
@@ -1104,10 +1155,27 @@ class FaasPlatform:
     # ------------------------------------------------------------------
 
     def _bill(self, record: InvocationRecord, spec: FunctionSpec, duration: float,
-              span=None):
+              span=None, journal_entry=None):
         calibration = self.config.calibration
         granularity = calibration.billing_granularity_s
-        billed = math.ceil(max(duration, 1e-12) / granularity) * granularity
+        slices = math.ceil(max(duration, 1e-12) / granularity)
+        if journal_entry is not None and self._durability is not None:
+            # Durable billing: a logical invocation pays the high-water
+            # mark over its attempts, never the sum — replayed ground
+            # was already paid for.
+            slices = self._durability.billable_slices(journal_entry, slices)
+        elif record.billed_duration_s > 0:
+            # No journal: a retried attempt re-bills work the earlier
+            # attempt already charged.  The overlap with what was paid
+            # before is double-billed (the no_double_billing invariant
+            # and the E43 baseline count it here).
+            prior = int(round(record.billed_duration_s / granularity))
+            overlap = min(prior, slices)
+            if overlap:
+                self.metrics.counter("billing.double_billed_slices").add(
+                    overlap
+                )
+        billed = slices * granularity
         gb_s = billed * spec.memory_gb
         cost = gb_s * calibration.price_per_gb_s + calibration.price_per_request
         record.billed_duration_s += billed

@@ -1,0 +1,40 @@
+"""``taureau.durable`` — durable execution for the simulated platform.
+
+Turns crash-retry from blind re-execution into journaled replay: a
+write-ahead :class:`InvocationJournal` records every side effect an
+invocation issues, retried attempts replay the journaled results
+instead of re-issuing the mutations, a recovery manager re-drives
+fault-killed invocations past their retry budget, billing credits
+already-paid 100ms slices, and an orchestration :class:`Checkpointer`
+resumes failed workflows from their last completed step.  Install with
+``Platform.with_durability(policy)``.
+"""
+
+from taureau.durable.checkpoint import Checkpointer, CheckpointScope
+from taureau.durable.journal import (
+    JOURNAL_VERSION,
+    EffectRecord,
+    InvocationJournal,
+    JournalDivergenceError,
+    JournalEntry,
+    JournalVersionError,
+)
+from taureau.durable.manager import (
+    AttemptJournal,
+    DurabilityManager,
+    DurabilityPolicy,
+)
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalVersionError",
+    "JournalDivergenceError",
+    "EffectRecord",
+    "JournalEntry",
+    "InvocationJournal",
+    "DurabilityPolicy",
+    "DurabilityManager",
+    "AttemptJournal",
+    "Checkpointer",
+    "CheckpointScope",
+]

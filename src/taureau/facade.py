@@ -143,6 +143,8 @@ class Platform:
         self._auditor = None
         #: Installed by :meth:`with_resilience`.
         self._resilience_policy = None
+        #: Installed by :meth:`with_durability` (read via :attr:`durable`).
+        self._durable = None
         #: Clients whose operations the fault plane guards.
         self._gated_clients: list = []
 
@@ -251,6 +253,11 @@ class Platform:
         return self.faas._resilience
 
     @property
+    def durable(self):
+        """The :class:`~taureau.durable.DurabilityManager`, or ``None``."""
+        return self._durable
+
+    @property
     def control(self):
         """The :class:`~taureau.control.ControlLoop`, or ``None``."""
         return self._control
@@ -309,6 +316,8 @@ class Platform:
             runtime.default_max_redeliveries = (
                 self._resilience_policy.max_redeliveries
             )
+        if self._durable is not None:
+            runtime.durable = self._durable
         return self
 
     def with_kvstore(self, name: str = "kv", **kwargs) -> "Platform":
@@ -473,6 +482,40 @@ class Platform:
         pulsar = self._subsystems.get("pulsar")
         if pulsar is not None:
             pulsar.default_max_redeliveries = policy.max_redeliveries
+        return self
+
+    def with_durability(self, policy=None) -> "Platform":
+        """Install durable execution: journaled replay instead of re-run.
+
+        Every FaaS invocation (and every single-message Pulsar function
+        delivery) gets a write-ahead :class:`~taureau.durable.JournalEntry`.
+        Journaled side effects — ``ctx.effect(key, fn)`` plus the
+        intercepted KV/blob/DB/notification writes and Pulsar publishes
+        — execute exactly once: a retried or recovered attempt replays
+        the journal positionally and only runs fresh effects for real.
+        The platform recovers injected-fault failures itself (with
+        exponential backoff, up to ``policy.max_recoveries`` times)
+        without consuming the resilience layer's retry budget, bills by
+        high-water mark so replayed slices are never double-charged, and
+        :meth:`orchestrator` workflows can resume through
+        ``run(..., checkpoint=app.durable.checkpointer.scope(key))``.
+
+        ``policy`` is a :class:`~taureau.durable.DurabilityPolicy`
+        (default constructed when omitted).  Returns ``self``; the
+        manager is :attr:`durable` and its summary joins
+        :meth:`dashboard` under ``"durable"``.
+        """
+        from taureau.durable import DurabilityManager
+
+        if self._durable is not None:
+            raise RuntimeError("a durability layer is already installed")
+        manager = DurabilityManager(policy)
+        self._durable = manager
+        self._subsystems["durable"] = manager
+        self.faas._durability = manager
+        pulsar = self._subsystems.get("pulsar")
+        if pulsar is not None:
+            pulsar.durable = manager
         return self
 
     def with_control(self, policies=(), interval_s: float = 5.0) -> "Platform":
@@ -640,6 +683,7 @@ class Platform:
             control=self._control,
             run_info=self.run_info(),
             audit=self._auditor,
+            durable=self._durable,
         )
 
     def config_digest(self) -> str:

@@ -255,6 +255,7 @@ def dashboard_snapshot(
     control=None,
     run_info: typing.Optional[dict] = None,
     audit=None,
+    durable=None,
 ) -> dict:
     """One JSON-able document describing the whole stack's health.
 
@@ -271,7 +272,10 @@ def dashboard_snapshot(
     the run's identity document verbatim (see ``Platform.run_info``).
     When a :class:`~taureau.lint.flow.HandlerAuditor` is given, its
     wiring-time findings are exported under ``audit`` beside the
-    sanitizer's runtime ones.
+    sanitizer's runtime ones.  When a
+    :class:`~taureau.durable.DurabilityManager` is given, its journal
+    summary (entries, effects, recoveries, billing credit) is exported
+    under ``durable``.
     """
     merged: dict = {}
     for registry in registries:
@@ -323,4 +327,6 @@ def dashboard_snapshot(
             }
             for action in control.actuator.actions
         ]
+    if durable is not None:
+        document["durable"] = durable.summary()
     return document

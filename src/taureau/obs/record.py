@@ -235,6 +235,7 @@ class RunRecorder:
         self._sample_pulsar()
         self._sample_slo()
         self._sample_breakers()
+        self._sample_durable()
         # Lanes that produced no value this tick (e.g. a topic drained
         # away) pad with zero so every series stays time-aligned.
         width = len(self._times)
@@ -326,6 +327,21 @@ class RunRecorder:
                     "from": previous,
                     "to": state,
                 })
+
+    def _sample_durable(self) -> None:
+        manager = self.platform._subsystems.get("durable")
+        if manager is None:
+            return
+        self._record("durable.entries_open", manager.journal.open_count())
+        for counter_name in (
+            "effects_journaled", "effects_replayed", "recoveries",
+        ):
+            metric = manager.metrics.find(counter_name)
+            value = metric.value if metric is not None else 0.0
+            self._record(
+                f"durable.{counter_name}",
+                self._delta(f"durable.{counter_name}", value),
+            )
 
     # ------------------------------------------------------------------
     # Finalization

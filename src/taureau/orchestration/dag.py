@@ -86,13 +86,20 @@ class Dag:
     # ------------------------------------------------------------------
 
     def run(
-        self, orchestrator: Orchestrator, value: object = None, parent=None
+        self, orchestrator: Orchestrator, value: object = None, parent=None,
+        checkpoint=None,
     ) -> typing.Tuple[Event, Execution]:
         """Execute the DAG; the event fires with {node: output}.
 
         Traced runs open a ``dag.run`` root span with one ``dag.node.*``
         child per node, so the whole workflow renders as one trace tree
         and ``critical_path()`` names the blocking chain of nodes.
+
+        ``checkpoint`` (a :class:`~taureau.durable.CheckpointScope`)
+        journals every completed node's output; re-running a failed DAG
+        with the same scope skips the journaled nodes — their outputs
+        seed the result set — and resumes at the first node that never
+        finished.
         """
         self.topological_order()  # validate before spending anything
         execution = Execution()
@@ -102,7 +109,7 @@ class Dag:
                 "dag.run", parent=parent, nodes=len(self._nodes)
             )
         process = orchestrator.sim.process(
-            self._drive(orchestrator, value, execution)
+            self._drive(orchestrator, value, execution, checkpoint)
         )
 
         def stamp(event):
@@ -114,16 +121,28 @@ class Dag:
         return process, execution
 
     def run_sync(self, orchestrator: Orchestrator, value: object = None,
-                 parent=None):
-        done, execution = self.run(orchestrator, value, parent=parent)
+                 parent=None, checkpoint=None):
+        done, execution = self.run(
+            orchestrator, value, parent=parent, checkpoint=checkpoint
+        )
         return orchestrator.sim.run(until=done), execution
 
-    def _drive(self, orchestrator: Orchestrator, value, execution: Execution):
+    def _drive(self, orchestrator: Orchestrator, value, execution: Execution,
+               checkpoint=None):
         sim = orchestrator.sim
         results: dict = {}
         in_flight: dict = {}  # name -> Process
         node_spans: dict = {}  # name -> Span
         remaining = dict(self._nodes)
+        if checkpoint is not None:
+            # Resume: journaled nodes completed on an earlier run; their
+            # outputs seed the result set and they never relaunch.  A
+            # checkpointed node's dependencies are necessarily
+            # checkpointed too (it only ran after they finished).
+            for name in list(remaining):
+                if checkpoint.has(name):
+                    results[name] = checkpoint.get(name)
+                    del remaining[name]
 
         def launch_ready():
             for name, node in list(remaining.items()):
@@ -151,6 +170,8 @@ class Dag:
             for name, process in list(in_flight.items()):
                 if process.triggered:
                     results[name] = process.value
+                    if checkpoint is not None:
+                        checkpoint.put(name, process.value)
                     if name in node_spans:
                         node_spans.pop(name).finish(sim.now)
                     del in_flight[name]

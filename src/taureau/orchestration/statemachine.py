@@ -114,12 +114,21 @@ class StateMachine:
                     )
 
     def run(
-        self, orchestrator: Orchestrator, value: object = None, parent=None
+        self, orchestrator: Orchestrator, value: object = None, parent=None,
+        checkpoint=None,
     ) -> typing.Tuple[Event, Execution]:
         """Execute on the orchestrator's platform; see Orchestrator.run.
 
         Traced runs open a ``statemachine.run`` root span with one
         ``sm.state.*`` child per visited Task/Wait/Parallel state.
+
+        ``checkpoint`` (a :class:`~taureau.durable.CheckpointScope`)
+        journals every completed Task step's output, keyed by state
+        name and visit index; re-running a machine that raised
+        :class:`~taureau.orchestration.composition.ExecutionFailed`
+        with the same scope walks the same transitions but skips the
+        journaled task invocations, resuming real work at the first
+        step that never completed.
         """
         execution = Execution()
         execution.started_at = orchestrator.sim.now
@@ -128,7 +137,9 @@ class StateMachine:
                 "statemachine.run", parent=parent, start_at=self.start_at
             )
         process = orchestrator.sim.process(
-            self._interpret(orchestrator, value, execution, execution.span)
+            self._interpret(
+                orchestrator, value, execution, execution.span, checkpoint
+            )
         )
 
         def stamp(event):
@@ -140,17 +151,22 @@ class StateMachine:
         return process, execution
 
     def run_sync(self, orchestrator: Orchestrator, value: object = None,
-                 parent=None):
-        done, execution = self.run(orchestrator, value, parent=parent)
+                 parent=None, checkpoint=None):
+        done, execution = self.run(
+            orchestrator, value, parent=parent, checkpoint=checkpoint
+        )
         return orchestrator.sim.run(until=done), execution
 
     # ------------------------------------------------------------------
 
     def _interpret(self, orchestrator: Orchestrator, value, execution: Execution,
-                   parent=None):
+                   parent=None, checkpoint=None):
         sim = orchestrator.sim
         tracer = sim.tracer if parent is not None else None
         current: typing.Optional[str] = self.start_at
+        # Visit counts key checkpoint steps: a state revisited through a
+        # Choice loop is a distinct step (``name#0``, ``name#1``, ...).
+        visits: dict = {}
         while current is not None:
             state = self.states[current]
             execution.transitions += 1
@@ -158,6 +174,14 @@ class StateMachine:
                 yield sim.timeout(orchestrator.transition_overhead_s)
 
             if isinstance(state, TaskState):
+                visit = visits.get(current, 0)
+                visits[current] = visit + 1
+                step = f"{current}#{visit}"
+                if checkpoint is not None and checkpoint.has(step):
+                    # Resumed: the step completed on an earlier run.
+                    value = checkpoint.get(step)
+                    current = state.next
+                    continue
                 state_span = None
                 if tracer is not None:
                     state_span = tracer.start_span(
@@ -166,6 +190,8 @@ class StateMachine:
                 value = yield from self._run_task(
                     orchestrator, state, value, execution, state_span
                 )
+                if checkpoint is not None:
+                    checkpoint.put(step, value)
                 if state_span is not None:
                     state_span.finish(sim.now)
                 current = state.next
@@ -189,11 +215,17 @@ class StateMachine:
                     state_span = tracer.start_span(
                         f"sm.state.{current}", parent=parent, kind="parallel"
                     )
+                visit = visits.get(current, 0)
+                visits[current] = visit + 1
                 branches = [
                     sim.process(
-                        branch._interpret(orchestrator, value, execution, state_span)
+                        branch._interpret(
+                            orchestrator, value, execution, state_span,
+                            checkpoint.sub(f"{current}#{visit}.b{index}")
+                            if checkpoint is not None else None,
+                        )
                     )
-                    for branch in state.branches
+                    for index, branch in enumerate(state.branches)
                 ]
                 value = yield sim.all_of(branches)
                 if state_span is not None:

@@ -32,6 +32,11 @@ class FunctionContext:
         self._message: typing.Optional[Message] = None
         self._state: dict = {}
         self._counters: dict = {}
+        #: Durable execution: the per-message journal binding, installed
+        #: by the runtime while a message is being processed (``None``
+        #: without ``with_durability``).  :meth:`publish` routes side
+        #: outputs through it so a redelivered message replays them.
+        self.journal = None
 
     # -- message metadata -----------------------------------------------------
 
@@ -71,9 +76,19 @@ class FunctionContext:
         """Side output to an arbitrary topic.
 
         The publish is stitched into the current message's trace (when
-        one rides on it), so fan-out chains stay one tree.
+        one rides on it), so fan-out chains stay one tree.  Under
+        durable execution the publish journals as one effect keyed to
+        the message being processed: a redelivered message replays the
+        journaled publish instead of emitting the payload twice.
         """
         parent = self._message.trace if self._message is not None else None
+        if self.journal is not None:
+            return self.journal.apply(
+                self, f"pulsar.publish:{topic}",
+                lambda: self._runtime.cluster.producer(topic).send(
+                    payload, key=key, parent=parent
+                ),
+            )
         return self._runtime.cluster.producer(topic).send(
             payload, key=key, parent=parent
         )
@@ -146,6 +161,15 @@ class FunctionsRuntime:
         #: Redelivery cap adopted by functions that do not set their own;
         #: ``Platform.with_resilience`` overrides it from the policy.
         self.default_max_redeliveries = 3
+        #: Durable execution: the platform's
+        #: :class:`~taureau.durable.DurabilityManager`, installed by
+        #: ``Platform.with_durability``.  Single-message functions then
+        #: journal per-delivery (entries keyed by message id) so
+        #: redeliveries replay side outputs and fully processed
+        #: messages dedup; batch functions keep at-least-once semantics
+        #: (a multi-message batch's effects are not attributable to one
+        #: message, so replay would not be sound).
+        self.durable = None
 
     def deploy(self, function: PulsarFunction) -> FunctionContext:
         """Subscribe the function's instances to its input topics.
@@ -181,6 +205,20 @@ class FunctionsRuntime:
             return context
 
         def listener(message: Message, consumer) -> None:
+            entry = None
+            if self.durable is not None:
+                entry = self.durable.message_entry(
+                    function.name,
+                    f"pulsar:{function.name}:{message.message_id}",
+                )
+                if entry.completed:
+                    # The first delivery fully processed this message;
+                    # a redelivery acks without reprocessing.
+                    self.durable.metrics.counter("messages_deduped").add()
+                    consumer.ack(message)
+                    return
+                entry.begin_attempt()
+                context.journal = self.durable.binding(entry)
             context._message = message
             tracer = self.cluster.sim.tracer
             fn_span = None
@@ -210,15 +248,20 @@ class FunctionsRuntime:
                 else:
                     # Dead-letter: stop redelivering a poison message.
                     self._dead_letter(function, message)
+                    if entry is not None:
+                        self.durable.finalize(entry, "dead_lettered")
                     consumer.ack(message)
                 return
             finally:
                 context._message = None
+                context.journal = None
             if sanitizer is not None:
                 sanitizer.check_handler_boundary(
                     message.payload, payload_digest, result,
                     self.cluster.sim.now, f"pulsar:{function.name}",
                 )
+            if entry is not None:
+                self.durable.finalize(entry, "ok")
             self.metrics.counter(f"{function.name}.processed").add()
             if result is not None and function.output_topic is not None:
                 self.cluster.producer(function.output_topic).send(

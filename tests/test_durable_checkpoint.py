@@ -1,0 +1,199 @@
+"""Orchestration checkpointing: DAG nodes and state-machine steps resume.
+
+The checkpointer journals every completed node/step result under a
+caller-chosen scope key; re-running a workflow that failed with the same
+scope skips the journaled work and resumes real execution at the first
+step that never finished — the durable-workflow half of the layer.
+"""
+
+import taureau
+from taureau.orchestration import (
+    Dag,
+    ExecutionFailed,
+    StateMachine,
+    Task,
+)
+from taureau.orchestration.statemachine import (
+    ChoiceState,
+    ParallelState,
+    PassState,
+    TaskState,
+)
+
+
+def make_app(flaky_node="b", fail_times=1):
+    """A platform with a counting `step` function and one flaky node."""
+    app = taureau.Platform(seed=2).with_durability()
+    runs = {}
+    failures = {"left": fail_times}
+
+    @app.function("step")
+    def step(event, ctx):
+        ctx.charge(0.1)
+        name = event["node"]
+        runs[name] = runs.get(name, 0) + 1
+        if name == flaky_node and failures["left"] > 0:
+            failures["left"] -= 1
+            raise RuntimeError(f"{name} transient failure")
+        return event["value"] + 1
+
+    return app, runs
+
+
+class TestDagCheckpoint:
+    def chain(self):
+        def payload(name):
+            return lambda value: {"node": name, "value": value[
+                "value"] if isinstance(value, dict) else value}
+
+        return (
+            Dag()
+            .node("a", Task("step", transform=lambda v: {"node": "a", "value": v}))
+            .node("b", Task("step", transform=lambda v: {"node": "b", "value": v}),
+                  after=["a"])
+            .node("c", Task("step", transform=lambda v: {"node": "c", "value": v}),
+                  after=["b"])
+        )
+
+    def test_failed_dag_resumes_past_completed_nodes(self):
+        app, runs = make_app(flaky_node="b", fail_times=1)
+        orchestrator = app.orchestrator()
+        scope = app.durable.checkpointer.scope("wf-1")
+        done, __ = self.chain().run(orchestrator, 0, checkpoint=scope)
+        app.run()
+        assert done.exception is not None, "first run must fail at b"
+        assert runs == {"a": 1, "b": 1}
+
+        # Re-run with the same scope: a is journaled, b/c run fresh.
+        retry_scope = app.durable.checkpointer.scope("wf-1")
+        results, __ = self.chain().run_sync(
+            orchestrator, 0, checkpoint=retry_scope
+        )
+        assert results == {"a": 1, "b": 2, "c": 3}
+        assert runs == {"a": 1, "b": 2, "c": 1}, "a never re-ran"
+        assert app.durable.summary()["checkpoint_hits"] >= 1
+
+    def test_fresh_scope_runs_everything(self):
+        app, runs = make_app(flaky_node="none")
+        orchestrator = app.orchestrator()
+        scope = app.durable.checkpointer.scope("wf-A")
+        results, __ = self.chain().run_sync(orchestrator, 0, checkpoint=scope)
+        assert results == {"a": 1, "b": 2, "c": 3}
+        other = app.durable.checkpointer.scope("wf-B")
+        self.chain().run_sync(orchestrator, 0, checkpoint=other)
+        assert runs == {"a": 2, "b": 2, "c": 2}, "scopes are independent"
+
+    def test_checkpoints_land_in_the_journal_document(self):
+        app, __ = make_app(flaky_node="none")
+        orchestrator = app.orchestrator()
+        scope = app.durable.checkpointer.scope("wf-doc")
+        self.chain().run_sync(orchestrator, 0, checkpoint=scope)
+        data = app.durable.journal.data
+        assert data["checkpoints"]["wf-doc"] == {"a": 1, "b": 2, "c": 3}
+
+
+class TestStateMachineCheckpoint:
+    def machine(self):
+        return StateMachine("first", {
+            "first": TaskState(
+                resource="sm_step", next="second"),
+            "second": TaskState(resource="sm_step", next=None),
+        })
+
+    def make(self, fail_on_second=1):
+        app = taureau.Platform(seed=2).with_durability()
+        runs = {"first": 0, "second": 0}
+        failures = {"left": fail_on_second}
+
+        @app.function("sm_step")
+        def sm_step(event, ctx):
+            ctx.charge(0.1)
+            # The running value routes the step: None means step one.
+            if event is None:
+                runs["first"] += 1
+                return "first-done"
+            runs["second"] += 1
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("second transient failure")
+            return "second-done"
+
+        return app, runs
+
+    def test_failed_machine_resumes_past_completed_steps(self):
+        app, runs = self.make(fail_on_second=1)
+        orchestrator = app.orchestrator()
+        scope = app.durable.checkpointer.scope("sm-1")
+        done, __ = self.machine().run(orchestrator, None, checkpoint=scope)
+        app.run()
+        assert done.exception is not None
+        assert runs == {"first": 1, "second": 1}
+
+        retry = app.durable.checkpointer.scope("sm-1")
+        result, __ = self.machine().run_sync(
+            orchestrator, None, checkpoint=retry
+        )
+        assert result == "second-done"
+        assert runs == {"first": 1, "second": 2}, "first never re-ran"
+
+    def test_choice_loop_revisits_are_distinct_steps(self):
+        app = taureau.Platform(seed=2).with_durability()
+        calls = []
+
+        @app.function("inc")
+        def inc(event, ctx):
+            ctx.charge(0.1)
+            calls.append(event)
+            return event + 1
+
+        machine = StateMachine("bump", {
+            "bump": TaskState(resource="inc", next="check"),
+            "check": ChoiceState(
+                choices=[(lambda value: value < 3, "bump")], default="done",
+            ),
+            "done": PassState(transform=lambda value: value, next=None),
+        })
+        orchestrator = app.orchestrator()
+        scope = app.durable.checkpointer.scope("loop")
+        result, __ = machine.run_sync(orchestrator, 0, checkpoint=scope)
+        assert result == 3
+        assert calls == [0, 1, 2]
+        # Each loop visit journaled separately under bump#0, bump#1, ...
+        steps = app.durable.journal.checkpoints["loop"]
+        assert {"bump#0", "bump#1", "bump#2"} <= set(steps)
+        # Resuming replays the whole loop from checkpoints — no re-runs.
+        resumed, __ = machine.run_sync(
+            orchestrator, 0,
+            checkpoint=app.durable.checkpointer.scope("loop"),
+        )
+        assert resumed == 3
+        assert calls == [0, 1, 2]
+
+    def test_parallel_branches_checkpoint_independently(self):
+        app = taureau.Platform(seed=2).with_durability()
+        runs = {"count": 0}
+
+        @app.function("branch_step")
+        def branch_step(event, ctx):
+            ctx.charge(0.1)
+            runs["count"] += 1
+            return event
+
+        branch = StateMachine("only", {
+            "only": TaskState(resource="branch_step", next=None),
+        })
+        machine = StateMachine("par", {
+            "par": ParallelState(branches=[branch, branch], next=None),
+        })
+        orchestrator = app.orchestrator()
+        scope = app.durable.checkpointer.scope("fanout")
+        machine.run_sync(orchestrator, "x", checkpoint=scope)
+        assert runs["count"] == 2
+        machine.run_sync(
+            orchestrator, "x",
+            checkpoint=app.durable.checkpointer.scope("fanout"),
+        )
+        assert runs["count"] == 2, "both branches resumed from checkpoints"
+        steps = app.durable.journal.checkpoints["fanout"]
+        assert any(".b0/" in step for step in steps)
+        assert any(".b1/" in step for step in steps)

@@ -1,0 +1,241 @@
+"""Exactly-once effects: ``ctx.effect`` and the intercepted BaaS writes.
+
+The replay contract under test: a retried attempt re-walks its journal
+positionally, returning recorded results instead of re-applying
+mutations; only effects the failed attempt never reached execute for
+real.  Covers the explicit effect API, every intercepted client (KV,
+blob, DB commits, notifications), nested journaled calls collapsing
+into one atomic effect, and the divergence guard.
+"""
+
+import pytest
+
+import taureau
+from taureau.durable import JournalDivergenceError
+
+
+def flaky(fail_first):
+    """A latch that raises on the first call, succeeds after."""
+    state = {"failed": False}
+
+    def should_fail():
+        if fail_first and not state["failed"]:
+            state["failed"] = True
+            return True
+        return False
+
+    return should_fail
+
+
+class TestEffectApi:
+    def test_effect_runs_once_across_platform_retries(self):
+        app = taureau.Platform(seed=3).with_durability()
+        runs = {"count": 0}
+        fail = flaky(fail_first=True)
+
+        @app.function("fn", max_retries=2)
+        def fn(event, ctx):
+            ctx.charge(0.01)
+            value = ctx.effect("bump", lambda: runs.__setitem__(
+                "count", runs["count"] + 1) or runs["count"])
+            if fail():
+                raise RuntimeError("transient")
+            return value
+
+        record = app.invoke_sync("fn")
+        assert record.succeeded
+        assert runs["count"] == 1, "the effect must not re-run on retry"
+        assert record.response == 1
+        summary = app.durable.summary()
+        assert summary["effects_journaled"] == 1
+        assert summary["effects_replayed"] == 1
+        assert summary["duplicate_effect_executions"] == 0
+
+    def test_effect_without_durability_runs_directly(self):
+        app = taureau.Platform(seed=3)
+
+        @app.function("fn")
+        def fn(event, ctx):
+            return ctx.effect("k", lambda: 42)
+
+        assert app.invoke_sync("fn").response == 42
+
+    def test_raising_effect_journals_nothing_and_reruns(self):
+        app = taureau.Platform(seed=3).with_durability()
+        runs = {"count": 0}
+
+        @app.function("fn", max_retries=1)
+        def fn(event, ctx):
+            ctx.charge(0.01)
+
+            def body():
+                runs["count"] += 1
+                if runs["count"] == 1:
+                    raise RuntimeError("effect fn itself failed")
+                return runs["count"]
+
+            return ctx.effect("once", body)
+
+        record = app.invoke_sync("fn")
+        assert record.succeeded
+        # The failed application was never journaled, so the retry
+        # executed it for real — exactly once *successfully*.
+        assert runs["count"] == 2
+        assert record.response == 2
+
+    def test_divergent_replay_fails_loudly(self):
+        app = taureau.Platform(seed=3).with_durability()
+        attempt = {"n": 0}
+
+        @app.function("fn", max_retries=1)
+        def fn(event, ctx):
+            ctx.charge(0.01)
+            attempt["n"] += 1
+            label = "a" if attempt["n"] == 1 else "b"
+            ctx.effect(label, lambda: label)
+            if attempt["n"] == 1:
+                raise RuntimeError("force a retry with a different effect")
+            return "done"
+
+        record = app.invoke_sync("fn")
+        assert not record.succeeded
+        assert isinstance(record.error, JournalDivergenceError)
+
+
+class TestInterceptedClients:
+    def test_kv_put_replays_instead_of_rewriting(self):
+        app = taureau.Platform(seed=3).with_kvstore().with_durability()
+        fail = flaky(fail_first=True)
+
+        @app.function("fn", max_retries=1)
+        def fn(event, ctx):
+            ctx.charge(0.01)
+            ctx.service("kv").put("key", event, ctx=ctx)
+            if fail():
+                raise RuntimeError("transient")
+            return "ok"
+
+        record = app.invoke_sync("fn", "value")
+        assert record.succeeded
+        item = app.kv.get_item("key")
+        assert item.value == "value"
+        assert item.version == 1, "one real write, not two"
+
+    def test_kv_counter_add_is_one_atomic_effect(self):
+        app = taureau.Platform(seed=3).with_kvstore().with_durability()
+        fail = flaky(fail_first=True)
+
+        @app.function("fn", max_retries=1)
+        def fn(event, ctx):
+            ctx.charge(0.01)
+            # counter_add internally calls put: the nested journaled
+            # call must run raw under the outer effect, not recurse or
+            # double-journal.
+            ctx.service("kv").counter_add("total", 1, ctx=ctx)
+            if fail():
+                raise RuntimeError("transient")
+            return "ok"
+
+        record = app.invoke_sync("fn")
+        assert record.succeeded
+        assert app.kv.get("total") == 1
+        assert app.durable.summary()["effects_journaled"] == 1
+
+    def test_blob_put_replays(self):
+        app = taureau.Platform(seed=3).with_blobstore().with_durability()
+        fail = flaky(fail_first=True)
+
+        @app.function("fn", max_retries=1)
+        def fn(event, ctx):
+            ctx.charge(0.01)
+            ctx.service("blob").put("obj", b"payload", ctx=ctx)
+            if fail():
+                raise RuntimeError("transient")
+            return "ok"
+
+        assert app.invoke_sync("fn").succeeded
+        assert app.blob.get("obj") == b"payload"
+        assert app.durable.summary()["effects_journaled"] == 1
+        assert app.durable.summary()["effects_replayed"] == 1
+
+    def test_db_commit_is_the_atomic_journal_unit(self):
+        app = taureau.Platform(seed=3).with_database().with_durability()
+        app.db.create_table("rows")
+        fail = flaky(fail_first=True)
+
+        @app.function("fn", max_retries=1)
+        def fn(event, ctx):
+            ctx.charge(0.01)
+            db = ctx.service("db")
+            txn = db.transaction(ctx=ctx)
+            txn.put("rows", "row", {"n": 1})
+            txn.commit()
+            assert txn.committed
+            if fail():
+                raise RuntimeError("transient after commit")
+            return "ok"
+
+        assert app.invoke_sync("fn").succeeded
+        assert app.db.get("rows", "row") == {"n": 1}
+        # One journaled commit (the replay skips validation and apply),
+        # so the row stayed at version 1.
+        assert app.db._row("rows", "row").version == 1
+        assert app.durable.summary()["effects_journaled"] == 1
+        assert app.db.metrics.counter("commits").value == 1
+
+    def test_db_execute_once_memoizes_across_retries(self):
+        app = taureau.Platform(seed=3).with_database().with_durability()
+        fail = flaky(fail_first=True)
+        runs = {"count": 0}
+
+        @app.function("fn", max_retries=1)
+        def fn(event, ctx):
+            ctx.charge(0.01)
+            db = ctx.service("db")
+
+            def action():
+                runs["count"] += 1
+                return runs["count"]
+
+            value = db.execute_once("token-1", action, ctx=ctx)
+            if fail():
+                raise RuntimeError("transient")
+            return value
+
+        record = app.invoke_sync("fn")
+        assert record.succeeded
+        assert runs["count"] == 1
+        assert record.response == 1
+
+    def test_notification_publish_fans_out_once(self):
+        app = taureau.Platform(seed=3).with_notifications().with_durability()
+        app.sns.create_topic("events")
+        deliveries = []
+        app.sns.subscribe("events", deliveries.append)
+        fail = flaky(fail_first=True)
+
+        @app.function("fn", max_retries=1)
+        def fn(event, ctx):
+            ctx.charge(0.01)
+            count = ctx.service("sns").publish("events", event, ctx=ctx)
+            if fail():
+                raise RuntimeError("transient after publish")
+            return count
+
+        record = app.invoke_sync("fn", "hello")
+        assert record.succeeded
+        assert record.response == 1, "replay returns the journaled count"
+        app.run()
+        assert deliveries == ["hello"], "subscribers see the message once"
+
+    def test_reads_stay_live_and_unjournaled(self):
+        app = taureau.Platform(seed=3).with_kvstore().with_durability()
+        app.kv.put("seeded", 7)
+
+        @app.function("fn")
+        def fn(event, ctx):
+            ctx.charge(0.01)
+            return ctx.service("kv").get("seeded", ctx=ctx)
+
+        assert app.invoke_sync("fn").response == 7
+        assert app.durable.summary()["effects_journaled"] == 0
